@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: cached pipelines (one
+ * training run per model per binary), standard run options, speedup
+ * helpers and paper-vs-measured table shorthands.
+ */
+
+#ifndef SPECEE_BENCH_BENCH_COMMON_HH
+#define SPECEE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engines/pipeline.hh"
+#include "metrics/stats.hh"
+#include "metrics/table.hh"
+#include "oracle/profiles.hh"
+#include "workload/evaluator.hh"
+
+namespace specee::benchutil {
+
+/** One trained pipeline per model, cached for the binary's lifetime. */
+inline engines::Pipeline &
+pipeline(const std::string &model)
+{
+    static std::map<std::string, std::unique_ptr<engines::Pipeline>> cache;
+    auto it = cache.find(model);
+    if (it == cache.end()) {
+        engines::PipelineOptions o;
+        o.model = model;
+        // 80-layer models profile fewer tokens to keep benches quick;
+        // accuracy of the bank is asserted in tests, not here.
+        if (model == "llama2-70b") {
+            o.train_instances = 4;
+            o.train_gen_len = 30;
+        } else {
+            o.train_instances = 6;
+            o.train_gen_len = 36;
+        }
+        o.seed = 42;
+        std::fprintf(stderr, "[bench] training pipeline for %s ...\n",
+                     model.c_str());
+        it = cache.emplace(model,
+                           std::make_unique<engines::Pipeline>(o))
+                 .first;
+    }
+    return *it->second;
+}
+
+/** Standard small workload for throughput benches. */
+inline workload::GenOptions
+benchGen(int instances = 2, int gen_len = 24, uint64_t seed = 1234)
+{
+    workload::GenOptions g;
+    g.n_instances = instances;
+    g.gen_len = gen_len;
+    g.seed = seed;
+    return g;
+}
+
+/** Run one engine config over one dataset; returns the run result. */
+inline engines::RunResult
+runOn(const std::string &model, const engines::EngineConfig &cfg,
+      const hw::HardwareSpec &spec, const std::string &dataset,
+      const workload::GenOptions &gen, uint64_t seed = 7)
+{
+    auto &pipe = pipeline(model);
+    auto w = pipe.makeWorkload(dataset, gen, cfg.quantized);
+    auto engine = pipe.makeEngine(cfg, spec);
+    return engine->run(w, seed);
+}
+
+inline double
+speedup(const engines::RunStats &fast, const engines::RunStats &base)
+{
+    return fast.tokens_per_s / base.tokens_per_s;
+}
+
+/** "x.xx" multiplier formatting. */
+inline std::string
+mult(double v)
+{
+    return metrics::Table::num(v, 2) + "x";
+}
+
+} // namespace specee::benchutil
+
+#endif // SPECEE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 2(b) / §3.1: the vocabulary is the predictor's search
+ * space. Compares (a) the full-vocabulary LM head traversal an
+ * AdaInfer-style predictor needs per layer against (b) SpecEE's
+ * sliced speculative LM head — the ~10^4x search-space reduction —
+ * and shows the resulting share of end-to-end latency (~20% for the
+ * full-vocab predictor, ~5.6% for SpecEE's, §7.4.4).
+ */
+
+#include "bench_common.hh"
+#include "hw/cost_model.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+
+int
+main()
+{
+    const auto cfg7b = model::ModelConfig::llama2_7b();
+
+    metrics::Table t("Figure 2(b): predictor search-space reduction");
+    t.header({"quantity", "full vocab (AdaInfer)",
+              "reduced (SpecEE)", "reduction"});
+    const double full = cfg7b.truth.vocab;
+    const double reduced = cfg7b.num_spec_tokens;
+    t.row({"search space (tokens)", metrics::Table::num(full, 0),
+           metrics::Table::num(reduced, 0),
+           metrics::Table::num(full / reduced, 0) + "x"});
+    const double full_macs =
+        static_cast<double>(cfg7b.truth.hidden) * cfg7b.truth.vocab;
+    const double red_macs =
+        static_cast<double>(cfg7b.truth.hidden) * cfg7b.num_spec_tokens;
+    t.row({"per-layer head MACs", metrics::Table::num(full_macs / 1e6, 1) + "M",
+           metrics::Table::num(red_macs / 1e6, 4) + "M",
+           metrics::Table::num(full_macs / red_macs, 0) + "x"});
+    t.print();
+
+    // Predictor share of end-to-end latency.
+    auto ada = runOn("llama2-7b", engines::EngineConfig::adaInfer(),
+                     hw::HardwareSpec::a100(), "MT-Bench", benchGen());
+    auto ee = runOn("llama2-7b",
+                    engines::EngineConfig::huggingFace().withSpecEE(),
+                    hw::HardwareSpec::a100(), "MT-Bench", benchGen());
+
+    auto pred_share = [](const engines::RunStats &st, bool full_head) {
+        const auto &log = st.oplog;
+        double pred = log.totals(hw::OpClass::Predictor).time_s +
+                      log.totals(hw::OpClass::LmHeadSliced).time_s;
+        if (full_head) {
+            // AdaInfer's feature fetch is the per-layer full head; all
+            // but one head application per token serve the predictor.
+            const auto &head = log.totals(hw::OpClass::LmHeadFull);
+            pred += head.time_s * (1.0 - 1.0 / (head.count > 0
+                                                     ? head.count
+                                                     : 1));
+        }
+        return pred / log.grand().time_s;
+    };
+
+    metrics::Table t2("Prediction share of end-to-end latency");
+    t2.header({"predictor", "paper", "measured"});
+    t2.row({"AdaInfer (full-vocab features + SVM)", "~20%",
+            metrics::Table::num(100.0 * pred_share(ada.stats, true), 1) +
+                "%"});
+    t2.row({"SpecEE (speculative features + MLP)", "~5.6%",
+            metrics::Table::num(100.0 * pred_share(ee.stats, false), 1) +
+                "%"});
+    t2.print();
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 2(c)/(d): headline technique stacking.
+ *
+ * Cloud: Llama2-7B on A100, MT-Bench — HuggingFace 42.32 tok/s,
+ * +T1 47.39 (1.12x), +T2 57.35 (1.21x), +T3 95.21 (1.66x) = 2.25x.
+ * PC: Llama2-7B on the Lenovo PC, SUM — llama.cpp 5.63 tok/s,
+ * +T1 6.64 (1.18x), +T2 8.29 (1.25x), +T3 13.70 (1.65x) = 2.43x.
+ * Also prints the T1 predictor param/FLOP reduction (~100x) and the
+ * §7.4.4 predictor runtime share.
+ */
+
+#include "bench_common.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+using engines::EngineConfig;
+
+namespace {
+
+void
+scenario(const char *title, const char *model,
+         const hw::HardwareSpec &spec, const EngineConfig &base,
+         const char *dataset, const double paper_tps[4])
+{
+    auto gen = benchGen(2, 32);
+    auto b = runOn(model, base, spec, dataset, gen);
+    auto t1 = runOn(model, base.withSpecEE(false), spec, dataset, gen);
+    auto t12 = runOn(model, base.withSpecEE(true), spec, dataset, gen);
+    auto t123 = runOn(model, base.withSpecEE(true).withSpecDecode(),
+                      spec, dataset, gen);
+
+    metrics::Table t(title);
+    t.header({"configuration", "paper tok/s", "measured tok/s",
+              "paper step", "measured step"});
+    const engines::RunStats *stats[4] = {&b.stats, &t1.stats,
+                                         &t12.stats, &t123.stats};
+    const char *names[4] = {"baseline", "+T1 lightweight predictor",
+                            "+T2 heuristic scheduling",
+                            "+T3 merged mapping (spec. decoding)"};
+    const char *paper_step[4] = {"-", "1.12x", "1.21x", "1.66x"};
+    for (int i = 0; i < 4; ++i) {
+        const double step =
+            i == 0 ? 1.0
+                   : stats[i]->tokens_per_s / stats[i - 1]->tokens_per_s;
+        t.row({names[i], metrics::Table::num(paper_tps[i], 2),
+               metrics::Table::num(stats[i]->tokens_per_s, 2),
+               paper_step[i], i == 0 ? "-" : mult(step)});
+    }
+    t.print();
+    std::printf("total: paper %.2fx, measured %.2fx\n",
+                paper_tps[3] / paper_tps[0],
+                speedup(t123.stats, b.stats));
+    std::printf("predictor runtime share (paper ~5.6%%): %.1f%%\n",
+                100.0 *
+                    (t12.stats.oplog.totals(hw::OpClass::Predictor).time_s +
+                     t12.stats.oplog.totals(hw::OpClass::LmHeadSliced)
+                         .time_s) /
+                    t12.stats.oplog.grand().time_s);
+}
+
+} // namespace
+
+int
+main()
+{
+    // T1 predictor weight reduction (Fig. 2c): baseline predictors
+    // consume the raw hidden state (~6.7M params); SpecEE's 12-dim
+    // MLP needs ~0.07M.
+    {
+        const auto &preds = pipeline("llama2-7b").predictors();
+        metrics::Table t("Figure 2(c)-T1: predictor lightweighting");
+        t.header({"design", "params/FLOPs", "vs baseline"});
+        t.row({"baseline (raw hidden input)", "~6.7M", "1x"});
+        const double p =
+            static_cast<double>(preds.paramsPerPredictor());
+        t.row({"SpecEE lightweight MLP",
+               metrics::Table::num(p / 1e6, 3) + "M",
+               metrics::Table::num(6.7e6 / p, 0) + "x smaller"});
+        t.print();
+    }
+
+    const double cloud_paper[4] = {42.32, 47.39, 57.35, 95.21};
+    scenario("Figure 2(d) cloud: Llama2-7B @ A100, MT-Bench",
+             "llama2-7b", hw::HardwareSpec::a100(),
+             EngineConfig::huggingFace(), "MT-Bench", cloud_paper);
+
+    const double pc_paper[4] = {5.63, 6.64, 8.29, 13.70};
+    scenario("Figure 2(d) PC: Llama2-7B @ RTX4060 Laptop, SUM",
+             "llama2-7b", hw::HardwareSpec::pc4060(),
+             EngineConfig::llamaCpp(), "SUM", pc_paper);
+    return 0;
+}

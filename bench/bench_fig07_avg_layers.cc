@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 7: gap between actual and theoretical average forward
+ * layers for SpecEE and AdaInfer on Llama2-7B and Llama2-13B across
+ * the evaluation datasets. "Normalized" = theoretical / actual; the
+ * paper reports 93-99% for SpecEE and 62-75% for AdaInfer (AdaInfer
+ * numbers exist only for MMLU/CSQA).
+ */
+
+#include "bench_common.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+using engines::EngineConfig;
+
+namespace {
+
+/**
+ * Theoretical lower bound: exit exactly at the oracle convergence
+ * layer (+1 because layer indices are 0-based counts of executed
+ * layers); hard tokens run the full stack.
+ */
+double
+theoreticalLayers(const workload::Workload &w, int n_layers)
+{
+    double sum = 0;
+    long n = 0;
+    for (const auto &inst : w.instances) {
+        for (const auto &s : inst.steps) {
+            sum += std::min(s.conv_layer + 1, n_layers);
+            ++n;
+        }
+    }
+    return sum / static_cast<double>(n);
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const char *model : {"llama2-7b", "llama2-13b"}) {
+        auto &pipe = pipeline(model);
+        const int n_layers = pipe.modelConfig().n_layers;
+        metrics::Table t(
+            std::string("Figure 7: normalized average forward layers, ") +
+            model);
+        t.header({"dataset", "theoretical", "SpecEE actual",
+                  "SpecEE norm. (paper 93-99%)", "AdaInfer actual",
+                  "AdaInfer norm. (paper 62-75%)"});
+
+        for (const auto &ds : oracle::accuracyDatasets()) {
+            auto gen = benchGen(2, 24);
+            auto w = pipe.makeWorkload(ds, gen);
+            const double theo = theoreticalLayers(w, n_layers);
+
+            auto ee = runOn(model,
+                            EngineConfig::huggingFace().withSpecEE(),
+                            hw::HardwareSpec::a100(), ds, gen);
+            auto ada = runOn(model, EngineConfig::adaInfer(),
+                             hw::HardwareSpec::a100(), ds, gen);
+
+            t.row({ds, metrics::Table::num(theo, 2),
+                   metrics::Table::num(ee.stats.avg_forward_layers, 2),
+                   metrics::Table::num(
+                       100.0 * theo / ee.stats.avg_forward_layers, 1) +
+                       "%",
+                   metrics::Table::num(ada.stats.avg_forward_layers, 2),
+                   metrics::Table::num(
+                       100.0 * theo / ada.stats.avg_forward_layers, 1) +
+                       "%"});
+        }
+        t.print();
+    }
+    std::printf("\nSpecEE tracks the theoretical earliest exit closely; "
+                "the verification-free,\nconservatively-thresholded "
+                "AdaInfer baseline exits later (Fig. 7).\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 8: design-space exploration of the predictor configuration.
+ * (a) accuracy & execution time vs MLP depth (hidden fixed at 512);
+ * (b) accuracy & execution time vs hidden dimension (depth fixed 2).
+ * The paper's optimum is depth 2, hidden 512 at ~93-94% accuracy and
+ * ~0.1 ms; execution time here is real wall-clock of the C++ kernel
+ * (relative shape is what matters).
+ */
+
+#include "bench_common.hh"
+#include "core/predictor_trainer.hh"
+#include "util/stopwatch.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+
+namespace {
+
+/** Train a bank with the given architecture; return held-out accuracy. */
+double
+accuracyFor(int depth, int hidden, const core::ProfileData &data)
+{
+    core::ExitPredictor bank(static_cast<int>(data.specee.size()), 12,
+                             hidden, depth, 0x5eed);
+    core::TrainerOptions opts;
+    opts.train.epochs = 15;
+    auto rep = core::PredictorTrainer::train(bank, data, opts);
+    return rep.mean_test_accuracy;
+}
+
+/**
+ * Wall-clock microseconds per prediction: min over repetitions to
+ * shed scheduler noise.
+ */
+double
+timeFor(int depth, int hidden)
+{
+    core::ExitPredictor bank(1, 12, hidden, depth, 1);
+    tensor::Vec f(12, 0.25f);
+    for (int i = 0; i < 200; ++i)
+        bank.score(0, f);
+    double best = 1e30;
+    float acc = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+        Stopwatch sw;
+        const int iters = 2000;
+        for (int i = 0; i < iters; ++i)
+            acc += bank.score(0, f);
+        best = std::min(best, sw.micros() / iters);
+    }
+    return best + (acc < -1 ? 1 : 0); // keep `acc` alive
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &data = pipeline("llama2-7b").profileData();
+
+    metrics::Table ta("Figure 8(a): predictor depth sweep (hidden 512)");
+    ta.header({"layers", "accuracy (paper ~90-94%)", "time/pred (us)"});
+    for (int depth : {1, 2, 3, 4}) {
+        ta.row({std::to_string(depth),
+                metrics::Table::num(100.0 * accuracyFor(depth, 512, data),
+                                    1) +
+                    "%",
+                metrics::Table::num(timeFor(depth, 512), 2)});
+    }
+    ta.print();
+
+    metrics::Table tb("Figure 8(b): hidden-dimension sweep (depth 2)");
+    tb.header({"hidden", "accuracy (paper ~93-93.5%)", "time/pred (us)"});
+    for (int hidden : {64, 128, 256, 512, 1024}) {
+        tb.row({std::to_string(hidden),
+                metrics::Table::num(
+                    100.0 * accuracyFor(2, hidden, data), 1) +
+                    "%",
+                metrics::Table::num(timeFor(2, hidden), 2)});
+    }
+    tb.print();
+
+    std::printf("\nOptimal configuration (paper): 2-layer MLP, hidden "
+                "512 — accuracy saturates\nwhile execution time keeps "
+                "growing with depth and width.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 14: cloud-scenario autoregressive speedup and throughput.
+ * Panels: (a) Llama2-7B @ RTX4090, (b) Llama2-7B @ A100, (c)
+ * Llama2-13B @ A100, (d) Llama2-70B @ 4xA100. Baselines HuggingFace /
+ * vllm / AWQ, each with and without SpecEE, over the 8 throughput
+ * datasets plus the geometric mean.
+ *
+ * Paper geomean speedups: (a) 1.43/1.12/1.13x, (b) 1.27/1.12/1.09x,
+ * (c) 1.43/1.14/1.12x, (d) 1.23/1.12/1.12x (HF/vllm/AWQ).
+ */
+
+#include "bench_common.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+using engines::EngineConfig;
+
+namespace {
+
+void
+panel(const char *title, const char *model, const hw::HardwareSpec &spec,
+      const double paper_geo[3])
+{
+    const auto datasets = oracle::throughputDatasets();
+    auto gen = benchGen(2, 16);
+
+    const EngineConfig bases[3] = {EngineConfig::huggingFace(),
+                                   EngineConfig::vllm(),
+                                   EngineConfig::awq()};
+
+    metrics::Table t(title);
+    t.header({"dataset", "HF tok/s", "+SpecEE", "speedup", "vllm tok/s",
+              "+SpecEE", "speedup", "AWQ tok/s", "+SpecEE", "speedup"});
+
+    std::vector<std::vector<double>> speedups(3);
+    std::vector<double> ee_tps0;
+    for (const auto &ds : datasets) {
+        std::vector<std::string> row = {ds};
+        for (int b = 0; b < 3; ++b) {
+            auto base = runOn(model, bases[b], spec, ds, gen);
+            auto ee = runOn(model, bases[b].withSpecEE(), spec, ds, gen);
+            const double s = speedup(ee.stats, base.stats);
+            speedups[static_cast<size_t>(b)].push_back(s);
+            if (b == 0)
+                ee_tps0.push_back(ee.stats.tokens_per_s);
+            row.push_back(metrics::Table::num(base.stats.tokens_per_s, 1));
+            row.push_back(metrics::Table::num(ee.stats.tokens_per_s, 1));
+            row.push_back(mult(s));
+        }
+        t.row(row);
+    }
+    t.row({"Geo.Mean", "-", metrics::Table::num(
+                                 metrics::geomean(ee_tps0), 1),
+           mult(metrics::geomean(speedups[0])), "-", "-",
+           mult(metrics::geomean(speedups[1])), "-", "-",
+           mult(metrics::geomean(speedups[2]))});
+    t.print();
+    std::printf("paper geomean speedups: HF %.2fx, vllm %.2fx, AWQ "
+                "%.2fx; measured: %.2fx, %.2fx, %.2fx\n",
+                paper_geo[0], paper_geo[1], paper_geo[2],
+                metrics::geomean(speedups[0]),
+                metrics::geomean(speedups[1]),
+                metrics::geomean(speedups[2]));
+}
+
+} // namespace
+
+int
+main()
+{
+    const double a[3] = {1.43, 1.12, 1.13};
+    panel("Figure 14(a): Llama2-7B @ RTX 4090", "llama2-7b",
+          hw::HardwareSpec::rtx4090(), a);
+
+    const double b[3] = {1.27, 1.12, 1.09};
+    panel("Figure 14(b): Llama2-7B @ A100-80GB", "llama2-7b",
+          hw::HardwareSpec::a100(), b);
+
+    const double c[3] = {1.43, 1.14, 1.12};
+    panel("Figure 14(c): Llama2-13B @ A100-80GB", "llama2-13b",
+          hw::HardwareSpec::a100(), c);
+
+    const double d[3] = {1.23, 1.12, 1.12};
+    panel("Figure 14(d): Llama2-70B @ 4x A100-80GB", "llama2-70b",
+          hw::HardwareSpec::a100x4(), d);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 15: speculative decoding in the cloud scenario — EAGLE vs
+ * SpecEE+EAGLE on Llama2-7B and Llama2-13B @ A100 over 8 datasets.
+ * Paper geomean: 1.05x (7B, SpecEE+EAGLE TPOT 124.66 tok/s) and
+ * 1.06x (13B, 120.8 tok/s).
+ */
+
+#include "bench_common.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+using engines::EngineConfig;
+
+namespace {
+
+void
+panel(const char *title, const char *model, double paper_geo,
+      double paper_tpot)
+{
+    const auto datasets = oracle::throughputDatasets();
+    auto gen = benchGen(2, 24);
+
+    metrics::Table t(title);
+    t.header({"dataset", "EAGLE tok/s", "SpecEE+EAGLE tok/s", "speedup",
+              "accept/pass", "pass layers saved"});
+    std::vector<double> speedups, tpots;
+    for (const auto &ds : datasets) {
+        auto eagle = runOn(model, EngineConfig::eagle(),
+                           hw::HardwareSpec::a100(), ds, gen);
+        auto both = runOn(model, EngineConfig::eagle().withSpecEE(),
+                          hw::HardwareSpec::a100(), ds, gen);
+        const double s = speedup(both.stats, eagle.stats);
+        speedups.push_back(s);
+        tpots.push_back(both.stats.tokens_per_s);
+        t.row({ds, metrics::Table::num(eagle.stats.tokens_per_s, 1),
+               metrics::Table::num(both.stats.tokens_per_s, 1), mult(s),
+               metrics::Table::num(both.stats.avg_commit_per_pass, 2),
+               metrics::Table::num(eagle.stats.avg_forward_layers -
+                                       both.stats.avg_forward_layers,
+                                   1)});
+    }
+    t.row({"Geo.Mean", "-", metrics::Table::num(metrics::geomean(tpots), 1),
+           mult(metrics::geomean(speedups)), "-", "-"});
+    t.print();
+    std::printf("paper: %.2fx geomean, %.1f tok/s TPOT; measured: "
+                "%.2fx, %.1f tok/s\n",
+                paper_geo, paper_tpot, metrics::geomean(speedups),
+                metrics::geomean(tpots));
+}
+
+} // namespace
+
+int
+main()
+{
+    panel("Figure 15(a): Llama2-7B @ A100, speculative decoding",
+          "llama2-7b", 1.05, 124.66);
+    panel("Figure 15(b): Llama2-13B @ A100, speculative decoding",
+          "llama2-13b", 1.06, 120.8);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 16: PC scenario — Llama2-7B on the Lenovo PC (RTX 4060
+ * Laptop 8GB + i7-13650HX) against llama.cpp and PowerInfer, each
+ * with and without SpecEE, over the 6 PC datasets. Paper geomeans:
+ * 1.25x vs llama.cpp and 1.15x vs PowerInfer.
+ */
+
+#include "bench_common.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+using engines::EngineConfig;
+
+int
+main()
+{
+    const std::vector<std::string> datasets = {
+        "Alpaca", "GSM8K", "HumanEval", "MT-Bench", "QA", "SUM"};
+    const auto pc = hw::HardwareSpec::pc4060();
+    auto gen = benchGen(2, 16);
+
+    for (auto [base, paper_geo] :
+         {std::pair{EngineConfig::llamaCpp(), 1.25},
+          std::pair{EngineConfig::powerInfer(), 1.15}}) {
+        metrics::Table t("Figure 16: Llama2-7B @ Lenovo PC vs " +
+                         base.name);
+        t.header({"dataset", base.name + " tok/s", "+SpecEE tok/s",
+                  "speedup"});
+        std::vector<double> speedups;
+        for (const auto &ds : datasets) {
+            auto b = runOn("llama2-7b", base, pc, ds, gen);
+            auto ee = runOn("llama2-7b", base.withSpecEE(), pc, ds, gen);
+            const double s = benchutil::speedup(ee.stats, b.stats);
+            speedups.push_back(s);
+            t.row({ds, metrics::Table::num(b.stats.tokens_per_s, 2),
+                   metrics::Table::num(ee.stats.tokens_per_s, 2),
+                   mult(s)});
+        }
+        t.row({"Geo.Mean", "-", "-", mult(metrics::geomean(speedups))});
+        t.print();
+        std::printf("paper geomean: %.2fx; measured: %.2fx\n", paper_geo,
+                    metrics::geomean(speedups));
+    }
+    return 0;
+}

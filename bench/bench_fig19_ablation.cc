@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 19: ablation of the three techniques on Llama2-7B @ A100
+ * with HuggingFace as the code base, across the 8 datasets.
+ * Paper: +T1 ~1.08x, +T1+T2 ~1.27x, +T1+T2+T3 ~2.2x (geomean).
+ */
+
+#include "bench_common.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+using engines::EngineConfig;
+
+int
+main()
+{
+    const auto datasets = oracle::throughputDatasets();
+    const auto spec = hw::HardwareSpec::a100();
+    auto gen = benchGen(2, 20);
+
+    metrics::Table t("Figure 19: ablation study, Llama2-7B @ A100");
+    t.header({"dataset", "HF tok/s", "+T1", "+T1+T2", "+T1+T2+T3"});
+    std::vector<double> s1, s2, s3;
+    for (const auto &ds : datasets) {
+        auto hf = runOn("llama2-7b", EngineConfig::huggingFace(), spec,
+                        ds, gen);
+        auto t1 = runOn("llama2-7b",
+                        EngineConfig::huggingFace().withSpecEE(false),
+                        spec, ds, gen);
+        auto t12 = runOn("llama2-7b",
+                         EngineConfig::huggingFace().withSpecEE(true),
+                         spec, ds, gen);
+        auto t123 = runOn("llama2-7b",
+                          EngineConfig::huggingFace()
+                              .withSpecEE(true)
+                              .withSpecDecode(),
+                          spec, ds, gen);
+        s1.push_back(speedup(t1.stats, hf.stats));
+        s2.push_back(speedup(t12.stats, hf.stats));
+        s3.push_back(speedup(t123.stats, hf.stats));
+        t.row({ds, metrics::Table::num(hf.stats.tokens_per_s, 1),
+               mult(s1.back()), mult(s2.back()), mult(s3.back())});
+    }
+    t.row({"Geo.Mean", "-", mult(metrics::geomean(s1)),
+           mult(metrics::geomean(s2)), mult(metrics::geomean(s3))});
+    t.print();
+    std::printf("\npaper geomeans: +T1 ~1.08x, +T1+T2 ~1.27x, "
+                "+T1+T2+T3 ~2.2x\n");
+    return 0;
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Kernel micro-benchmarks (google-benchmark): the functional-kernel
+ * costs behind the paper's claims — full vs sliced LM head (Fig. 2b),
+ * grouped hyper-token GEMV (Fig. 13), Q4 vs fp32 GEMV (AWQ), the
+ * predictor MLP, and the sparse FFN (PowerInfer).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/predictor.hh"
+#include "model/ffn.hh"
+#include "tensor/kernels.hh"
+#include "model/lm_head.hh"
+#include "model/weights.hh"
+#include "tensor/quant.hh"
+#include "util/rng.hh"
+
+using namespace specee;
+
+namespace {
+
+model::ModelConfig
+simCfg()
+{
+    return model::ModelConfig::llama2_7b();
+}
+
+tensor::Vec
+randomVec(int n, uint64_t seed)
+{
+    tensor::Vec v(static_cast<size_t>(n));
+    Rng rng(seed);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    return v;
+}
+
+struct HeadFixture
+{
+    model::ModelConfig cfg = simCfg();
+    model::Weights w{cfg, false};
+    model::LmHead head{w.embedding(), w.rmsFinal()};
+    tensor::Vec hidden = randomVec(cfg.sim.hidden, 1);
+};
+
+HeadFixture &
+headFixture()
+{
+    static HeadFixture f;
+    return f;
+}
+
+} // namespace
+
+static void
+BM_LmHeadFull(benchmark::State &state)
+{
+    auto &f = headFixture();
+    tensor::Vec logits(static_cast<size_t>(f.cfg.sim.vocab));
+    for (auto _ : state) {
+        f.head.full(f.hidden, logits);
+        benchmark::DoNotOptimize(logits.data());
+    }
+    state.SetItemsProcessed(state.iterations() * f.cfg.sim.vocab);
+}
+BENCHMARK(BM_LmHeadFull);
+
+static void
+BM_LmHeadSliced(benchmark::State &state)
+{
+    auto &f = headFixture();
+    const std::vector<int> spec = {17, 290, 1034, 4000};
+    tensor::Vec logits(spec.size());
+    for (auto _ : state) {
+        f.head.sliced(f.hidden, spec, logits);
+        benchmark::DoNotOptimize(logits.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(spec.size()));
+}
+BENCHMARK(BM_LmHeadSliced);
+
+static void
+BM_LmHeadGrouped(benchmark::State &state)
+{
+    auto &f = headFixture();
+    const int n_paths = static_cast<int>(state.range(0));
+    std::vector<tensor::Vec> hiddens_storage;
+    std::vector<tensor::CSpan> hiddens;
+    std::vector<std::vector<int>> groups;
+    for (int p = 0; p < n_paths; ++p) {
+        hiddens_storage.push_back(
+            randomVec(f.cfg.sim.hidden, 100 + static_cast<uint64_t>(p)));
+        groups.push_back({p, p + 10, p + 20, p + 30});
+    }
+    for (auto &h : hiddens_storage)
+        hiddens.push_back(h);
+    std::vector<tensor::Vec> out;
+    for (auto _ : state) {
+        f.head.grouped(hiddens, groups, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_LmHeadGrouped)->Arg(2)->Arg(4)->Arg(8);
+
+static void
+BM_GemvFp32(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    tensor::Matrix w(static_cast<size_t>(n), static_cast<size_t>(n));
+    Rng rng(2);
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.normal());
+    auto x = randomVec(n, 3);
+    tensor::Vec y(static_cast<size_t>(n));
+    for (auto _ : state) {
+        tensor::gemv(w, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetBytesProcessed(state.iterations() * w.byteSize());
+}
+BENCHMARK(BM_GemvFp32)->Arg(192)->Arg(512);
+
+static void
+BM_GemvQ4(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    tensor::Matrix w(static_cast<size_t>(n), static_cast<size_t>(n));
+    Rng rng(4);
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.normal());
+    auto q = tensor::Q4Matrix::quantize(w);
+    auto x = randomVec(n, 5);
+    tensor::Vec y(static_cast<size_t>(n));
+    for (auto _ : state) {
+        q.gemv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<long>(q.byteSize()));
+}
+BENCHMARK(BM_GemvQ4)->Arg(192)->Arg(512);
+
+static void
+BM_PredictorMlp(benchmark::State &state)
+{
+    const int hidden = static_cast<int>(state.range(0));
+    core::ExitPredictor bank(1, 12, hidden, 2, 6);
+    tensor::Vec f(12, 0.25f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bank.score(0, f));
+}
+BENCHMARK(BM_PredictorMlp)->Arg(64)->Arg(512)->Arg(1024);
+
+static void
+BM_FfnDense(benchmark::State &state)
+{
+    auto cfg = simCfg();
+    model::Weights w(cfg, false);
+    model::Ffn ffn(cfg);
+    auto x = randomVec(cfg.sim.hidden, 7);
+    tensor::Vec out(static_cast<size_t>(cfg.sim.hidden));
+    for (auto _ : state) {
+        ffn.forward(w.layer(0), x, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FfnDense);
+
+static void
+BM_FfnSparse(benchmark::State &state)
+{
+    auto cfg = simCfg();
+    model::Weights w(cfg, false);
+    model::Ffn ffn(cfg);
+    auto x = randomVec(cfg.sim.hidden, 8);
+    tensor::Vec out(static_cast<size_t>(cfg.sim.hidden));
+    const float frac = static_cast<float>(state.range(0)) / 100.0f;
+    for (auto _ : state) {
+        ffn.forwardSparse(w.layer(0), x, frac, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FfnSparse)->Arg(10)->Arg(30);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Ablation explorer: an interactive-style command-line tool for
+ * poking at SpecEE's design space — toggle T1/T2/T3, sweep the exit
+ * threshold, the online window/radius and the offline coverage, and
+ * watch speed vs fidelity move. Useful for reproducing the paper's
+ * design arguments beyond the fixed figures.
+ *
+ *   $ ./ablation_explorer [dataset]   (default MT-Bench)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/offline_scheduler.hh"
+#include "engines/pipeline.hh"
+#include "metrics/table.hh"
+#include "workload/evaluator.hh"
+
+using namespace specee;
+using engines::EngineConfig;
+
+namespace {
+
+struct Probe
+{
+    const engines::Pipeline &pipe;
+    const workload::Workload &w;
+    double base_tps;
+
+    void
+    row(metrics::Table &t, const std::string &label,
+        const EngineConfig &cfg) const
+    {
+        auto engine = pipe.makeEngine(cfg, hw::HardwareSpec::a100());
+        auto r = engine->run(w, 4);
+        auto ev = workload::Evaluator::evaluate(w, r.emissions,
+                                                pipe.corpus());
+        t.row({label,
+               metrics::Table::num(r.stats.tokens_per_s, 1),
+               metrics::Table::num(
+                   r.stats.tokens_per_s / base_tps, 2) + "x",
+               metrics::Table::num(r.stats.avg_forward_layers, 1),
+               metrics::Table::num(r.stats.avg_active_predictors, 1),
+               metrics::Table::num(100.0 * ev.token_match_rate, 1) +
+                   "%"});
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dataset = argc > 1 ? argv[1] : "MT-Bench";
+    std::printf("Ablation explorer on %s (llama2-7b @ A100)\n",
+                dataset.c_str());
+    engines::PipelineOptions popts;
+    popts.model = "llama2-7b";
+    engines::Pipeline pipe(popts);
+
+    workload::GenOptions gen;
+    gen.n_instances = 2;
+    gen.gen_len = 28;
+    gen.seed = 31337;
+    auto w = pipe.makeWorkload(dataset, gen);
+
+    auto base = pipe.makeEngine(EngineConfig::huggingFace(),
+                                hw::HardwareSpec::a100())
+                    ->run(w, 4);
+    Probe probe{pipe, w, base.stats.tokens_per_s};
+
+    {
+        metrics::Table t("Technique toggles");
+        t.header({"config", "tok/s", "speedup", "avg layers",
+                  "act. preds", "match"});
+        t.row({"dense (HF)",
+               metrics::Table::num(base.stats.tokens_per_s, 1), "1.00x",
+               metrics::Table::num(base.stats.avg_forward_layers, 1),
+               "0", "100.0%"});
+        probe.row(t, "T1", EngineConfig::huggingFace().withSpecEE(false));
+        probe.row(t, "T1+T2", EngineConfig::huggingFace().withSpecEE());
+        probe.row(t, "T1+T2+T3",
+                  EngineConfig::huggingFace().withSpecEE()
+                      .withSpecDecode());
+        t.print();
+    }
+
+    {
+        metrics::Table t("Exit threshold sweep (T1+T2)");
+        t.header({"threshold", "tok/s", "speedup", "avg layers",
+                  "act. preds", "match"});
+        for (float th : {0.2f, 0.35f, 0.5f, 0.65f, 0.8f}) {
+            auto cfg = EngineConfig::huggingFace().withSpecEE();
+            cfg.exit_threshold = th;
+            probe.row(t, metrics::Table::num(th, 2), cfg);
+        }
+        t.print();
+        std::printf("lower thresholds exit earlier but lean harder on "
+                    "verification;\nthe paper uses 0.5 (§4.3.2).\n");
+    }
+
+    {
+        metrics::Table t("Online window/radius sweep (T1+T2)");
+        t.header({"window/radius", "tok/s", "speedup", "avg layers",
+                  "act. preds", "match"});
+        for (auto [win, rad] : {std::pair{1, 2}, std::pair{3, 2},
+                                std::pair{5, 2}, std::pair{5, 1},
+                                std::pair{5, 4}, std::pair{8, 2}}) {
+            auto cfg = EngineConfig::huggingFace().withSpecEE();
+            cfg.online_window = win;
+            cfg.online_radius = rad;
+            probe.row(t,
+                      "N=" + std::to_string(win) + ", r=" +
+                          std::to_string(rad),
+                      cfg);
+        }
+        t.print();
+        std::printf("the paper's N=5, r=2 balances coverage (hit "
+                    "ratio) against active predictors (Fig. 11).\n");
+    }
+
+    {
+        metrics::Table t("Offline coverage sweep (T1+T2)");
+        t.header({"offline mass", "tok/s", "speedup", "avg layers",
+                  "act. preds", "match"});
+        for (double mass : {0.25, 0.4, 0.55, 0.7, 0.9}) {
+            // Rebuild the hot set at a different coverage by
+            // re-deriving from the profile histogram.
+            core::OfflineScheduler off(pipe.modelConfig().n_layers - 1);
+            const auto &hist = pipe.profileData().oracle_exit_hist;
+            for (size_t l = 0; l < hist.size(); ++l)
+                for (long c = 0; c < hist[l]; ++c)
+                    off.recordExit(static_cast<int>(l));
+            auto cfg = EngineConfig::huggingFace().withSpecEE();
+            auto engine = pipe.makeEngine(cfg, hw::HardwareSpec::a100());
+            engine->setOfflineHotLayers(off.hotLayers(mass));
+            auto r = engine->run(w, 4);
+            auto ev = workload::Evaluator::evaluate(w, r.emissions,
+                                                    pipe.corpus());
+            t.row({metrics::Table::num(mass, 2),
+                   metrics::Table::num(r.stats.tokens_per_s, 1),
+                   metrics::Table::num(r.stats.tokens_per_s /
+                                           probe.base_tps,
+                                       2) +
+                       "x",
+                   metrics::Table::num(r.stats.avg_forward_layers, 1),
+                   metrics::Table::num(r.stats.avg_active_predictors,
+                                       1),
+                   metrics::Table::num(100.0 * ev.token_match_rate, 1) +
+                       "%"});
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cloud-serving scenario (§7.2.1): one simulated Llama2-7B serving
+ * node on an A100. Compares the three cloud stacks the paper
+ * integrates SpecEE into — HuggingFace, vllm (PagedAttention) and
+ * AWQ (W4 quantization) — with and without SpecEE, on a mixed
+ * request stream (chat + summarization + QA), and reports
+ * throughput, energy and memory per configuration.
+ *
+ *   $ ./cloud_serving [model]     (default llama2-7b)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "engines/pipeline.hh"
+#include "metrics/stats.hh"
+#include "metrics/table.hh"
+#include "workload/evaluator.hh"
+
+using namespace specee;
+using engines::EngineConfig;
+
+int
+main(int argc, char **argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "llama2-7b";
+    engines::PipelineOptions popts;
+    popts.model = model;
+    std::printf("Preparing %s serving node (training predictors)...\n",
+                model.c_str());
+    engines::Pipeline pipe(popts);
+
+    // Mixed request stream.
+    const std::vector<std::string> request_mix = {"MT-Bench", "SUM",
+                                                  "QA"};
+    workload::GenOptions gen;
+    gen.n_instances = 2;
+    gen.gen_len = 32;
+    gen.seed = 555;
+
+    const auto spec = model == "llama2-70b" ? hw::HardwareSpec::a100x4()
+                                            : hw::HardwareSpec::a100();
+    const EngineConfig stacks[] = {
+        EngineConfig::huggingFace(), EngineConfig::huggingFace().withSpecEE(),
+        EngineConfig::vllm(),        EngineConfig::vllm().withSpecEE(),
+        EngineConfig::awq(),         EngineConfig::awq().withSpecEE(),
+    };
+
+    metrics::Table t("Cloud serving: " + model + " @ " + spec.name);
+    t.header({"stack", "tok/s", "avg layers", "power (W)", "J/token",
+              "mem (GiB)", "match rate"});
+    for (const auto &cfg : stacks) {
+        std::vector<double> tps;
+        double layers = 0, power = 0, joules = 0, mem = 0, match = 0;
+        for (const auto &ds : request_mix) {
+            auto w = pipe.makeWorkload(ds, gen, cfg.quantized);
+            auto engine = pipe.makeEngine(cfg, spec);
+            auto r = engine->run(w, 42);
+            auto ev = workload::Evaluator::evaluate(w, r.emissions,
+                                                    pipe.corpus());
+            tps.push_back(r.stats.tokens_per_s);
+            layers += r.stats.avg_forward_layers;
+            power += r.stats.avg_power_w;
+            joules += r.stats.energy_per_token_j;
+            mem = r.stats.peak_mem_gb;
+            match += ev.token_match_rate;
+        }
+        const double n = static_cast<double>(request_mix.size());
+        t.row({cfg.name, metrics::Table::num(metrics::geomean(tps), 1),
+               metrics::Table::num(layers / n, 1),
+               metrics::Table::num(power / n, 0),
+               metrics::Table::num(joules / n, 2),
+               metrics::Table::num(mem, 1),
+               metrics::Table::num(100.0 * match / n, 1) + "%"});
+    }
+    t.print();
+    std::printf("\nSpecEE composes with every stack (it is orthogonal "
+                "to paged attention and\nquantization, §6.3) and cuts "
+                "both latency and energy at matched output quality.\n");
+    return 0;
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * specee_cli — command-line front end to the library.
+ *
+ * Subcommands:
+ *   train   <model> <bank.bin>          train + save a predictor bank
+ *   run     <model> <dataset> [bank]    run SpecEE vs dense, print stats
+ *   inspect <model>                     model/profile/scheduling info
+ *   compare <model> <dataset>           all engines side by side
+ *
+ *   $ ./specee_cli train llama2-7b /tmp/bank.bin
+ *   $ ./specee_cli run llama2-7b MT-Bench /tmp/bank.bin
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "engines/pipeline.hh"
+#include "metrics/table.hh"
+#include "oracle/profiles.hh"
+#include "workload/evaluator.hh"
+
+using namespace specee;
+using engines::EngineConfig;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: specee_cli <command> [args]\n"
+                 "  train   <model> <bank.bin>\n"
+                 "  run     <model> <dataset> [bank.bin]\n"
+                 "  inspect <model>\n"
+                 "  compare <model> <dataset>\n"
+                 "models: llama2-7b llama2-13b llama2-70b vicuna-7b tiny\n"
+                 "datasets: MT-Bench SUM QA Alpaca GSM8K HumanEval MMLU "
+                 "CommonsenseQA SST2\n");
+    return 2;
+}
+
+engines::Pipeline
+makePipeline(const std::string &model)
+{
+    engines::PipelineOptions o;
+    o.model = model;
+    std::fprintf(stderr, "[specee] preparing pipeline for %s...\n",
+                 model.c_str());
+    return engines::Pipeline(o);
+}
+
+int
+cmdTrain(const std::string &model, const std::string &path)
+{
+    auto pipe = makePipeline(model);
+    pipe.predictors().save(path);
+    std::printf("trained %d predictors (held-out accuracy %.1f%%), "
+                "saved to %s\n",
+                pipe.predictors().nExitLayers(),
+                100.0 * pipe.trainReport().mean_test_accuracy,
+                path.c_str());
+    return 0;
+}
+
+int
+cmdRun(const std::string &model, const std::string &dataset,
+       const char *bank_path)
+{
+    auto pipe = makePipeline(model);
+    core::ExitPredictor loaded =
+        bank_path != nullptr
+            ? core::ExitPredictor::load(bank_path)
+            : core::ExitPredictor(1, 12); // placeholder, unused
+
+    workload::GenOptions gen;
+    gen.n_instances = 2;
+    gen.gen_len = 32;
+    auto w = pipe.makeWorkload(dataset, gen);
+    const auto spec = model == "llama2-70b" ? hw::HardwareSpec::a100x4()
+                                            : hw::HardwareSpec::a100();
+
+    auto dense = pipe.makeEngine(EngineConfig::huggingFace(), spec);
+    auto ee =
+        pipe.makeEngine(EngineConfig::huggingFace().withSpecEE(), spec);
+    if (bank_path != nullptr)
+        ee->setPredictors(&loaded);
+    auto rd = dense->run(w, 1);
+    auto rs = ee->run(w, 1);
+    auto ev = workload::Evaluator::evaluate(w, rs.emissions,
+                                            pipe.corpus());
+
+    metrics::Table t("specee run: " + model + " on " + dataset + " @ " +
+                     spec.name);
+    t.header({"engine", "tok/s", "avg layers", "power W", "match"});
+    t.row({"dense", metrics::Table::num(rd.stats.tokens_per_s, 1),
+           metrics::Table::num(rd.stats.avg_forward_layers, 1),
+           metrics::Table::num(rd.stats.avg_power_w, 0), "100.0%"});
+    t.row({"SpecEE", metrics::Table::num(rs.stats.tokens_per_s, 1),
+           metrics::Table::num(rs.stats.avg_forward_layers, 1),
+           metrics::Table::num(rs.stats.avg_power_w, 0),
+           metrics::Table::num(100.0 * ev.token_match_rate, 1) + "%"});
+    t.print();
+    std::printf("speedup: %.2fx\n",
+                rs.stats.tokens_per_s / rd.stats.tokens_per_s);
+    return 0;
+}
+
+int
+cmdInspect(const std::string &model)
+{
+    auto pipe = makePipeline(model);
+    const auto &cfg = pipe.modelConfig();
+    std::printf("model %s: %d layers, true dims (h=%d ffn=%d heads=%d "
+                "vocab=%d), sim dims (h=%d vocab=%d)\n",
+                cfg.name.c_str(), cfg.n_layers, cfg.truth.hidden,
+                cfg.truth.ffn, cfg.truth.heads, cfg.truth.vocab,
+                cfg.sim.hidden, cfg.sim.vocab);
+    std::printf("fp16 weights: %.1f GB; KV: %.0f KB/token\n",
+                cfg.truthWeightBytes() / 1e9,
+                cfg.truthKvBytesPerToken() / 1024.0);
+    std::printf("predictor bank: %d MLPs x %zu params, held-out "
+                "accuracy %.1f%%\n",
+                pipe.predictors().nExitLayers(),
+                pipe.predictors().paramsPerPredictor(),
+                100.0 * pipe.trainReport().mean_test_accuracy);
+    std::printf("offline hot layers:");
+    for (int l : pipe.offlineHotLayers())
+        std::printf(" %d", l);
+    std::printf("\nRAEE index: %d entries (%.1f KB functional)\n",
+                pipe.raeeIndex().size(),
+                pipe.raeeIndex().byteSize() / 1024.0);
+    return 0;
+}
+
+int
+cmdCompare(const std::string &model, const std::string &dataset)
+{
+    auto pipe = makePipeline(model);
+    const auto spec = model == "llama2-70b" ? hw::HardwareSpec::a100x4()
+                                            : hw::HardwareSpec::a100();
+    workload::GenOptions gen;
+    gen.n_instances = 2;
+    gen.gen_len = 24;
+
+    metrics::Table t("engine comparison: " + model + " on " + dataset);
+    t.header({"engine", "tok/s", "avg layers", "match", "mem GiB"});
+    const EngineConfig configs[] = {
+        EngineConfig::huggingFace(),
+        EngineConfig::adaInfer(),
+        EngineConfig::raeeBaseline(),
+        EngineConfig::huggingFace().withSpecEE(false),
+        EngineConfig::huggingFace().withSpecEE(),
+        EngineConfig::vllm(),
+        EngineConfig::vllm().withSpecEE(),
+        EngineConfig::awq(),
+        EngineConfig::awq().withSpecEE(),
+        EngineConfig::eagle(),
+        EngineConfig::eagle().withSpecEE(),
+    };
+    for (const auto &cfg : configs) {
+        auto w = pipe.makeWorkload(dataset, gen, cfg.quantized);
+        auto engine = pipe.makeEngine(cfg, spec);
+        auto r = engine->run(w, 11);
+        auto ev = workload::Evaluator::evaluate(w, r.emissions,
+                                                pipe.corpus());
+        std::string label = cfg.name;
+        if (cfg.name == "SpecEE+HuggingFace" && !cfg.offline_sched)
+            label += " (T1 only)";
+        t.row({label, metrics::Table::num(r.stats.tokens_per_s, 1),
+               metrics::Table::num(r.stats.avg_forward_layers, 1),
+               metrics::Table::num(100.0 * ev.token_match_rate, 1) + "%",
+               metrics::Table::num(r.stats.peak_mem_gb, 1)});
+    }
+    t.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "train" && argc == 4)
+        return cmdTrain(argv[2], argv[3]);
+    if (cmd == "run" && (argc == 4 || argc == 5))
+        return cmdRun(argv[2], argv[3], argc == 5 ? argv[4] : nullptr);
+    if (cmd == "inspect" && argc == 3)
+        return cmdInspect(argv[2]);
+    if (cmd == "compare" && argc == 4)
+        return cmdCompare(argv[2], argv[3]);
+    return usage();
+}

@@ -1,0 +1,62 @@
+#include "core/hyper_token.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specee::core {
+
+std::vector<HyperToken>
+MergedMapping::build(const TokenTree &tree)
+{
+    std::vector<HyperToken> out;
+    for (auto &path : tree.leafPaths()) {
+        HyperToken h;
+        h.node_ids = path;
+        h.tokens = tree.pathTokens(path);
+        out.push_back(std::move(h));
+    }
+    return out;
+}
+
+long
+MergedMapping::independentMappingComplexity(const TokenTree &tree)
+{
+    // Width per level.
+    std::vector<long> width;
+    for (int i = 1; i < tree.size(); ++i) {
+        const int d = tree.node(i).depth;
+        if (static_cast<size_t>(d) > width.size())
+            width.resize(static_cast<size_t>(d), 0);
+        ++width[static_cast<size_t>(d - 1)];
+    }
+    long prod = 1;
+    for (long w : width)
+        prod *= std::max(1L, w);
+    return prod;
+}
+
+long
+MergedMapping::mergedMappingComplexity(const TokenTree &tree)
+{
+    return static_cast<long>(tree.leafPaths().size());
+}
+
+int
+MergedMapping::cannikinExitLayer(const std::vector<int> &member_exits)
+{
+    specee_assert(!member_exits.empty(), "empty hyper-token");
+    return *std::max_element(member_exits.begin(), member_exits.end());
+}
+
+void
+MergedMapping::groupedSlicedLogits(
+    const model::LmHead &head,
+    const std::vector<tensor::CSpan> &path_hiddens,
+    const std::vector<std::vector<int>> &path_candidates,
+    std::vector<tensor::Vec> &out)
+{
+    head.grouped(path_hiddens, path_candidates, out);
+}
+
+} // namespace specee::core

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Context-aware merged mapping (§6, Fig. 13): each root-to-leaf path
+ * of the token tree is merged into a single hyper-token. The exit
+ * layer of a hyper-token is the maximum over its members' exit layers
+ * (Cannikin law), and the per-layer predictor features of all paths
+ * are computed with one grouped (block-wise) sliced LM-head pass —
+ * linear in the number of paths instead of exponential in the
+ * per-node mapping.
+ */
+
+#ifndef SPECEE_CORE_HYPER_TOKEN_HH
+#define SPECEE_CORE_HYPER_TOKEN_HH
+
+#include <vector>
+
+#include "core/token_tree.hh"
+#include "model/lm_head.hh"
+
+namespace specee::core {
+
+/** One merged path of the token tree. */
+struct HyperToken
+{
+    std::vector<int> node_ids; ///< path node ids (root excluded)
+    std::vector<int> tokens;   ///< path tokens
+
+    int length() const { return static_cast<int>(tokens.size()); }
+};
+
+/** Builds hyper-tokens and exposes the mapping-complexity counters. */
+class MergedMapping
+{
+  public:
+    /** Merge every leaf path of `tree` into a hyper-token. */
+    static std::vector<HyperToken> build(const TokenTree &tree);
+
+    /**
+     * Predictor-mapping complexity of the naive per-node scheme: each
+     * node is an independent search space, and decisions compose
+     * multiplicatively along sibling groups — the product over levels
+     * of the level widths (exponential in depth).
+     */
+    static long independentMappingComplexity(const TokenTree &tree);
+
+    /**
+     * Complexity of the merged scheme: one mapping per hyper-token
+     * (linear in the number of leaf paths).
+     */
+    static long mergedMappingComplexity(const TokenTree &tree);
+
+    /**
+     * Cannikin exit layer of a path: the max of its members' exit
+     * layers (a path can only be committed once every member has
+     * converged).
+     */
+    static int cannikinExitLayer(const std::vector<int> &member_exits);
+
+    /**
+     * Grouped feature inputs: for each hyper-token, the sliced-logit
+     * block pairing its last member's hidden state with its candidate
+     * set. Semantically identical to per-path sliced calls; routed
+     * through LmHead::grouped so the block-wise kernel is exercised.
+     */
+    static void groupedSlicedLogits(
+        const model::LmHead &head,
+        const std::vector<tensor::CSpan> &path_hiddens,
+        const std::vector<std::vector<int>> &path_candidates,
+        std::vector<tensor::Vec> &out);
+};
+
+} // namespace specee::core
+
+#endif // SPECEE_CORE_HYPER_TOKEN_HH

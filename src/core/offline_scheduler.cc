@@ -1,0 +1,110 @@
+#include "core/offline_scheduler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace specee::core {
+
+OfflineScheduler::OfflineScheduler(int n_exit_layers)
+    : hist_(static_cast<size_t>(n_exit_layers), 0)
+{
+    specee_assert(n_exit_layers > 0, "need at least one exit layer");
+}
+
+void
+OfflineScheduler::recordExit(int layer)
+{
+    specee_assert(layer >= 0 && layer < nExitLayers(),
+                  "exit layer %d out of range", layer);
+    ++hist_[static_cast<size_t>(layer)];
+}
+
+long
+OfflineScheduler::totalExits() const
+{
+    return std::accumulate(hist_.begin(), hist_.end(), 0L);
+}
+
+std::vector<double>
+OfflineScheduler::exitProbabilities() const
+{
+    const long total = totalExits();
+    std::vector<double> p(hist_.size(), 0.0);
+    if (total == 0)
+        return p;
+    for (size_t i = 0; i < hist_.size(); ++i)
+        p[i] = static_cast<double>(hist_[i]) / static_cast<double>(total);
+    return p;
+}
+
+namespace {
+
+std::vector<int>
+byFrequencyDesc(const std::vector<long> &hist)
+{
+    std::vector<int> order(hist.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return hist[static_cast<size_t>(a)] > hist[static_cast<size_t>(b)];
+    });
+    return order;
+}
+
+} // namespace
+
+std::vector<int>
+OfflineScheduler::hotLayers(double mass) const
+{
+    specee_assert(mass > 0.0 && mass <= 1.0, "bad mass %f", mass);
+    const long total = totalExits();
+    std::vector<int> out;
+    if (total == 0)
+        return out;
+    auto order = byFrequencyDesc(hist_);
+    long acc = 0;
+    for (int l : order) {
+        out.push_back(l);
+        acc += hist_[static_cast<size_t>(l)];
+        if (static_cast<double>(acc) >=
+            mass * static_cast<double>(total)) {
+            break;
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<int>
+OfflineScheduler::topK(int k) const
+{
+    auto order = byFrequencyDesc(hist_);
+    // Never return layers that were never observed exiting.
+    while (!order.empty() &&
+           hist_[static_cast<size_t>(order.back())] == 0) {
+        order.pop_back();
+    }
+    order.resize(static_cast<size_t>(
+        std::min(k, static_cast<int>(order.size()))));
+    std::sort(order.begin(), order.end());
+    return order;
+}
+
+double
+OfflineScheduler::bottomMass(double frac) const
+{
+    const long total = totalExits();
+    if (total == 0)
+        return 0.0;
+    auto order = byFrequencyDesc(hist_);
+    std::reverse(order.begin(), order.end()); // ascending frequency
+    const size_t n =
+        static_cast<size_t>(frac * static_cast<double>(order.size()));
+    long acc = 0;
+    for (size_t i = 0; i < n; ++i)
+        acc += hist_[static_cast<size_t>(order[i])];
+    return static_cast<double>(acc) / static_cast<double>(total);
+}
+
+} // namespace specee::core

@@ -1,0 +1,82 @@
+#include "core/online_scheduler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specee::core {
+
+OnlineScheduler::OnlineScheduler(int n_exit_layers, int window, int radius)
+    : nLayers_(n_exit_layers),
+      window_(window),
+      radius_(radius),
+      queue_(static_cast<size_t>(window), -1),
+      counts_(static_cast<size_t>(n_exit_layers), 0)
+{
+    specee_assert(n_exit_layers > 0 && window > 0 && radius >= 0,
+                  "bad online scheduler params");
+}
+
+void
+OnlineScheduler::applyContribution(int layer, int delta)
+{
+    const int lo = std::max(0, layer - radius_);
+    const int hi = std::min(nLayers_ - 1, layer + radius_);
+    for (int l = lo; l <= hi; ++l)
+        counts_[static_cast<size_t>(l)] += delta;
+}
+
+void
+OnlineScheduler::recordExit(int layer)
+{
+    specee_assert(layer >= 0 && layer < nLayers_,
+                  "exit layer %d out of range", layer);
+    if (filled_ == window_) {
+        // Evict the oldest entry's contribution.
+        applyContribution(queue_[static_cast<size_t>(head_)], -1);
+    } else {
+        ++filled_;
+    }
+    queue_[static_cast<size_t>(head_)] = layer;
+    head_ = (head_ + 1) % window_;
+    applyContribution(layer, +1);
+}
+
+bool
+OnlineScheduler::isActive(int layer) const
+{
+    specee_assert(layer >= 0 && layer < nLayers_,
+                  "layer %d out of range", layer);
+    return counts_[static_cast<size_t>(layer)] > 0;
+}
+
+std::vector<int>
+OnlineScheduler::activeSet() const
+{
+    std::vector<int> out;
+    for (int l = 0; l < nLayers_; ++l) {
+        if (counts_[static_cast<size_t>(l)] > 0)
+            out.push_back(l);
+    }
+    return out;
+}
+
+int
+OnlineScheduler::activeCount() const
+{
+    int n = 0;
+    for (int c : counts_)
+        n += c > 0 ? 1 : 0;
+    return n;
+}
+
+void
+OnlineScheduler::reset()
+{
+    std::fill(queue_.begin(), queue_.end(), -1);
+    std::fill(counts_.begin(), counts_.end(), 0);
+    head_ = 0;
+    filled_ = 0;
+}
+
+} // namespace specee::core

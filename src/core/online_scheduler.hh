@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Online predictor scheduling (§5.3, Fig. 12): a circular queue of
+ * the last N tokens' exit layers plus a per-layer counter array that
+ * tracks how many recent exits each layer is within +/-radius of.
+ * A predictor is activated online when its layer's counter is
+ * nonzero; the engine unions this with the offline hot set.
+ */
+
+#ifndef SPECEE_CORE_ONLINE_SCHEDULER_HH
+#define SPECEE_CORE_ONLINE_SCHEDULER_HH
+
+#include <vector>
+
+namespace specee::core {
+
+/** Context-similarity-driven runtime predictor activation. */
+class OnlineScheduler
+{
+  public:
+    /**
+     * @param n_exit_layers layers that can host a predictor
+     * @param window        context span N (the paper uses 5)
+     * @param radius        neighbourhood radius (the paper uses 2)
+     */
+    OnlineScheduler(int n_exit_layers, int window = 5, int radius = 2);
+
+    /** Record the exit layer of the token just emitted. */
+    void recordExit(int layer);
+
+    /** True when layer is near one of the recent exits. */
+    bool isActive(int layer) const;
+
+    /** Currently active layer set (ascending). */
+    std::vector<int> activeSet() const;
+
+    /** Number of active layers. */
+    int activeCount() const;
+
+    /** Clear history (new sequence). */
+    void reset();
+
+    int window() const { return window_; }
+    int radius() const { return radius_; }
+
+    /** Occupied slots in the circular queue. */
+    int filled() const { return filled_; }
+
+  private:
+    void applyContribution(int layer, int delta);
+
+    int nLayers_;
+    int window_;
+    int radius_;
+    std::vector<int> queue_; ///< circular buffer of recent exit layers
+    int head_ = 0;           ///< next slot to overwrite
+    int filled_ = 0;
+    std::vector<int> counts_; ///< per-layer proximity counters
+};
+
+} // namespace specee::core
+
+#endif // SPECEE_CORE_ONLINE_SCHEDULER_HH

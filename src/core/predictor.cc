@@ -1,0 +1,109 @@
+#include "core/predictor.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace specee::core {
+
+ExitPredictor::ExitPredictor(int n_exit_layers, int feat_dim,
+                             int hidden_dim, int depth, uint64_t seed)
+    : featDim_(feat_dim)
+{
+    specee_assert(n_exit_layers > 0 && depth >= 1, "bad predictor bank");
+    std::vector<size_t> dims;
+    dims.push_back(static_cast<size_t>(feat_dim));
+    for (int d = 0; d + 1 < depth; ++d)
+        dims.push_back(static_cast<size_t>(hidden_dim));
+    dims.push_back(1);
+    mlps_.reserve(static_cast<size_t>(n_exit_layers));
+    for (int l = 0; l < n_exit_layers; ++l)
+        mlps_.emplace_back(dims, seed + static_cast<uint64_t>(l) * 97);
+}
+
+float
+ExitPredictor::score(int layer, tensor::CSpan feats) const
+{
+    return mlp(layer).predict(feats);
+}
+
+bool
+ExitPredictor::shouldExit(int layer, tensor::CSpan feats,
+                          float threshold) const
+{
+    return score(layer, feats) > threshold;
+}
+
+nn::Mlp &
+ExitPredictor::mlp(int layer)
+{
+    specee_assert(layer >= 0 && layer < nExitLayers(),
+                  "predictor layer %d out of range", layer);
+    return mlps_[static_cast<size_t>(layer)];
+}
+
+const nn::Mlp &
+ExitPredictor::mlp(int layer) const
+{
+    specee_assert(layer >= 0 && layer < nExitLayers(),
+                  "predictor layer %d out of range", layer);
+    return mlps_[static_cast<size_t>(layer)];
+}
+
+size_t
+ExitPredictor::paramsPerPredictor() const
+{
+    return mlps_.front().paramCount();
+}
+
+size_t
+ExitPredictor::totalParams() const
+{
+    size_t n = 0;
+    for (const auto &m : mlps_)
+        n += m.paramCount();
+    return n;
+}
+
+size_t
+ExitPredictor::flopsPerPrediction() const
+{
+    return mlps_.front().flopsPerInference();
+}
+
+void
+ExitPredictor::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        specee_fatal("cannot open %s for writing", path.c_str());
+    const uint32_t n = static_cast<uint32_t>(mlps_.size());
+    const uint32_t fd = static_cast<uint32_t>(featDim_);
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    os.write(reinterpret_cast<const char *>(&fd), sizeof(fd));
+    for (const auto &m : mlps_)
+        m.save(os);
+    if (!os)
+        specee_fatal("short write to %s", path.c_str());
+}
+
+ExitPredictor
+ExitPredictor::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        specee_fatal("cannot open %s", path.c_str());
+    uint32_t n = 0, fd = 0;
+    is.read(reinterpret_cast<char *>(&n), sizeof(n));
+    is.read(reinterpret_cast<char *>(&fd), sizeof(fd));
+    specee_assert(static_cast<bool>(is) && n > 0 && n < 1024,
+                  "corrupt predictor bank header in %s", path.c_str());
+    ExitPredictor bank;
+    bank.featDim_ = static_cast<int>(fd);
+    bank.mlps_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        bank.mlps_.push_back(nn::Mlp::load(is));
+    return bank;
+}
+
+} // namespace specee::core

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-layer exit-predictor bank (§4.3.2).
+ *
+ * One lightweight MLP per exitable layer (the paper deploys 31 for
+ * Llama2-7B — no predictor after the final layer). The default
+ * architecture is the Fig. 8 optimum: 2 weight layers, hidden 512.
+ */
+
+#ifndef SPECEE_CORE_PREDICTOR_HH
+#define SPECEE_CORE_PREDICTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hh"
+
+namespace specee::core {
+
+/** Bank of per-layer exit predictors. */
+class ExitPredictor
+{
+  public:
+    /**
+     * @param n_exit_layers predictors to instantiate (n_layers - 1)
+     * @param feat_dim      input feature dimensionality (12)
+     * @param hidden_dim    MLP hidden width (512)
+     * @param depth         MLP weight layers (2)
+     */
+    ExitPredictor(int n_exit_layers, int feat_dim, int hidden_dim = 512,
+                  int depth = 2, uint64_t seed = 0xec5);
+
+    int nExitLayers() const { return static_cast<int>(mlps_.size()); }
+    int featDim() const { return featDim_; }
+
+    /** Exit probability at `layer` for the given features. */
+    float score(int layer, tensor::CSpan feats) const;
+
+    /** Threshold the score (the paper uses 0.5). */
+    bool shouldExit(int layer, tensor::CSpan feats,
+                    float threshold = 0.5f) const;
+
+    nn::Mlp &mlp(int layer);
+    const nn::Mlp &mlp(int layer) const;
+
+    /** Parameters of a single predictor. */
+    size_t paramsPerPredictor() const;
+
+    /** Parameters across the whole bank. */
+    size_t totalParams() const;
+
+    /** MACs per single prediction. */
+    size_t flopsPerPrediction() const;
+
+    /**
+     * Persist the trained bank to a file so deployments skip the
+     * one-time training (§7.4.4: training is offline and happens
+     * once per model).
+     */
+    void save(const std::string &path) const;
+
+    /** Load a bank previously written by save(). */
+    static ExitPredictor load(const std::string &path);
+
+  private:
+    ExitPredictor() = default;
+
+    int featDim_ = 0;
+    std::vector<nn::Mlp> mlps_;
+};
+
+} // namespace specee::core
+
+#endif // SPECEE_CORE_PREDICTOR_HH

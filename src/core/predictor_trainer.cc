@@ -1,0 +1,152 @@
+#include "core/predictor_trainer.hh"
+
+#include <algorithm>
+
+#include "core/features.hh"
+#include "tensor/kernels.hh"
+#include "util/logging.hh"
+
+namespace specee::core {
+
+size_t
+ProfileData::totalSamples() const
+{
+    size_t n = 0;
+    for (const auto &d : specee)
+        n += d.size();
+    return n;
+}
+
+ProfileData
+PredictorTrainer::collect(const workload::Workload &w,
+                          model::TargetModel &tm,
+                          const model::DraftModel &dlm, uint64_t seed)
+{
+    const model::ModelConfig &cfg = tm.config();
+    const int n_exit = cfg.n_layers - 1;
+
+    ProfileData data;
+    data.specee.assign(static_cast<size_t>(n_exit),
+                       nn::Dataset(3 * cfg.num_spec_tokens));
+    data.adainfer.assign(static_cast<size_t>(n_exit), nn::Dataset(3));
+    data.oracle_exit_hist.assign(static_cast<size_t>(n_exit), 0);
+
+    Rng rng(seed);
+    FeatureExtractor fx(cfg.num_spec_tokens);
+    tensor::Vec full_logits(static_cast<size_t>(cfg.sim.vocab));
+
+    for (const auto &inst : w.instances) {
+        tm.reset();
+        tm.prefill(inst.prompt);
+        int prev = inst.prompt.back();
+        for (const auto &script : inst.steps) {
+            auto spec = dlm.speculate(prev, script.target,
+                                      cfg.num_spec_tokens, rng);
+            fx.beginToken(spec);
+            tm.beginToken(prev, script);
+
+            int first_true = -1;
+            for (int l = 0; l < n_exit; ++l) {
+                tm.runLayer();
+                if (l == 0) {
+                    // RAEE probe: the hidden state after layer 0.
+                    tensor::CSpan h = tm.hidden();
+                    data.raee_probes.emplace_back(h.begin(), h.end());
+                }
+                tensor::CSpan feats = fx.extract(tm);
+
+                tm.lmHead().full(tm.hidden(), full_logits);
+                const int global = static_cast<int>(
+                    tensor::argmax(full_logits));
+                // Label per §7.4.4: exiting here emits the same token
+                // as the full forward pass (which emits the script
+                // target by construction).
+                const float label =
+                    global == script.target ? 1.0f : 0.0f;
+                data.specee[static_cast<size_t>(l)].add(feats, label);
+
+                auto af = adaInferFeatures(full_logits);
+                data.adainfer[static_cast<size_t>(l)].add(
+                    tensor::CSpan(af.data(), af.size()), label);
+
+                if (label > 0.5f && first_true < 0)
+                    first_true = l;
+            }
+            if (first_true >= 0)
+                ++data.oracle_exit_hist[static_cast<size_t>(first_true)];
+            data.raee_exits.push_back(
+                first_true >= 0 ? first_true : cfg.n_layers - 1);
+            tm.runRemainingLayers();
+            prev = script.target;
+        }
+    }
+    return data;
+}
+
+namespace {
+
+/** Shuffle, subsample and split one layer's dataset. */
+std::pair<nn::Dataset, nn::Dataset>
+prepare(const nn::Dataset &all, const TrainerOptions &opts, Rng &rng)
+{
+    nn::Dataset shuffled = all;
+    shuffled.shuffle(rng);
+    auto [train_full, test] = shuffled.split(opts.train_frac);
+    const size_t use = std::max<size_t>(
+        8, static_cast<size_t>(static_cast<double>(train_full.size()) *
+                               opts.data_ratio));
+    return {train_full.head(use), std::move(test)};
+}
+
+} // namespace
+
+TrainReport
+PredictorTrainer::train(ExitPredictor &bank, const ProfileData &data,
+                        const TrainerOptions &opts)
+{
+    specee_assert(static_cast<size_t>(bank.nExitLayers()) ==
+                  data.specee.size(),
+                  "bank/data layer mismatch");
+    TrainReport rep;
+    Rng rng(opts.train.seed ^ 0x7121);
+    double test_sum = 0.0, train_sum = 0.0;
+    for (int l = 0; l < bank.nExitLayers(); ++l) {
+        auto [train_set, test_set] =
+            prepare(data.specee[static_cast<size_t>(l)], opts, rng);
+        rep.samples_used += train_set.size();
+        auto stats = bank.mlp(l).fit(train_set, opts.train);
+        train_sum += stats.train_accuracy;
+        const double acc = bank.mlp(l).accuracy(test_set);
+        rep.per_layer_test_accuracy.push_back(acc);
+        test_sum += acc;
+    }
+    rep.mean_test_accuracy = test_sum / bank.nExitLayers();
+    rep.mean_train_accuracy = train_sum / bank.nExitLayers();
+    return rep;
+}
+
+TrainReport
+PredictorTrainer::trainAdaInfer(std::vector<nn::LinearSvm> &bank,
+                                const ProfileData &data,
+                                const TrainerOptions &opts)
+{
+    const int n_exit = static_cast<int>(data.adainfer.size());
+    bank.assign(static_cast<size_t>(n_exit), nn::LinearSvm(3));
+    TrainReport rep;
+    Rng rng(opts.train.seed ^ 0xada1);
+    double test_sum = 0.0;
+    for (int l = 0; l < n_exit; ++l) {
+        auto [train_set, test_set] =
+            prepare(data.adainfer[static_cast<size_t>(l)], opts, rng);
+        rep.samples_used += train_set.size();
+        bank[static_cast<size_t>(l)].fit(train_set, 25, 1e-2, 1e-4,
+                                         opts.train.seed + l);
+        const double acc = bank[static_cast<size_t>(l)].accuracy(test_set);
+        rep.per_layer_test_accuracy.push_back(acc);
+        test_sum += acc;
+    }
+    rep.mean_test_accuracy = test_sum / n_exit;
+    return rep;
+}
+
+} // namespace specee::core

@@ -1,0 +1,83 @@
+#include "core/raee.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels.hh"
+#include "util/logging.hh"
+
+namespace specee::core {
+
+RaeeIndex::RaeeIndex(int dim, int n_layers)
+    : dim_(dim), nLayers_(n_layers)
+{
+    specee_assert(dim > 0 && n_layers > 1, "bad RAEE index params");
+}
+
+void
+RaeeIndex::add(tensor::CSpan embedding, int exit_layer)
+{
+    specee_assert(embedding.size() == static_cast<size_t>(dim_),
+                  "RAEE embedding dim mismatch");
+    specee_assert(exit_layer >= 0 && exit_layer < nLayers_,
+                  "RAEE exit layer %d out of range", exit_layer);
+    const size_t base = embeddings_.size();
+    embeddings_.resize(base + static_cast<size_t>(dim_));
+    float norm = tensor::norm2(embedding);
+    if (norm <= 0.0f)
+        norm = 1.0f;
+    for (int i = 0; i < dim_; ++i) {
+        embeddings_[base + static_cast<size_t>(i)] =
+            embedding[static_cast<size_t>(i)] / norm;
+    }
+    exitLayers_.push_back(exit_layer);
+}
+
+int
+RaeeIndex::predictExitLayer(tensor::CSpan query, int k) const
+{
+    if (empty())
+        return nLayers_ - 1;
+    specee_assert(query.size() == static_cast<size_t>(dim_),
+                  "RAEE query dim mismatch");
+
+    tensor::Vec q(query.begin(), query.end());
+    float norm = tensor::norm2(q);
+    if (norm > 0.0f)
+        tensor::scaleInplace(q, 1.0f / norm);
+
+    // Exact inner-product scan.
+    std::vector<std::pair<float, int>> sims;
+    sims.reserve(exitLayers_.size());
+    for (size_t e = 0; e < exitLayers_.size(); ++e) {
+        tensor::CSpan row(embeddings_.data() +
+                              e * static_cast<size_t>(dim_),
+                          static_cast<size_t>(dim_));
+        sims.emplace_back(tensor::dot(row, q), static_cast<int>(e));
+    }
+    const size_t kk = std::min(static_cast<size_t>(std::max(1, k)),
+                               sims.size());
+    std::partial_sort(sims.begin(), sims.begin() + static_cast<long>(kk),
+                      sims.end(), [](const auto &a, const auto &b) {
+                          return a.first > b.first;
+                      });
+
+    // Probability superposition: similarity-weighted histogram.
+    std::vector<float> hist(static_cast<size_t>(nLayers_), 0.0f);
+    for (size_t i = 0; i < kk; ++i) {
+        const float w = std::max(0.0f, sims[i].first);
+        hist[static_cast<size_t>(
+            exitLayers_[static_cast<size_t>(sims[i].second)])] +=
+            w + 1e-6f;
+    }
+    return static_cast<int>(tensor::argmax(hist));
+}
+
+size_t
+RaeeIndex::byteSize() const
+{
+    return embeddings_.size() * sizeof(float) +
+           exitLayers_.size() * sizeof(int);
+}
+
+} // namespace specee::core

@@ -1,0 +1,117 @@
+#include "core/token_tree.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specee::core {
+
+TokenTree::TokenTree(int root_token)
+{
+    nodes_.push_back(TreeNode{root_token, -1, 0});
+}
+
+int
+TokenTree::addNode(int parent, int token)
+{
+    specee_assert(parent >= 0 && parent < size(), "bad parent %d", parent);
+    nodes_.push_back(TreeNode{token, parent,
+                              nodes_[static_cast<size_t>(parent)].depth + 1});
+    return size() - 1;
+}
+
+const TreeNode &
+TokenTree::node(int id) const
+{
+    specee_assert(id >= 0 && id < size(), "bad node id %d", id);
+    return nodes_[static_cast<size_t>(id)];
+}
+
+int
+TokenTree::depth() const
+{
+    int d = 0;
+    for (const auto &n : nodes_)
+        d = std::max(d, n.depth);
+    return d;
+}
+
+std::vector<int>
+TokenTree::children(int id) const
+{
+    std::vector<int> out;
+    for (int i = 0; i < size(); ++i) {
+        if (nodes_[static_cast<size_t>(i)].parent == id)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::vector<int>>
+TokenTree::leafPaths() const
+{
+    std::vector<bool> has_child(static_cast<size_t>(size()), false);
+    for (const auto &n : nodes_) {
+        if (n.parent >= 0)
+            has_child[static_cast<size_t>(n.parent)] = true;
+    }
+    std::vector<std::vector<int>> paths;
+    for (int i = 1; i < size(); ++i) {
+        if (has_child[static_cast<size_t>(i)])
+            continue;
+        std::vector<int> path;
+        for (int cur = i; cur > 0;
+             cur = nodes_[static_cast<size_t>(cur)].parent) {
+            path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        paths.push_back(std::move(path));
+    }
+    return paths;
+}
+
+std::vector<int>
+TokenTree::pathTokens(const std::vector<int> &path) const
+{
+    std::vector<int> toks;
+    toks.reserve(path.size());
+    for (int id : path)
+        toks.push_back(node(id).token);
+    return toks;
+}
+
+TokenTree
+TokenTree::draft(const model::DraftModel &dlm, int root_token,
+                 const std::vector<model::TokenScript> &chain_scripts,
+                 const std::vector<int> &widths, Rng &rng)
+{
+    TokenTree tree(root_token);
+    int expand_id = 0;       // node whose continuation we draft next
+    int expand_tok = root_token;
+    bool on_true_chain = true;
+
+    const size_t levels = std::min(widths.size(), chain_scripts.size());
+    for (size_t d = 0; d < levels; ++d) {
+        // The calibrated hit rate only applies when drafting the true
+        // continuation; off-chain prefixes cannot contain it.
+        const int true_target =
+            on_true_chain ? chain_scripts[d].target : -1;
+        auto cands = dlm.speculate(expand_tok, true_target,
+                                   widths[static_cast<size_t>(d)], rng);
+        int first_child = -1;
+        for (int tok : cands) {
+            int id = tree.addNode(expand_id, tok);
+            if (first_child < 0)
+                first_child = id;
+        }
+        // EAGLE-style: expand the draft's top-1 child.
+        tree.chain_.push_back(first_child);
+        expand_tok = tree.node(first_child).token;
+        if (on_true_chain && expand_tok != chain_scripts[d].target)
+            on_true_chain = false;
+        expand_id = first_child;
+    }
+    return tree;
+}
+
+} // namespace specee::core

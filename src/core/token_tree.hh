@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Token tree for tree-based speculative decoding (§2.2, Fig. 13).
+ *
+ * The draft model proposes candidate continuations level by level;
+ * the most probable child of each level is expanded further (the
+ * EAGLE-style chain expansion). The target model verifies the whole
+ * tree in one pass and accepts the longest root-anchored path whose
+ * tokens match its own predictions.
+ */
+
+#ifndef SPECEE_CORE_TOKEN_TREE_HH
+#define SPECEE_CORE_TOKEN_TREE_HH
+
+#include <vector>
+
+#include "model/draft_model.hh"
+#include "model/target_model.hh"
+#include "util/rng.hh"
+
+namespace specee::core {
+
+/** One node of the token tree. */
+struct TreeNode
+{
+    int token = -1;
+    int parent = -1; ///< -1 for the root
+    int depth = 0;   ///< root = 0, first draft level = 1
+};
+
+/** Draft token tree rooted at the last committed token. */
+class TokenTree
+{
+  public:
+    explicit TokenTree(int root_token);
+
+    /** Add a node; `parent` must already exist. @return node id */
+    int addNode(int parent, int token);
+
+    const TreeNode &node(int id) const;
+
+    /** Nodes including the root. */
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /** Draft tokens (nodes excluding the root). */
+    int draftCount() const { return size() - 1; }
+
+    int rootToken() const { return nodes_.front().token; }
+
+    /** Levels in the tree (max depth). */
+    int depth() const;
+
+    /** Children ids of a node. */
+    std::vector<int> children(int id) const;
+
+    /**
+     * All root-to-leaf paths as node-id sequences (root excluded).
+     */
+    std::vector<std::vector<int>> leafPaths() const;
+
+    /** Tokens along a node-id path. */
+    std::vector<int> pathTokens(const std::vector<int> &path) const;
+
+    /** Ids of the chain that was expanded (first child per level). */
+    const std::vector<int> &expandedChain() const { return chain_; }
+
+    /**
+     * Draft a tree: level d proposes `widths[d]` candidates for the
+     * continuation of the expanded chain; `chain_scripts` are the
+     * oracle scripts of the upcoming positions so the draft's
+     * calibrated hit rate applies only along the true continuation.
+     */
+    static TokenTree draft(const model::DraftModel &dlm, int root_token,
+                           const std::vector<model::TokenScript> &chain_scripts,
+                           const std::vector<int> &widths, Rng &rng);
+
+  private:
+    std::vector<TreeNode> nodes_;
+    std::vector<int> chain_;
+};
+
+} // namespace specee::core
+
+#endif // SPECEE_CORE_TOKEN_TREE_HH

@@ -1,0 +1,15 @@
+#include "engines/adainfer.hh"
+
+#include "util/logging.hh"
+
+namespace specee::engines {
+
+bool
+AdaInferBank::shouldExit(int layer, tensor::CSpan feats) const
+{
+    specee_assert(layer >= 0 && layer < nLayers(),
+                  "adainfer layer %d out of range", layer);
+    return svms[static_cast<size_t>(layer)].margin(feats) > margin;
+}
+
+} // namespace specee::engines

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * AdaInfer baseline predictor bank (§2.3, Table 1).
+ *
+ * AdaInfer attaches the full LM head after every decoder layer,
+ * derives basic statistics of the full-vocabulary distribution
+ * (top-1 probability, gap, entropy) and feeds them to an SVM. There
+ * is no verification step, so premature exits emit the wrong token
+ * directly — which is why its accuracy trails SpecEE in Table 4 —
+ * and the per-layer full-head traversal is what makes its prediction
+ * phase cost ~20% of end-to-end latency (§3.1).
+ */
+
+#ifndef SPECEE_ENGINES_ADAINFER_HH
+#define SPECEE_ENGINES_ADAINFER_HH
+
+#include <vector>
+
+#include "nn/svm.hh"
+#include "tensor/matrix.hh"
+
+namespace specee::engines {
+
+/** Per-layer SVM bank for the AdaInfer baseline. */
+class AdaInferBank
+{
+  public:
+    AdaInferBank() = default;
+
+    /** Trained per-exit-layer SVMs (filled by PredictorTrainer). */
+    std::vector<nn::LinearSvm> svms;
+
+    /**
+     * Decision margin: exits require margin > `margin`.
+     */
+    float margin = 0.55f;
+
+    /**
+     * Consecutive positive decisions required before exiting.
+     * Together with the margin this reproduces AdaInfer's reported
+     * conservativeness (its actual exits sit well above the
+     * theoretical earliest layer — 62-75% normalized in Fig. 7,
+     * ~28.9/32 average layers in Table 4).
+     */
+    int patience = 4;
+
+    bool empty() const { return svms.empty(); }
+    int nLayers() const { return static_cast<int>(svms.size()); }
+
+    /** Exit decision at `layer` from the 3-dim AdaInfer features. */
+    bool shouldExit(int layer, tensor::CSpan feats) const;
+};
+
+} // namespace specee::engines
+
+#endif // SPECEE_ENGINES_ADAINFER_HH

@@ -1,0 +1,670 @@
+#include "engines/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hyper_token.hh"
+#include "core/token_tree.hh"
+#include "core/verifier.hh"
+#include "hw/memory_tracker.hh"
+#include "oracle/profiles.hh"
+#include "tensor/kernels.hh"
+#include "util/logging.hh"
+
+namespace specee::engines {
+
+namespace {
+constexpr double kFp16 = 2.0;
+constexpr double kQ4Factor = 4.5 / 16.0; ///< Q4 bytes per fp16 byte
+} // namespace
+
+Engine::Engine(const EngineConfig &ecfg, const model::ModelConfig &mcfg,
+               const hw::HardwareSpec &spec,
+               const oracle::SyntheticCorpus &corpus)
+    : ecfg_(ecfg), mcfg_(mcfg), hwspec_(spec), corpus_(corpus)
+{
+    model::TargetModelOptions opts;
+    opts.quantized = ecfg.quantized;
+    opts.paged_kv = ecfg.paged_kv;
+    opts.sparse_ffn = ecfg.sparse_ffn;
+    opts.ffn_active_frac = ecfg.ffn_active_frac;
+    opts.noise_seed = mcfg.weight_seed ^ 0xa0153;
+    tm_ = std::make_unique<model::TargetModel>(mcfg, opts);
+
+    // Device/host weight split (PC scenario): weights that do not fit
+    // in usable VRAM are served from host memory.
+    devWeightFrac_ = 1.0;
+    if (ecfg.allow_offload && spec.host_bw_gbs > 0.0) {
+        const double quant = ecfg.quantized ? kQ4Factor : 1.0;
+        const double weight_gb =
+            mcfg.truthWeightBytes() * quant / 1e9;
+        // Reserve room for KV cache and activations. The draft model
+        // shares this workspace (it replaces activation scratch while
+        // drafting), so it does not displace additional layers.
+        const double reserve_gb = 1.0;
+        const double usable = std::max(0.5, spec.vram_gb * 0.92 -
+                                                reserve_gb);
+        // PowerInfer keeps the hot (frequently active) weights on the
+        // GPU, so its effective device fraction is high even when the
+        // full model does not fit.
+        if (ecfg.sparse_ffn) {
+            devWeightFrac_ = std::min(1.0, usable / (weight_gb * 0.55));
+        } else {
+            devWeightFrac_ = std::min(1.0, usable / weight_gb);
+        }
+    }
+    cost_ = std::make_unique<hw::CostModel>(spec, ecfg.bw_efficiency,
+                                            devWeightFrac_);
+}
+
+void
+Engine::setPredictors(const core::ExitPredictor *preds)
+{
+    preds_ = preds;
+}
+
+void
+Engine::setAdaInferBank(const AdaInferBank *bank)
+{
+    ada_ = bank;
+}
+
+void
+Engine::setRaeeIndex(const core::RaeeIndex *index)
+{
+    raee_ = index;
+}
+
+void
+Engine::setOfflineHotLayers(std::vector<int> layers)
+{
+    offlineHotMask_.assign(static_cast<size_t>(nExitLayers()), false);
+    for (int l : layers) {
+        specee_assert(l >= 0 && l < nExitLayers(),
+                      "offline hot layer %d out of range", l);
+        offlineHotMask_[static_cast<size_t>(l)] = true;
+    }
+    haveOfflineSet_ = true;
+}
+
+bool
+Engine::predictorActive(int layer,
+                        const core::OnlineScheduler *online) const
+{
+    if (!ecfg_.fixed_predictor_layers.empty()) {
+        return std::find(ecfg_.fixed_predictor_layers.begin(),
+                         ecfg_.fixed_predictor_layers.end(), layer) !=
+               ecfg_.fixed_predictor_layers.end();
+    }
+    const bool use_off = ecfg_.offline_sched && haveOfflineSet_;
+    const bool use_on = ecfg_.online_sched && online != nullptr;
+    if (!use_off && !use_on)
+        return true; // T1 only: every layer hosts a predictor
+    bool active = false;
+    if (use_off)
+        active = offlineHotMask_[static_cast<size_t>(layer)];
+    if (!active && use_on) {
+        // Cold start: with no exit history (and no offline set to
+        // bootstrap from) every layer stays active until the first
+        // exits populate the context window.
+        active = online->filled() == 0 && !use_off
+                     ? true
+                     : online->isActive(layer);
+    }
+    return active;
+}
+
+// ---------------------------------------------------------------------------
+// Cost emission (true dimensions)
+// ---------------------------------------------------------------------------
+
+double
+Engine::layerWeightBytes(bool ffn_sparse) const
+{
+    const double h = mcfg_.truth.hidden;
+    const double f = mcfg_.truth.ffn;
+    const double quant = ecfg_.quantized ? kQ4Factor : 1.0;
+    const double attn = 4.0 * h * h * kFp16 * quant;
+    double ffn = 3.0 * h * f * kFp16 * quant;
+    if (ffn_sparse)
+        ffn *= ecfg_.ffn_active_frac;
+    return attn + ffn;
+}
+
+void
+Engine::chargeLayers(hw::OpLog &log, int n_layers, int batch,
+                     int logical_pos) const
+{
+    if (n_layers <= 0)
+        return;
+    const double h = mcfg_.truth.hidden;
+    const double wbytes = layerWeightBytes(ecfg_.sparse_ffn) * n_layers;
+    const double params = layerWeightBytes(false) / kFp16;
+    const double flops = 2.0 * params * n_layers * batch;
+    // Each layer is ~10 fused kernels on a modern runtime.
+    cost_->account(log, hw::OpClass::DecoderLayer, flops, wbytes,
+                   /*act_bytes=*/2.0 * h * kFp16 * batch * n_layers,
+                   /*kernels=*/10 * n_layers);
+
+    // KV traffic: read all cached positions per layer, write one.
+    const double kv_read =
+        2.0 * h * kFp16 * static_cast<double>(logical_pos) * n_layers *
+        batch;
+    cost_->account(log, hw::OpClass::KvRead,
+                   2.0 * h * logical_pos * n_layers * batch, 0.0, kv_read,
+                   n_layers);
+
+    if (hwspec_.sync_us_per_layer > 0.0) {
+        cost_->accountFixed(log, hw::OpClass::Sync,
+                            hwspec_.sync_us_per_layer * 1e-6 * n_layers);
+    }
+}
+
+void
+Engine::chargeKvFill(hw::OpLog &log, int n_layers, int batch) const
+{
+    if (n_layers <= 0)
+        return;
+    const double h = mcfg_.truth.hidden;
+    const double quant = ecfg_.quantized ? kQ4Factor : 1.0;
+    const double wbytes = 2.0 * h * h * kFp16 * quant * n_layers;
+    cost_->account(log, hw::OpClass::KvFill,
+                   2.0 * 2.0 * h * h * n_layers * batch, wbytes,
+                   2.0 * h * kFp16 * batch * n_layers, 2 * n_layers);
+    // Under tensor parallelism the skipped layers still cross one
+    // synchronization boundary each for the sharded k/v state.
+    if (hwspec_.sync_us_per_layer > 0.0) {
+        cost_->accountFixed(log, hw::OpClass::Sync,
+                            0.5 * hwspec_.sync_us_per_layer * 1e-6 *
+                                n_layers);
+    }
+}
+
+void
+Engine::chargeLmHeadFull(hw::OpLog &log, int batch) const
+{
+    const double bytes = mcfg_.truthLmHeadBytes(); // head kept fp16
+    const double flops =
+        2.0 * mcfg_.truth.hidden * mcfg_.truth.vocab * batch;
+    cost_->account(log, hw::OpClass::LmHeadFull, flops, bytes, 0.0, 1);
+}
+
+void
+Engine::chargeLmHeadSliced(hw::OpLog &log, int groups, int k,
+                           int layer_events) const
+{
+    const double bytes =
+        static_cast<double>(mcfg_.truth.hidden) * k * kFp16 * groups;
+    const double flops = 2.0 * mcfg_.truth.hidden * k * groups;
+    // Feature extraction is a short kernel pipeline (sliced GEMV,
+    // softmax, delta) issued once per activated layer regardless of
+    // the number of hyper-token groups (Fig. 13's grouped GEMM).
+    cost_->account(log, hw::OpClass::LmHeadSliced, flops, 0.0, bytes,
+                   6 * layer_events);
+}
+
+void
+Engine::chargePredictor(hw::OpLog &log, int batch, int layer_events) const
+{
+    const double params =
+        preds_ != nullptr ? static_cast<double>(
+                                preds_->paramsPerPredictor())
+                          : 12.0 * 512 + 512;
+    // Two linear layers + activations + threshold: ~8 launches per
+    // activated layer. Together with feature extraction this prices a
+    // predictor invocation at ~90us on A100, matching §7.4.4's
+    // 0.9 ms/token over ~10 active predictors.
+    cost_->account(log, hw::OpClass::Predictor, 2.0 * params * batch,
+                   params * 4.0, 64.0 * batch, 8 * layer_events);
+    // Hybrid runtimes stall their GPU graph per host-side check.
+    if (hwspec_.predictor_stall_us > 0.0) {
+        cost_->accountFixed(log, hw::OpClass::Predictor,
+                            hwspec_.predictor_stall_us * 1e-6 *
+                                layer_events);
+    }
+}
+
+void
+Engine::chargeDraft(hw::OpLog &log, int forwards) const
+{
+    // §5.1: one draft forward costs about one decoder layer; the DLM
+    // reuses the resident embedding/LM head, so we charge 1.2x a
+    // layer's weight traffic per forward.
+    const double bytes = layerWeightBytes(false) /
+                         (ecfg_.quantized ? kQ4Factor : 1.0) * 1.2;
+    const double flops = bytes; // memory-bound either way
+    for (int i = 0; i < forwards; ++i) {
+        cost_->account(log, hw::OpClass::Draft, flops, bytes, 0.0, 12);
+    }
+}
+
+void
+Engine::chargeEmbed(hw::OpLog &log, int n) const
+{
+    const double bytes = static_cast<double>(mcfg_.truth.hidden) * kFp16 * n;
+    cost_->account(log, hw::OpClass::Embed, 0.0, 0.0, bytes, 1);
+}
+
+void
+Engine::chargeOverhead(hw::OpLog &log) const
+{
+    if (ecfg_.fixed_overhead_s > 0.0) {
+        cost_->accountFixed(log, hw::OpClass::Overhead,
+                            ecfg_.fixed_overhead_s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token decoding
+// ---------------------------------------------------------------------------
+
+Engine::TokenOutcome
+Engine::decodeToken(int input_token, const model::TokenScript &script,
+                    const model::DraftModel &dlm,
+                    core::FeatureExtractor &fx,
+                    core::OnlineScheduler *online, hw::OpLog *log,
+                    int logical_pos, Rng &rng, RunStats &stats)
+{
+    TokenOutcome out;
+    const int n_exit = nExitLayers();
+    const bool specee = ecfg_.early_exit && preds_ != nullptr;
+    const bool adainf = ecfg_.adainfer && ada_ != nullptr &&
+                        !ada_->empty();
+    const bool use_raee =
+        ecfg_.raee && raee_ != nullptr && !raee_->empty();
+
+    std::vector<int> spec_tokens;
+    if (specee) {
+        spec_tokens = dlm.speculate(input_token, script.target,
+                                    mcfg_.num_spec_tokens, rng);
+        fx.beginToken(spec_tokens);
+        if (log != nullptr)
+            chargeDraft(*log, 1);
+    }
+
+    tm_->beginToken(input_token, script);
+    if (log != nullptr)
+        chargeEmbed(*log, 1);
+
+    int active_this_token = 0;
+    tensor::Vec full_logits;
+    if (adainf)
+        full_logits.resize(static_cast<size_t>(mcfg_.sim.vocab));
+
+    // RAEE decides the exit layer up front from the layer-0 probe.
+    int raee_exit = -1;
+    // AdaInfer patience counter (consecutive positive SVM decisions).
+    int ada_streak = 0;
+
+    while (!tm_->doneAllLayers()) {
+        const int l = tm_->currentLayer();
+        tm_->runLayer();
+
+        if (l >= n_exit)
+            continue; // last layer hosts no predictor
+
+        if (use_raee) {
+            if (l == 0) {
+                // Retrieval: ANN probe over the database, priced at
+                // the true entry count and hidden width (Table 1's
+                // High-memory / Heavy-prediction row).
+                ++stats.predictor_invocations;
+                raee_exit =
+                    raee_->predictExitLayer(tm_->hidden(), ecfg_.raee_k);
+                if (log != nullptr) {
+                    const double scan_bytes = ecfg_.raee_db_entries *
+                                              ecfg_.raee_scan_frac *
+                                              mcfg_.truth.hidden * 2.0;
+                    cost_->account(*log, hw::OpClass::Predictor,
+                                   scan_bytes, scan_bytes, 0.0, 24);
+                }
+            }
+            if (l == raee_exit) {
+                out.token = tm_->globalArgmax(); // no verification
+                if (log != nullptr)
+                    chargeLmHeadFull(*log, 1);
+                out.exited = true;
+                out.exit_layer = l;
+                break;
+            }
+        } else if (specee) {
+            if (!predictorActive(l, online))
+                continue;
+            ++active_this_token;
+            ++stats.predictor_invocations;
+            tensor::CSpan feats = fx.extract(*tm_);
+            if (log != nullptr) {
+                chargeLmHeadSliced(*log, 1, mcfg_.num_spec_tokens, 1);
+                chargePredictor(*log, 1, 1);
+            }
+            if (!preds_->shouldExit(l, feats, ecfg_.exit_threshold))
+                continue;
+            // Verification (§4.3.3): local result T' vs global result
+            // T from the full head at this layer.
+            ++stats.verify_calls;
+            if (log != nullptr)
+                chargeLmHeadFull(*log, 1);
+            const size_t local_idx = tensor::argmax(fx.localProbs());
+            auto v = core::Verifier::verify(*tm_, spec_tokens[local_idx]);
+            if (!v.verified) {
+                ++stats.verify_rejects;
+                continue;
+            }
+            out.token = v.token;
+            out.exited = true;
+            out.exit_layer = l;
+            break;
+        } else if (adainf) {
+            // AdaInfer: full LM head + SVM after every layer.
+            ++stats.predictor_invocations;
+            ++active_this_token;
+            if (log != nullptr) {
+                chargeLmHeadFull(*log, 1);
+                chargePredictor(*log, 1, 1);
+            }
+            tm_->lmHead().full(tm_->hidden(), full_logits);
+            const int global =
+                static_cast<int>(tensor::argmax(full_logits));
+            auto af = core::adaInferFeatures(full_logits);
+            if (ada_->shouldExit(l, tensor::CSpan(af.data(), af.size())))
+                ++ada_streak;
+            else
+                ada_streak = 0;
+            // Patience scales with model depth (4 at 32 layers).
+            const int patience = std::min(
+                ada_->patience, std::max(1, mcfg_.n_layers / 8));
+            if (ada_streak >= patience) {
+                out.token = global; // no verification
+                out.exited = true;
+                out.exit_layer = l;
+                break;
+            }
+        }
+    }
+
+    if (out.exited) {
+        out.layers_used = out.exit_layer + 1;
+        const int filled = tm_->finishEarly();
+        if (log != nullptr)
+            chargeKvFill(*log, filled, 1);
+        ++stats.exits;
+        if (static_cast<size_t>(out.exit_layer) <
+            stats.exit_histogram.size()) {
+            ++stats.exit_histogram[static_cast<size_t>(out.exit_layer)];
+        }
+        if (online != nullptr)
+            online->recordExit(out.exit_layer);
+    } else {
+        out.token = tm_->runRemainingLayers();
+        out.layers_used = mcfg_.n_layers;
+        if (log != nullptr)
+            chargeLmHeadFull(*log, 1);
+    }
+
+    if (log != nullptr) {
+        chargeLayers(*log, out.layers_used, 1, logical_pos);
+        chargeOverhead(*log);
+    }
+    stats.avg_active_predictors += active_this_token;
+    out.predictors_used = active_this_token;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Run paths
+// ---------------------------------------------------------------------------
+
+void
+Engine::runAutoregressive(const workload::Workload &w,
+                          const model::DraftModel &dlm, RunResult &out,
+                          Rng &rng)
+{
+    core::FeatureExtractor fx(mcfg_.num_spec_tokens);
+    for (const auto &inst : w.instances) {
+        tm_->reset();
+        std::vector<int> prefix(inst.prompt.begin(),
+                                inst.prompt.end() - 1);
+        tm_->prefill(prefix);
+        core::OnlineScheduler online(nExitLayers(), ecfg_.online_window,
+                                     ecfg_.online_radius);
+
+        workload::Emission em;
+        int input = inst.prompt.back();
+        for (size_t t = 0; t < inst.steps.size(); ++t) {
+            const int logical_pos =
+                w.true_prompt_len + static_cast<int>(t);
+            auto o = decodeToken(input, inst.steps[t], dlm, fx,
+                                 ecfg_.online_sched ? &online : nullptr,
+                                 &out.stats.oplog, logical_pos, rng,
+                                 out.stats);
+            em.tokens.push_back(o.token);
+            em.exit_layers.push_back(o.layers_used);
+            out.stats.avg_forward_layers += o.layers_used;
+            ++out.stats.tokens;
+            input = o.token;
+        }
+        out.emissions.push_back(std::move(em));
+    }
+}
+
+void
+Engine::runSpeculative(const workload::Workload &w,
+                       const model::DraftModel &dlm, RunResult &out,
+                       Rng &rng)
+{
+    core::FeatureExtractor fx(mcfg_.num_spec_tokens);
+    const bool ee = ecfg_.early_exit && preds_ != nullptr;
+    long total_committed = 0;
+
+    for (const auto &inst : w.instances) {
+        tm_->reset();
+        std::vector<int> prefix(inst.prompt.begin(),
+                                inst.prompt.end() - 1);
+        tm_->prefill(prefix);
+        core::OnlineScheduler online(nExitLayers(), ecfg_.online_window,
+                                     ecfg_.online_radius);
+        core::OnlineScheduler *onl =
+            ecfg_.online_sched && ee ? &online : nullptr;
+
+        workload::Emission em;
+        const size_t n_steps = inst.steps.size();
+
+        // First token decodes normally (as in EAGLE).
+        {
+            auto o = decodeToken(inst.prompt.back(), inst.steps[0], dlm,
+                                 fx, onl, &out.stats.oplog,
+                                 w.true_prompt_len, rng, out.stats);
+            em.tokens.push_back(o.token);
+            em.exit_layers.push_back(o.layers_used);
+            out.stats.avg_forward_layers += o.layers_used;
+            ++out.stats.tokens;
+        }
+
+        size_t step = 1;
+        while (step < n_steps) {
+            // Draft a token tree from the last committed token.
+            const int root_tok = em.tokens.back();
+            std::vector<model::TokenScript> chain;
+            for (size_t d = 0;
+                 d < ecfg_.tree.widths.size() && step + d < n_steps; ++d)
+                chain.push_back(inst.steps[step + d]);
+            std::vector<int> widths(
+                ecfg_.tree.widths.begin(),
+                ecfg_.tree.widths.begin() +
+                    static_cast<long>(chain.size()));
+            auto tree = core::TokenTree::draft(dlm, root_tok, chain,
+                                               widths, rng);
+            chargeDraft(out.stats.oplog,
+                        static_cast<int>(widths.size()));
+
+            out.stats.map_complexity_independent +=
+                core::MergedMapping::independentMappingComplexity(tree);
+            out.stats.map_complexity_merged +=
+                core::MergedMapping::mergedMappingComplexity(tree);
+            const long n_paths =
+                core::MergedMapping::mergedMappingComplexity(tree);
+
+            // Walk the tree: process the root's continuation, then
+            // follow accepted children.
+            int pass_layers = 0;
+            int node_id = 0; // tree root
+            int input = root_tok;
+            int committed_this_pass = 0;
+            size_t d = 0;
+            int max_sched_layers = 0;
+            int fill_nodes = 0;
+            int min_exit_layers = mcfg_.n_layers;
+            while (step < n_steps &&
+                   d <= static_cast<size_t>(tree.depth())) {
+                const int logical_pos =
+                    w.true_prompt_len + static_cast<int>(step);
+                auto o = decodeToken(input, inst.steps[step], dlm, fx,
+                                     onl, nullptr, logical_pos, rng,
+                                     out.stats);
+                if (o.exited) {
+                    ++fill_nodes;
+                    min_exit_layers =
+                        std::min(min_exit_layers, o.layers_used);
+                }
+                pass_layers = std::max(pass_layers, o.layers_used);
+                max_sched_layers =
+                    std::max(max_sched_layers, o.predictors_used);
+                em.tokens.push_back(o.token);
+                em.exit_layers.push_back(o.layers_used);
+                out.stats.avg_forward_layers += o.layers_used;
+                ++out.stats.tokens;
+                ++step;
+                ++committed_this_pass;
+
+                // Does a drafted child continue the chain?
+                int next_node = -1;
+                for (int kid : tree.children(node_id)) {
+                    if (tree.node(kid).token == o.token) {
+                        next_node = kid;
+                        break;
+                    }
+                }
+                if (next_node < 0)
+                    break;
+                node_id = next_node;
+                input = o.token;
+                ++d;
+            }
+
+            // Pass-level cost: one batched TLM pass over the whole
+            // tree, cut at the Cannikin exit depth; grouped predictor
+            // work scales with the number of paths.
+            const int batch = 1 + tree.draftCount();
+            chargeLayers(out.stats.oplog, pass_layers, batch,
+                         w.true_prompt_len + static_cast<int>(step));
+            // Batched KV fill: the k/v projection weights of each
+            // skipped layer are read once for all exited nodes.
+            if (fill_nodes > 0) {
+                chargeKvFill(out.stats.oplog,
+                             mcfg_.n_layers - min_exit_layers,
+                             fill_nodes);
+            }
+            // One batched full-head application per pass: the token
+            // verification of vanilla EAGLE, or — under T3 — the exit
+            // verification at the Cannikin exit layer (the head is
+            // read once either way).
+            chargeLmHeadFull(out.stats.oplog, batch);
+            if (ee && max_sched_layers > 0) {
+                // T3: per activated layer the engine issues ONE
+                // grouped sliced GEMV and ONE batched predictor MLP
+                // covering every hyper-token lane (Fig. 13), instead
+                // of one launch pipeline per tree node.
+                chargeLmHeadSliced(
+                    out.stats.oplog,
+                    max_sched_layers * static_cast<int>(n_paths),
+                    mcfg_.num_spec_tokens, max_sched_layers);
+                chargePredictor(
+                    out.stats.oplog,
+                    max_sched_layers * static_cast<int>(n_paths),
+                    max_sched_layers);
+            }
+            chargeOverhead(out.stats.oplog);
+            if (ecfg_.spec_pass_overhead_s > 0.0) {
+                cost_->accountFixed(out.stats.oplog,
+                                    hw::OpClass::Overhead,
+                                    ecfg_.spec_pass_overhead_s);
+            }
+            ++out.stats.passes;
+            total_committed += committed_this_pass;
+        }
+        out.emissions.push_back(std::move(em));
+    }
+    if (out.stats.passes > 0) {
+        out.stats.avg_commit_per_pass =
+            static_cast<double>(total_committed) /
+            static_cast<double>(out.stats.passes);
+    }
+}
+
+RunResult
+Engine::run(const workload::Workload &w, uint64_t seed)
+{
+    specee_assert(!w.instances.empty(), "empty workload");
+    if (ecfg_.early_exit)
+        specee_assert(preds_ != nullptr,
+                      "early exit requires trained predictors");
+    if (ecfg_.adainfer)
+        specee_assert(ada_ != nullptr && !ada_->empty(),
+                      "AdaInfer engine requires a trained SVM bank");
+    if (ecfg_.raee)
+        specee_assert(raee_ != nullptr && !raee_->empty(),
+                      "RAEE engine requires a retrieval index");
+
+    const auto &profile = oracle::profileByName(w.dataset);
+    const double hit = ecfg_.draft_hit_override >= 0.0
+                           ? ecfg_.draft_hit_override
+                           : profile.draft_hit_rate;
+    model::DraftModel dlm(mcfg_, corpus_, hit);
+
+    RunResult out;
+    out.stats.engine = ecfg_.name;
+    out.stats.dataset = w.dataset;
+    out.stats.model = mcfg_.name;
+    out.stats.platform = hwspec_.name;
+    out.stats.exit_histogram.assign(static_cast<size_t>(nExitLayers()),
+                                    0);
+
+    Rng rng(seed ^ mcfg_.weight_seed);
+    if (ecfg_.spec_decode)
+        runSpeculative(w, dlm, out, rng);
+    else
+        runAutoregressive(w, dlm, out, rng);
+
+    RunStats &st = out.stats;
+    if (st.tokens > 0) {
+        st.avg_forward_layers /= static_cast<double>(st.tokens);
+        st.avg_active_predictors /= static_cast<double>(st.tokens);
+    }
+    const auto grand = st.oplog.grand();
+    st.modeled_time_s = grand.time_s;
+    st.tokens_per_s =
+        st.modeled_time_s > 0.0
+            ? static_cast<double>(st.tokens) / st.modeled_time_s
+            : 0.0;
+    st.avg_power_w = st.oplog.avgPowerW();
+    st.energy_per_token_j =
+        st.tokens > 0 ? grand.energy_j / static_cast<double>(st.tokens)
+                      : 0.0;
+
+    const bool with_dlm = ecfg_.early_exit || ecfg_.spec_decode;
+    const int n_preds =
+        ecfg_.early_exit && preds_ != nullptr ? preds_->nExitLayers() : 0;
+    const size_t pred_params =
+        preds_ != nullptr ? preds_->paramsPerPredictor() : 0;
+    hw::MemoryTracker mem(mcfg_, ecfg_.quantized, with_dlm, n_preds,
+                          pred_params);
+    const int max_tokens =
+        w.true_prompt_len +
+        (w.instances.empty()
+             ? 0
+             : static_cast<int>(w.instances.front().steps.size()));
+    st.peak_mem_gb = hw::MemoryTracker::toGiB(mem.totalBytes(max_tokens));
+    return out;
+}
+
+} // namespace specee::engines

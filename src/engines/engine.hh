@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The inference engine: one loop, composable features.
+ *
+ * Every baseline framework (HuggingFace, vllm, AWQ, llama.cpp,
+ * PowerInfer, EAGLE, AdaInfer) and every SpecEE variant is an
+ * EngineConfig over this class. The engine runs the functional
+ * simulator (real math at sim dims) and in parallel prices every
+ * logical operator at the true Llama-2 dimensions on the configured
+ * platform, so each run yields tokens + quality AND modeled
+ * latency / energy / memory.
+ */
+
+#ifndef SPECEE_ENGINES_ENGINE_HH
+#define SPECEE_ENGINES_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/features.hh"
+#include "core/online_scheduler.hh"
+#include "core/predictor.hh"
+#include "core/raee.hh"
+#include "engines/adainfer.hh"
+#include "engines/engine_config.hh"
+#include "hw/cost_model.hh"
+#include "hw/hardware_model.hh"
+#include "model/draft_model.hh"
+#include "model/target_model.hh"
+#include "oracle/corpus.hh"
+#include "workload/datasets.hh"
+#include "workload/evaluator.hh"
+
+namespace specee::engines {
+
+/** Aggregate statistics of one engine run. */
+struct RunStats
+{
+    std::string engine;
+    std::string dataset;
+    std::string model;
+    std::string platform;
+
+    long tokens = 0;
+    double modeled_time_s = 0.0;
+    double tokens_per_s = 0.0;
+
+    double avg_forward_layers = 0.0;
+    double avg_active_predictors = 0.0;
+    long predictor_invocations = 0;
+    long exits = 0;
+    long verify_calls = 0;
+    long verify_rejects = 0;
+    std::vector<long> exit_histogram; ///< per exit layer; exits only
+
+    hw::OpLog oplog;
+    double avg_power_w = 0.0;
+    double energy_per_token_j = 0.0;
+    double peak_mem_gb = 0.0;
+
+    // Speculative decoding
+    long passes = 0;
+    double avg_commit_per_pass = 0.0;
+    long map_complexity_independent = 0;
+    long map_complexity_merged = 0;
+};
+
+/** Emissions + statistics of one run. */
+struct RunResult
+{
+    std::vector<workload::Emission> emissions;
+    RunStats stats;
+};
+
+/** Composable LLM inference engine. */
+class Engine
+{
+  public:
+    Engine(const EngineConfig &ecfg, const model::ModelConfig &mcfg,
+           const hw::HardwareSpec &spec,
+           const oracle::SyntheticCorpus &corpus);
+
+    /** Attach the trained SpecEE predictor bank (required for EE). */
+    void setPredictors(const core::ExitPredictor *preds);
+
+    /** Attach the trained AdaInfer SVM bank. */
+    void setAdaInferBank(const AdaInferBank *bank);
+
+    /** Attach the RAEE retrieval index. */
+    void setRaeeIndex(const core::RaeeIndex *index);
+
+    /** Offline hot-layer set from profiling (T2 offline scheduling). */
+    void setOfflineHotLayers(std::vector<int> layers);
+
+    /** Execute a workload; deterministic under `seed`. */
+    RunResult run(const workload::Workload &w, uint64_t seed = 1);
+
+    const EngineConfig &config() const { return ecfg_; }
+    const model::ModelConfig &modelConfig() const { return mcfg_; }
+    const hw::HardwareSpec &platform() const { return hwspec_; }
+
+    /** Fraction of weight bytes resident on the device (PC offload). */
+    double deviceWeightFrac() const { return devWeightFrac_; }
+
+    /** Exitable layers (n_layers - 1). */
+    int nExitLayers() const { return mcfg_.n_layers - 1; }
+
+  private:
+    struct TokenOutcome
+    {
+        int token = -1;      ///< emitted token
+        int layers_used = 0; ///< decoder layers executed
+        bool exited = false; ///< early exit taken
+        int exit_layer = -1; ///< layer of the exit (if any)
+        int predictors_used = 0; ///< activated predictors this token
+    };
+
+    /** True when a predictor is active at `layer` for this token. */
+    bool predictorActive(int layer,
+                         const core::OnlineScheduler *online) const;
+
+    /**
+     * Functionally decode one token (input -> emission) with the
+     * configured exit policy. Does not charge costs when
+     * `log == nullptr` (used inside speculative passes, which charge
+     * at pass granularity).
+     */
+    TokenOutcome decodeToken(int input_token,
+                             const model::TokenScript &script,
+                             const model::DraftModel &dlm,
+                             core::FeatureExtractor &fx,
+                             core::OnlineScheduler *online,
+                             hw::OpLog *log, int logical_pos, Rng &rng,
+                             RunStats &stats);
+
+    void runAutoregressive(const workload::Workload &w,
+                           const model::DraftModel &dlm, RunResult &out,
+                           Rng &rng);
+    void runSpeculative(const workload::Workload &w,
+                        const model::DraftModel &dlm, RunResult &out,
+                        Rng &rng);
+
+    // --- cost emission at true dimensions -------------------------------
+    double layerWeightBytes(bool ffn_sparse) const;
+    void chargeLayers(hw::OpLog &log, int n_layers, int batch,
+                      int logical_pos) const;
+    void chargeKvFill(hw::OpLog &log, int n_layers, int batch) const;
+    void chargeLmHeadFull(hw::OpLog &log, int batch) const;
+    void chargeLmHeadSliced(hw::OpLog &log, int groups, int k,
+                            int layer_events) const;
+    void chargePredictor(hw::OpLog &log, int batch,
+                         int layer_events) const;
+    void chargeDraft(hw::OpLog &log, int forwards) const;
+    void chargeEmbed(hw::OpLog &log, int n) const;
+    void chargeOverhead(hw::OpLog &log) const;
+
+    EngineConfig ecfg_;
+    model::ModelConfig mcfg_;
+    hw::HardwareSpec hwspec_;
+    const oracle::SyntheticCorpus &corpus_;
+    std::unique_ptr<model::TargetModel> tm_;
+    const core::ExitPredictor *preds_ = nullptr;
+    const AdaInferBank *ada_ = nullptr;
+    const core::RaeeIndex *raee_ = nullptr;
+    std::vector<bool> offlineHotMask_;
+    bool haveOfflineSet_ = false;
+    double devWeightFrac_ = 1.0;
+    std::unique_ptr<hw::CostModel> cost_;
+};
+
+} // namespace specee::engines
+
+#endif // SPECEE_ENGINES_ENGINE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Engine configuration: one composable config covers every baseline
+ * framework and every SpecEE variant, so ablations toggle exactly one
+ * knob at a time (Fig. 19).
+ *
+ * Framework presets carry two kinds of parameters:
+ *  - functional switches (quantized weights, paged KV, sparse FFN,
+ *    speculative decoding, early exit, scheduling) that change which
+ *    real code paths run;
+ *  - calibration constants (`bw_efficiency`, `fixed_overhead_s`)
+ *    that anchor absolute tok/s to each public framework's published
+ *    ballpark on the named GPUs (DESIGN.md §5). Relative speedups
+ *    come from the simulated run, not from these constants.
+ */
+
+#ifndef SPECEE_ENGINES_ENGINE_CONFIG_HH
+#define SPECEE_ENGINES_ENGINE_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace specee::engines {
+
+/** Token-tree shape for speculative decoding. */
+struct TreeShape
+{
+    /** Candidates drafted per level along the expanded chain. */
+    std::vector<int> widths = {4, 2, 2};
+
+    int depth() const { return static_cast<int>(widths.size()); }
+    int totalNodes() const;
+};
+
+/** Full engine configuration. */
+struct EngineConfig
+{
+    std::string name = "HuggingFace";
+
+    // --- SpecEE switches -------------------------------------------------
+    bool early_exit = false;       ///< T1: speculative early exiting
+    bool offline_sched = false;    ///< T2a: offline hot-layer set
+    bool online_sched = false;     ///< T2b: context-similarity activation
+    bool spec_decode = false;      ///< EAGLE-style tree decoding
+    ///< T3 (hyper-token merged mapping) = spec_decode && early_exit.
+
+    // --- baseline switches -----------------------------------------------
+    bool adainfer = false;   ///< AdaInfer full-vocab SVM early exit
+    bool raee = false;       ///< RAEE retrieval-based early exit
+    bool quantized = false;  ///< Q4 weights (AWQ / llama.cpp Q4)
+    bool paged_kv = false;   ///< vllm PagedAttention KV manager
+    bool sparse_ffn = false; ///< PowerInfer activation sparsity
+
+    // --- parameters --------------------------------------------------------
+    float exit_threshold = 0.5f;
+    int online_window = 5;
+    int online_radius = 2;
+    double offline_mass = 0.55; ///< exit mass the offline set must cover
+    float ffn_active_frac = 0.30f;
+    float adainfer_margin = 1.0f; ///< SVM decision margin (conservative)
+    /** RAEE database size at true scale (Table 1: several GB). */
+    double raee_db_entries = 5.0e5;
+    /** Fraction of the RAEE database an ANN probe touches per token. */
+    double raee_scan_frac = 0.10;
+    int raee_k = 8; ///< retrieved neighbours
+    TreeShape tree;
+
+    /**
+     * Fig. 10(b)/(d) experiment: when non-empty, predictors exist at
+     * exactly these layers (scheduling switches are ignored).
+     */
+    std::vector<int> fixed_predictor_layers;
+
+    // --- cost calibration ---------------------------------------------------
+    double bw_efficiency = 0.85;
+    double fixed_overhead_s = 0.0; ///< per decode step / spec pass
+    double spec_pass_overhead_s = 0.0; ///< extra per speculative pass
+    bool allow_offload = false;    ///< PC: spill weights to host RAM
+
+    /** Draft hit-rate override (<0: use the dataset profile). */
+    double draft_hit_override = -1.0;
+
+    // --- presets -------------------------------------------------------------
+    static EngineConfig huggingFace();
+    static EngineConfig vllm();
+    static EngineConfig awq();
+    static EngineConfig eagle();
+    static EngineConfig adaInfer();
+    static EngineConfig raeeBaseline();
+    static EngineConfig llamaCpp();   ///< PC scenario, fp16 + offload
+    static EngineConfig powerInfer(); ///< PC scenario, sparse FFN
+
+    /**
+     * Derive the +SpecEE variant: enables early exit (and scheduling
+     * when `with_t2`); keeps the base framework's cost calibration.
+     */
+    EngineConfig withSpecEE(bool with_t2 = true) const;
+
+    /** Derive the +SpecEE+EAGLE variant (adds T3 on top). */
+    EngineConfig withSpecDecode() const;
+};
+
+} // namespace specee::engines
+
+#endif // SPECEE_ENGINES_ENGINE_CONFIG_HH

@@ -1,0 +1,109 @@
+#include "hw/cost_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specee::hw {
+
+void
+OpLog::add(OpClass cls, double time_s, double energy_j, double flops,
+           double bytes)
+{
+    OpTotals &t = totals_[static_cast<size_t>(cls)];
+    t.time_s += time_s;
+    t.energy_j += energy_j;
+    t.flops += flops;
+    t.bytes += bytes;
+    t.count += 1;
+}
+
+const OpTotals &
+OpLog::totals(OpClass cls) const
+{
+    return totals_[static_cast<size_t>(cls)];
+}
+
+OpTotals
+OpLog::grand() const
+{
+    OpTotals g;
+    for (const auto &t : totals_) {
+        g.time_s += t.time_s;
+        g.energy_j += t.energy_j;
+        g.flops += t.flops;
+        g.bytes += t.bytes;
+        g.count += t.count;
+    }
+    return g;
+}
+
+double
+OpLog::avgPowerW() const
+{
+    OpTotals g = grand();
+    return g.time_s > 0.0 ? g.energy_j / g.time_s : 0.0;
+}
+
+void
+OpLog::merge(const OpLog &other)
+{
+    for (int i = 0; i < kNumOpClasses; ++i) {
+        OpTotals &t = totals_[static_cast<size_t>(i)];
+        const OpTotals &o = other.totals_[static_cast<size_t>(i)];
+        t.time_s += o.time_s;
+        t.energy_j += o.energy_j;
+        t.flops += o.flops;
+        t.bytes += o.bytes;
+        t.count += o.count;
+    }
+}
+
+void
+OpLog::clear()
+{
+    totals_.fill(OpTotals{});
+}
+
+CostModel::CostModel(const HardwareSpec &spec, double bw_efficiency,
+                     double device_weight_frac)
+    : spec_(spec), bwEff_(bw_efficiency), devFrac_(device_weight_frac)
+{
+    specee_assert(bw_efficiency > 0.0 && bw_efficiency <= 1.0,
+                  "bad bandwidth efficiency %f", bw_efficiency);
+    specee_assert(device_weight_frac >= 0.0 && device_weight_frac <= 1.0,
+                  "bad device weight fraction %f", device_weight_frac);
+}
+
+double
+CostModel::account(OpLog &log, OpClass cls, double flops,
+                   double weight_bytes, double act_bytes, int kernels) const
+{
+    const double dev_bw = spec_.mem_bw_gbs * 1e9 * bwEff_;
+    const double dev_fl = spec_.compute_tflops * 1e12 * bwEff_;
+
+    const double dev_bytes = weight_bytes * devFrac_ + act_bytes;
+    const double host_bytes = weight_bytes * (1.0 - devFrac_);
+
+    double t = std::max(dev_bytes / dev_bw, flops / dev_fl);
+    if (host_bytes > 0.0) {
+        specee_assert(spec_.host_bw_gbs > 0.0,
+                      "weight offload on a platform without a host path");
+        t += host_bytes / (spec_.host_bw_gbs * 1e9 * bwEff_);
+    }
+    t += kernels * spec_.launch_overhead_us * 1e-6;
+
+    const double p = spec_.power_w[static_cast<size_t>(cls)];
+    log.add(cls, t, t * p, flops, weight_bytes + act_bytes);
+    return t;
+}
+
+double
+CostModel::accountFixed(OpLog &log, OpClass cls, double seconds) const
+{
+    const double p = spec_.power_w[static_cast<size_t>(cls)];
+    log.add(cls, seconds, seconds * p, 0.0, 0.0);
+    return seconds;
+}
+
+} // namespace specee::hw

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Roofline cost model and per-class operator log.
+ *
+ * Every logical operator an engine executes is priced at the TRUE
+ * Llama-2 dimensions: time = max(bytes / effective-bandwidth,
+ * flops / effective-compute) + kernel-launch overhead. Single-batch
+ * LLM decoding is memory-bound, so the bytes term dominates for the
+ * big GEMVs while tiny kernels (the exit predictor) are launch-bound
+ * — reproducing why AdaInfer-style full-vocab predictors cost ~20%
+ * of latency while SpecEE's sliced predictor is ~5% (§7.4.4).
+ *
+ * The PC scenario models weight offload: a fraction of weight bytes
+ * is served from host memory at host bandwidth (llama.cpp layer
+ * offload; PowerInfer hot/cold neuron split).
+ */
+
+#ifndef SPECEE_HW_COST_MODEL_HH
+#define SPECEE_HW_COST_MODEL_HH
+
+#include <array>
+
+#include "hw/hardware_model.hh"
+
+namespace specee::hw {
+
+/** Accumulated totals for one op class. */
+struct OpTotals
+{
+    double time_s = 0.0;
+    double energy_j = 0.0;
+    double flops = 0.0;
+    double bytes = 0.0;
+    long count = 0;
+};
+
+/** Per-class operator accounting for one engine run. */
+class OpLog
+{
+  public:
+    void add(OpClass cls, double time_s, double energy_j, double flops,
+             double bytes);
+
+    const OpTotals &totals(OpClass cls) const;
+
+    /** Sum over all classes. */
+    OpTotals grand() const;
+
+    /** Average power (W) over the whole run. */
+    double avgPowerW() const;
+
+    /** Merge another log into this one. */
+    void merge(const OpLog &other);
+
+    void clear();
+
+  private:
+    std::array<OpTotals, kNumOpClasses> totals_{};
+};
+
+/** Prices logical operators on a platform. */
+class CostModel
+{
+  public:
+    /**
+     * @param spec           platform
+     * @param bw_efficiency  fraction of peak bandwidth the framework
+     *                       achieves (calibration, DESIGN.md §5)
+     * @param device_weight_frac fraction of weight bytes resident on
+     *                       the device (1.0 = no offload)
+     */
+    CostModel(const HardwareSpec &spec, double bw_efficiency = 1.0,
+              double device_weight_frac = 1.0);
+
+    const HardwareSpec &spec() const { return spec_; }
+
+    /**
+     * Price one operator and append it to `log`.
+     *
+     * @param weight_bytes  weight traffic (subject to offload split)
+     * @param act_bytes     activation/KV traffic (always on device)
+     * @param kernels       number of kernel launches
+     */
+    double account(OpLog &log, OpClass cls, double flops,
+                   double weight_bytes, double act_bytes = 0.0,
+                   int kernels = 1) const;
+
+    /** Time for a pure fixed overhead (no flops/bytes). */
+    double accountFixed(OpLog &log, OpClass cls, double seconds) const;
+
+    double bwEfficiency() const { return bwEff_; }
+    double deviceWeightFrac() const { return devFrac_; }
+
+  private:
+    HardwareSpec spec_;
+    double bwEff_;
+    double devFrac_;
+};
+
+} // namespace specee::hw
+
+#endif // SPECEE_HW_COST_MODEL_HH

@@ -1,0 +1,125 @@
+#include "hw/hardware_model.hh"
+
+#include "util/logging.hh"
+
+namespace specee::hw {
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::DecoderLayer: return "decoder_layer";
+      case OpClass::KvRead: return "kv_read";
+      case OpClass::KvFill: return "kv_fill";
+      case OpClass::LmHeadFull: return "lm_head_full";
+      case OpClass::LmHeadSliced: return "lm_head_sliced";
+      case OpClass::Predictor: return "predictor";
+      case OpClass::Draft: return "draft";
+      case OpClass::Embed: return "embed";
+      case OpClass::Sync: return "sync";
+      case OpClass::Overhead: return "overhead";
+      default: return "unknown";
+    }
+}
+
+namespace {
+
+std::array<double, kNumOpClasses>
+powerTable(double layer, double kv_read, double kv_fill, double head,
+           double sliced, double pred, double draft, double misc)
+{
+    std::array<double, kNumOpClasses> p{};
+    p[static_cast<int>(OpClass::DecoderLayer)] = layer;
+    p[static_cast<int>(OpClass::KvRead)] = kv_read;
+    p[static_cast<int>(OpClass::KvFill)] = kv_fill;
+    p[static_cast<int>(OpClass::LmHeadFull)] = head;
+    p[static_cast<int>(OpClass::LmHeadSliced)] = sliced;
+    p[static_cast<int>(OpClass::Predictor)] = pred;
+    p[static_cast<int>(OpClass::Draft)] = draft;
+    p[static_cast<int>(OpClass::Embed)] = misc;
+    p[static_cast<int>(OpClass::Sync)] = misc;
+    p[static_cast<int>(OpClass::Overhead)] = misc;
+    return p;
+}
+
+} // namespace
+
+HardwareSpec
+HardwareSpec::a100()
+{
+    HardwareSpec s;
+    s.name = "A100-80GB";
+    s.mem_bw_gbs = 2039.0;
+    s.compute_tflops = 312.0;
+    s.launch_overhead_us = 5.0;
+    s.vram_gb = 80.0;
+    s.tdp_w = 400.0;
+    // Dense decode averages ~201 W (§7.3.1); the predictor is a tiny
+    // memory-bound kernel that leaves compute idle (~142 W, §7.3.2),
+    // and the other SpecEE-side kernels (draft layer, k/v fill,
+    // sliced head) are similarly bandwidth-bound thin GEMVs.
+    s.power_w = powerTable(206, 196, 150, 215, 120, 142, 150, 110);
+    return s;
+}
+
+HardwareSpec
+HardwareSpec::rtx4090()
+{
+    HardwareSpec s;
+    s.name = "RTX4090-24GB";
+    s.mem_bw_gbs = 1008.0;
+    s.compute_tflops = 165.0;
+    s.launch_overhead_us = 4.0;
+    s.vram_gb = 24.0;
+    s.tdp_w = 450.0;
+    s.power_w = powerTable(270, 255, 195, 285, 155, 160, 195, 140);
+    return s;
+}
+
+HardwareSpec
+HardwareSpec::a100x4()
+{
+    HardwareSpec s = a100();
+    s.name = "4xA100-80GB";
+    s.n_devices = 4;
+    s.mem_bw_gbs = 4.0 * 2039.0;  // weights sharded across devices
+    s.compute_tflops = 4.0 * 312.0;
+    s.vram_gb = 320.0;
+    s.sync_us_per_layer = 280.0;  // two all-reduces per layer (HF TP)
+    s.tdp_w = 1600.0;
+    return s;
+}
+
+HardwareSpec
+HardwareSpec::pc4060()
+{
+    HardwareSpec s;
+    s.name = "PC-RTX4060L-8GB";
+    s.mem_bw_gbs = 256.0;
+    s.compute_tflops = 22.0;
+    s.launch_overhead_us = 6.0;
+    s.vram_gb = 8.0;
+    s.host_bw_gbs = 60.0;   // i7-13650HX dual-channel DDR5
+    s.host_tflops = 0.6;
+    s.predictor_stall_us = 1100.0; // llama.cpp graph break + sync
+    s.tdp_w = 115.0;
+    // §7.3.2: predictor draws ~85 W on the PC GPU.
+    s.power_w = powerTable(102, 98, 80, 108, 75, 85, 80, 70);
+    return s;
+}
+
+HardwareSpec
+HardwareSpec::byName(const std::string &name)
+{
+    if (name == "A100-80GB")
+        return a100();
+    if (name == "RTX4090-24GB")
+        return rtx4090();
+    if (name == "4xA100-80GB")
+        return a100x4();
+    if (name == "PC-RTX4060L-8GB")
+        return pc4060();
+    specee_fatal("unknown hardware platform: %s", name.c_str());
+}
+
+} // namespace specee::hw

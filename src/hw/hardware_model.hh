@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hardware platform specifications (Table 2) and the operator power
+ * table used by the energy model (§7.3).
+ *
+ * Bandwidth / compute / capacity values are vendor datasheet numbers;
+ * per-operator power draws are calibrated so the dense Llama2-7B run
+ * on A100 averages ~201 W and SpecEE ~182 W, as §7.3.1 reports.
+ */
+
+#ifndef SPECEE_HW_HARDWARE_MODEL_HH
+#define SPECEE_HW_HARDWARE_MODEL_HH
+
+#include <array>
+#include <string>
+
+namespace specee::hw {
+
+/** Logical operator classes the engines emit. */
+enum class OpClass : int {
+    DecoderLayer = 0, ///< attention + FFN projections of one layer
+    KvRead,           ///< KV-cache traffic of attention
+    KvFill,           ///< k/v projections for early-exit skipped layers
+    LmHeadFull,       ///< full-vocabulary LM head (verification / decode)
+    LmHeadSliced,     ///< speculative (sliced / grouped) LM head
+    Predictor,        ///< exit-predictor MLP
+    Draft,            ///< draft-model forward
+    Embed,            ///< embedding lookup
+    Sync,             ///< tensor-parallel synchronization
+    Overhead,         ///< per-token framework overhead
+    NumClasses
+};
+
+constexpr int kNumOpClasses = static_cast<int>(OpClass::NumClasses);
+
+/** Short name of an op class (for tables). */
+const char *opClassName(OpClass cls);
+
+/** One execution platform. */
+struct HardwareSpec
+{
+    std::string name;
+
+    double mem_bw_gbs = 0.0;      ///< device memory bandwidth (GB/s)
+    double compute_tflops = 0.0;  ///< dense fp16 throughput (TFLOPS)
+    double launch_overhead_us = 5.0; ///< per-kernel launch latency
+    double vram_gb = 0.0;         ///< device memory capacity
+
+    /** Host path for CPU-offloaded weights (PC scenario); 0 = none. */
+    double host_bw_gbs = 0.0;
+    double host_tflops = 0.0;
+
+    /**
+     * Pipeline-stall cost of interrupting the GPU graph for one
+     * host-orchestrated predictor invocation (hybrid CPU-GPU
+     * runtimes like llama.cpp break their compute graph per check;
+     * 0 on cloud GPUs where the predictor stays device-side).
+     */
+    double predictor_stall_us = 0.0;
+
+    int n_devices = 1;            ///< tensor-parallel device count
+    double sync_us_per_layer = 0.0; ///< TP all-reduce cost per layer
+
+    double tdp_w = 0.0;
+
+    /** Average board power while executing each op class (W). */
+    std::array<double, kNumOpClasses> power_w{};
+
+    /** NVIDIA Tesla A100-80GB (cloud). */
+    static HardwareSpec a100();
+    /** NVIDIA RTX 4090 24GB (cloud). */
+    static HardwareSpec rtx4090();
+    /** 4x NVIDIA Tesla A100-80GB, tensor parallel (Llama2-70B). */
+    static HardwareSpec a100x4();
+    /** Lenovo PC: RTX 4060 Laptop 8GB + i7-13650HX (PC scenario). */
+    static HardwareSpec pc4060();
+
+    /** Lookup by name; fatal on unknown. */
+    static HardwareSpec byName(const std::string &name);
+};
+
+} // namespace specee::hw
+
+#endif // SPECEE_HW_HARDWARE_MODEL_HH

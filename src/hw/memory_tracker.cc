@@ -1,0 +1,61 @@
+#include "hw/memory_tracker.hh"
+
+namespace specee::hw {
+
+namespace {
+// Q4 group quantization stores 4-bit weights plus per-group scale and
+// minimum: 4 + 64/32 x 8 bits / 32 values ~= 4.5 bits per weight.
+constexpr double kQ4BitsPerWeight = 4.5;
+constexpr double kFp16BitsPerWeight = 16.0;
+} // namespace
+
+MemoryTracker::MemoryTracker(const model::ModelConfig &cfg, bool quantized,
+                             bool with_draft_model, int n_predictors,
+                             size_t predictor_params)
+    : cfg_(cfg),
+      quantized_(quantized),
+      withDraft_(with_draft_model),
+      nPredictors_(n_predictors),
+      predictorParams_(predictor_params)
+{
+}
+
+double
+MemoryTracker::weightBytes() const
+{
+    const double fp16 = cfg_.truthWeightBytes();
+    if (!quantized_)
+        return fp16;
+    return fp16 * (kQ4BitsPerWeight / kFp16BitsPerWeight);
+}
+
+double
+MemoryTracker::draftModelBytes() const
+{
+    if (!withDraft_)
+        return 0.0;
+    // EAGLE DLM = one decoder layer + embedding + LM head (fp16).
+    return cfg_.truthLayerBytes() + 2.0 * cfg_.truthLmHeadBytes();
+}
+
+double
+MemoryTracker::predictorBytes() const
+{
+    return static_cast<double>(nPredictors_) *
+           static_cast<double>(predictorParams_) * 4.0;
+}
+
+double
+MemoryTracker::kvBytes(int tokens) const
+{
+    return cfg_.truthKvBytesPerToken() * tokens;
+}
+
+double
+MemoryTracker::totalBytes(int tokens) const
+{
+    return weightBytes() + draftModelBytes() + predictorBytes() +
+           kvBytes(tokens);
+}
+
+} // namespace specee::hw

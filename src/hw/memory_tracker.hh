@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Device-memory footprint model at true model dimensions (Fig. 17).
+ *
+ * Tracks the components the paper plots: model weights (fp16 or Q4),
+ * growing KV cache, the EAGLE-style draft model (~0.9 GB for 7B,
+ * ~1.4 GB for 13B, §7.4.2), and the exit predictors (~416 KB).
+ */
+
+#ifndef SPECEE_HW_MEMORY_TRACKER_HH
+#define SPECEE_HW_MEMORY_TRACKER_HH
+
+#include "model/config.hh"
+
+namespace specee::hw {
+
+/** Static + dynamic memory model for one engine configuration. */
+class MemoryTracker
+{
+  public:
+    /**
+     * @param cfg              model configuration (true dims used)
+     * @param quantized        weights stored Q4 instead of fp16
+     * @param with_draft_model engine carries the DLM (SpecEE/EAGLE)
+     * @param n_predictors     exit predictors deployed (0 if none)
+     * @param predictor_params parameters per predictor MLP
+     */
+    MemoryTracker(const model::ModelConfig &cfg, bool quantized,
+                  bool with_draft_model, int n_predictors,
+                  size_t predictor_params);
+
+    /** Weight bytes (fp16, or Q4 at 4.5 bits/weight incl. scales). */
+    double weightBytes() const;
+
+    /** Draft-model bytes: one decoder layer + embedding + LM head. */
+    double draftModelBytes() const;
+
+    /** All predictor parameters, fp32. */
+    double predictorBytes() const;
+
+    /** KV cache bytes after `tokens` total cached positions. */
+    double kvBytes(int tokens) const;
+
+    /** Total device bytes after `tokens` positions. */
+    double totalBytes(int tokens) const;
+
+    /** Convenience: GiB for plotting. */
+    static double toGiB(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+
+  private:
+    model::ModelConfig cfg_;
+    bool quantized_;
+    bool withDraft_;
+    int nPredictors_;
+    size_t predictorParams_;
+};
+
+} // namespace specee::hw
+
+#endif // SPECEE_HW_MEMORY_TRACKER_HH

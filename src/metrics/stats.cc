@@ -1,0 +1,84 @@
+#include "metrics/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace specee::metrics {
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        specee_assert(x > 0.0, "geomean needs positive values, got %f", x);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+double
+stdev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+std::vector<double>
+normalize(const std::vector<long> &hist)
+{
+    long total = 0;
+    for (long c : hist)
+        total += c;
+    std::vector<double> p(hist.size(), 0.0);
+    if (total == 0)
+        return p;
+    for (size_t i = 0; i < hist.size(); ++i)
+        p[i] = static_cast<double>(hist[i]) / static_cast<double>(total);
+    return p;
+}
+
+double
+histogramMean(const std::vector<long> &hist)
+{
+    long total = 0;
+    double acc = 0.0;
+    for (size_t i = 0; i < hist.size(); ++i) {
+        total += hist[i];
+        acc += static_cast<double>(i) * static_cast<double>(hist[i]);
+    }
+    return total > 0 ? acc / static_cast<double>(total) : 0.0;
+}
+
+} // namespace specee::metrics

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Statistics helpers used by the benchmark harnesses: mean, geometric
+ * mean (the paper's cross-dataset aggregate), stdev, histograms.
+ */
+
+#ifndef SPECEE_METRICS_STATS_HH
+#define SPECEE_METRICS_STATS_HH
+
+#include <vector>
+
+namespace specee::metrics {
+
+/** Arithmetic mean; 0 on empty input. */
+double mean(const std::vector<double> &v);
+
+/** Geometric mean; 0 on empty input. @pre all values > 0 */
+double geomean(const std::vector<double> &v);
+
+/** Sample standard deviation; 0 for fewer than 2 values. */
+double stdev(const std::vector<double> &v);
+
+/** Minimum / maximum (0 on empty input). */
+double minOf(const std::vector<double> &v);
+double maxOf(const std::vector<double> &v);
+
+/** Normalize a histogram of counts to probabilities. */
+std::vector<double> normalize(const std::vector<long> &hist);
+
+/** Weighted mean of bucket indices (e.g. average exit layer). */
+double histogramMean(const std::vector<long> &hist);
+
+} // namespace specee::metrics
+
+#endif // SPECEE_METRICS_STATS_HH

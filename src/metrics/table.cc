@@ -1,0 +1,85 @@
+#include "metrics/table.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace specee::metrics {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::header(const std::vector<std::string> &cols)
+{
+    header_ = cols;
+}
+
+void
+Table::row(const std::vector<std::string> &cells)
+{
+    if (!header_.empty()) {
+        specee_assert(cells.size() == header_.size(),
+                      "row arity %zu != header arity %zu", cells.size(),
+                      header_.size());
+    }
+    rows_.push_back(cells);
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    return strfmt("%.*f", prec, v);
+}
+
+void
+Table::print() const
+{
+    std::vector<size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            std::printf("%-*s  ", static_cast<int>(width[i]),
+                        cells[i].c_str());
+        std::printf("\n");
+    };
+    if (!header_.empty()) {
+        print_row(header_);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+    for (const auto &r : rows_)
+        print_row(r);
+}
+
+std::string
+Table::csv() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += cells[i];
+        }
+        out += '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return out;
+}
+
+} // namespace specee::metrics

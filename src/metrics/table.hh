@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table writer for the benchmark harnesses: aligned
+ * columns, a title row, and optional CSV dumping so results can be
+ * plotted externally.
+ */
+
+#ifndef SPECEE_METRICS_TABLE_HH
+#define SPECEE_METRICS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace specee::metrics {
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void header(const std::vector<std::string> &cols);
+
+    /** Append one row (must match header arity if a header was set). */
+    void row(const std::vector<std::string> &cells);
+
+    /** Format a double with `prec` decimals. */
+    static std::string num(double v, int prec = 2);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Render as CSV. */
+    std::string csv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace specee::metrics
+
+#endif // SPECEE_METRICS_TABLE_HH

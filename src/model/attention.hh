@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Multi-head causal self-attention with RoPE over a KvStore.
+ */
+
+#ifndef SPECEE_MODEL_ATTENTION_HH
+#define SPECEE_MODEL_ATTENTION_HH
+
+#include "model/config.hh"
+#include "model/kv_store.hh"
+#include "model/weights.hh"
+#include "tensor/matrix.hh"
+
+namespace specee::model {
+
+/**
+ * Single-token decode attention. Projects q/k/v from the normalized
+ * input, applies rotary embeddings, appends k/v to the cache, and
+ * attends over all cached positions (causal by construction).
+ */
+class Attention
+{
+  public:
+    explicit Attention(const ModelConfig &cfg);
+
+    /**
+     * Attention for one token.
+     *
+     * @param lw       layer weights
+     * @param layer    layer index (selects the KV lane)
+     * @param x_normed pre-normalized input hidden state
+     * @param pos      absolute position of this token
+     * @param kv       KV storage; receives this token's k/v
+     * @param out      attention output (wo applied), length hidden
+     */
+    void forward(const LayerWeights &lw, int layer, tensor::CSpan x_normed,
+                 int pos, KvStore &kv, tensor::Span out);
+
+  private:
+    int hidden_;
+    int heads_;
+    int headDim_;
+    tensor::Vec q_, k_, v_, ctx_;
+    tensor::Vec scores_;
+};
+
+} // namespace specee::model
+
+#endif // SPECEE_MODEL_ATTENTION_HH

@@ -1,0 +1,115 @@
+#include "model/config.hh"
+
+#include "util/logging.hh"
+
+namespace specee::model {
+
+namespace {
+constexpr double kFp16Bytes = 2.0;
+} // namespace
+
+ModelConfig
+ModelConfig::llama2_7b()
+{
+    ModelConfig c;
+    c.name = "llama2-7b";
+    c.n_layers = 32;
+    c.truth = {4096, 11008, 32, 32000};
+    c.sim = {192, 516, 6, 4096};
+    c.weight_seed = 0x11a7;
+    return c;
+}
+
+ModelConfig
+ModelConfig::llama2_13b()
+{
+    ModelConfig c;
+    c.name = "llama2-13b";
+    c.n_layers = 40;
+    c.truth = {5120, 13824, 40, 32000};
+    c.sim = {224, 602, 7, 4096};
+    c.weight_seed = 0x11a13;
+    return c;
+}
+
+ModelConfig
+ModelConfig::llama2_70b()
+{
+    ModelConfig c;
+    c.name = "llama2-70b";
+    c.n_layers = 80;
+    c.truth = {8192, 28672, 64, 32000};
+    c.sim = {256, 688, 8, 4096};
+    c.weight_seed = 0x11a70;
+    return c;
+}
+
+ModelConfig
+ModelConfig::vicuna_7b()
+{
+    ModelConfig c = llama2_7b();
+    c.name = "vicuna-7b";
+    c.weight_seed = 0x71c07a;
+    return c;
+}
+
+ModelConfig
+ModelConfig::tiny()
+{
+    ModelConfig c;
+    c.name = "tiny";
+    c.n_layers = 8;
+    // Truth dims stay at 7B-like scale so cost-model ratios are
+    // representative even in unit tests (bytes dominate overheads).
+    c.truth = {4096, 11008, 32, 32000};
+    c.sim = {64, 172, 4, 512};
+    c.context_len = 256;
+    c.weight_seed = 0x717;
+    return c;
+}
+
+ModelConfig
+ModelConfig::byName(const std::string &name)
+{
+    if (name == "llama2-7b")
+        return llama2_7b();
+    if (name == "llama2-13b")
+        return llama2_13b();
+    if (name == "llama2-70b")
+        return llama2_70b();
+    if (name == "vicuna-7b")
+        return vicuna_7b();
+    if (name == "tiny")
+        return tiny();
+    specee_fatal("unknown model: %s", name.c_str());
+}
+
+double
+ModelConfig::truthLayerBytes() const
+{
+    const double h = truth.hidden;
+    const double f = truth.ffn;
+    // wq, wk, wv, wo + gate, up, down (llama MLP) at fp16.
+    return (4.0 * h * h + 3.0 * h * f) * kFp16Bytes;
+}
+
+double
+ModelConfig::truthLmHeadBytes() const
+{
+    return static_cast<double>(truth.hidden) * truth.vocab * kFp16Bytes;
+}
+
+double
+ModelConfig::truthWeightBytes() const
+{
+    // Layers + embedding + LM head (untied in Llama-2).
+    return n_layers * truthLayerBytes() + 2.0 * truthLmHeadBytes();
+}
+
+double
+ModelConfig::truthKvBytesPerToken() const
+{
+    return 2.0 * n_layers * truth.hidden * kFp16Bytes;
+}
+
+} // namespace specee::model

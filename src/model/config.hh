@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Model configuration: true Llama-2 dimensions plus reduced
+ * simulation dimensions.
+ *
+ * The functional simulator computes with `sim` dimensions so the
+ * whole suite runs on CPU in seconds, while hw::CostModel prices
+ * every logical operator with `truth` dimensions so modeled latency,
+ * memory and energy match the real models. Quantities that SpecEE's
+ * logic manipulates directly — layer count, speculative width, tree
+ * shape — are identical in both.
+ */
+
+#ifndef SPECEE_MODEL_CONFIG_HH
+#define SPECEE_MODEL_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace specee::model {
+
+/** One set of transformer dimensions. */
+struct Dims
+{
+    int hidden = 0;   ///< model (embedding) dimension
+    int ffn = 0;      ///< feed-forward inner dimension
+    int heads = 0;    ///< attention heads
+    int vocab = 0;    ///< vocabulary size
+
+    int headDim() const { return hidden / heads; }
+};
+
+/** Full model configuration. */
+struct ModelConfig
+{
+    std::string name;     ///< model key, e.g. "llama2-7b"
+    int n_layers = 0;     ///< decoder layers (same in truth and sim)
+    Dims truth;           ///< real Llama-2 dimensions (cost model)
+    Dims sim;             ///< reduced dimensions (functional math)
+    int context_len = 512;    ///< simulated context window
+    int num_spec_tokens = 4;  ///< speculative tokens per step (§4.3.2)
+    uint64_t weight_seed = 0x11a;
+
+    /** Llama-2-7B: 32 layers, hidden 4096, ffn 11008, vocab 32000. */
+    static ModelConfig llama2_7b();
+    /** Llama-2-13B: 40 layers, hidden 5120, ffn 13824. */
+    static ModelConfig llama2_13b();
+    /** Llama-2-70B: 80 layers, hidden 8192, ffn 28672. */
+    static ModelConfig llama2_70b();
+    /** Vicuna-7B: Llama-2-7B architecture, different exit statistics. */
+    static ModelConfig vicuna_7b();
+    /** Tiny config for unit tests (8 layers, vocab 512). */
+    static ModelConfig tiny();
+
+    /** Lookup by model key; fatal on unknown name. */
+    static ModelConfig byName(const std::string &name);
+
+    /** fp16 parameter bytes of the true model (weights only). */
+    double truthWeightBytes() const;
+
+    /** fp16 bytes of one true decoder layer's weights. */
+    double truthLayerBytes() const;
+
+    /** fp16 bytes of the true LM head (hidden x vocab). */
+    double truthLmHeadBytes() const;
+
+    /** fp16 KV-cache bytes per token across all layers. */
+    double truthKvBytesPerToken() const;
+};
+
+} // namespace specee::model
+
+#endif // SPECEE_MODEL_CONFIG_HH

@@ -1,0 +1,78 @@
+#include "model/draft_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specee::model {
+
+DraftModel::DraftModel(const ModelConfig &cfg,
+                       const oracle::SyntheticCorpus &corpus,
+                       double hit_rate)
+    : corpus_(corpus), hitRate_(hit_rate), vocab_(cfg.sim.vocab)
+{
+    specee_assert(hit_rate >= 0.0 && hit_rate <= 1.0, "bad hit rate");
+    specee_assert(corpus.vocab() == vocab_, "corpus/model vocab mismatch");
+}
+
+std::vector<int>
+DraftModel::speculate(int prev_token, int true_target, int k,
+                      Rng &rng) const
+{
+    specee_assert(k >= 1, "need at least one speculative token");
+    const bool hit = rng.bernoulli(hitRate_);
+
+    // Plausible continuations of the context serve as the remaining
+    // slots (what a trained DLM's top-k looks like).
+    auto cont = corpus_.topNext(prev_token, k + 4);
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(k));
+
+    if (hit) {
+        // A strong draft model ranks the true token near the top:
+        // slot 0 w.p. 0.70, slot 1 w.p. 0.15, ...
+        static const std::vector<float> slot_w = {0.70f, 0.15f, 0.10f,
+                                                  0.05f};
+        int slot = static_cast<int>(rng.categorical(slot_w));
+        slot = std::min(slot, k - 1);
+        for (const auto &[tok, p] : cont) {
+            (void)p;
+            if (static_cast<int>(out.size()) == slot)
+                out.push_back(true_target);
+            if (static_cast<int>(out.size()) >= k)
+                break;
+            if (tok != true_target &&
+                std::find(out.begin(), out.end(), tok) == out.end()) {
+                out.push_back(tok);
+            }
+        }
+        if (std::find(out.begin(), out.end(), true_target) == out.end()) {
+            if (static_cast<int>(out.size()) >= k)
+                out.pop_back();
+            out.push_back(true_target);
+        }
+    } else {
+        for (const auto &[tok, p] : cont) {
+            (void)p;
+            if (tok == true_target)
+                continue;
+            if (std::find(out.begin(), out.end(), tok) == out.end())
+                out.push_back(tok);
+            if (static_cast<int>(out.size()) >= k)
+                break;
+        }
+    }
+
+    // Pad with fresh unigram draws in the (rare) case the continuation
+    // head was too small.
+    while (static_cast<int>(out.size()) < k) {
+        int t = corpus_.sampleUnigram(rng);
+        if ((hit || t != true_target) &&
+            std::find(out.begin(), out.end(), t) == out.end()) {
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+} // namespace specee::model

@@ -1,0 +1,75 @@
+#include "model/ffn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels.hh"
+#include "util/logging.hh"
+
+namespace specee::model {
+
+Ffn::Ffn(const ModelConfig &cfg)
+    : hidden_(cfg.sim.hidden),
+      ffnDim_(cfg.sim.ffn),
+      gate_(static_cast<size_t>(ffnDim_)),
+      up_(static_cast<size_t>(ffnDim_)),
+      act_(static_cast<size_t>(ffnDim_))
+{
+}
+
+void
+Ffn::forward(const LayerWeights &lw, tensor::CSpan x_normed,
+             tensor::Span out)
+{
+    specee_assert(x_normed.size() == static_cast<size_t>(hidden_) &&
+                  out.size() == static_cast<size_t>(hidden_),
+                  "ffn io size");
+    lw.w_gate.gemv(x_normed, gate_);
+    lw.w_up.gemv(x_normed, up_);
+    for (int i = 0; i < ffnDim_; ++i) {
+        const float g = gate_[static_cast<size_t>(i)];
+        act_[static_cast<size_t>(i)] =
+            g * tensor::sigmoid(g) * up_[static_cast<size_t>(i)];
+    }
+    lw.w_down.gemv(act_, out);
+    lastActive_ = ffnDim_;
+}
+
+void
+Ffn::forwardSparse(const LayerWeights &lw, tensor::CSpan x_normed,
+                   float active_frac, tensor::Span out)
+{
+    specee_assert(active_frac > 0.0f && active_frac <= 1.0f,
+                  "bad active fraction %f", active_frac);
+    specee_assert(x_normed.size() == static_cast<size_t>(hidden_) &&
+                  out.size() == static_cast<size_t>(hidden_),
+                  "ffn io size");
+
+    // Gate scores select the active neuron set (PowerInfer predicts
+    // this set; we compute it exactly — same selected set, same cost
+    // charged by the cost model).
+    lw.w_gate.gemv(x_normed, gate_);
+    for (int i = 0; i < ffnDim_; ++i) {
+        const float g = gate_[static_cast<size_t>(i)];
+        act_[static_cast<size_t>(i)] = g * tensor::sigmoid(g);
+    }
+    tensor::Vec mags(static_cast<size_t>(ffnDim_));
+    for (int i = 0; i < ffnDim_; ++i)
+        mags[static_cast<size_t>(i)] =
+            std::fabs(act_[static_cast<size_t>(i)]);
+    const int keep = std::max(
+        1, static_cast<int>(std::ceil(active_frac * ffnDim_)));
+    auto top = tensor::topk(mags, static_cast<size_t>(keep));
+
+    std::fill(out.begin(), out.end(), 0.0f);
+    for (const auto &[idx, mag] : top) {
+        (void)mag;
+        const size_t i = static_cast<size_t>(idx);
+        const float u = lw.w_up.rowDot(i, x_normed);
+        const float a = act_[i] * u;
+        lw.w_down.addScaledColumn(i, a, out);
+    }
+    lastActive_ = keep;
+}
+
+} // namespace specee::model

@@ -1,0 +1,62 @@
+#include "model/lm_head.hh"
+
+#include "tensor/kernels.hh"
+#include "util/logging.hh"
+
+namespace specee::model {
+
+LmHead::LmHead(const tensor::Matrix &embedding, const tensor::Vec &rms_final)
+    : embedding_(embedding),
+      rmsFinal_(rms_final),
+      scratch_(embedding.cols())
+{
+    specee_assert(embedding.cols() == rms_final.size(),
+                  "lm head dims mismatch");
+}
+
+void
+LmHead::normalize(tensor::CSpan hidden_state) const
+{
+    tensor::rmsnorm(hidden_state, rmsFinal_, scratch_);
+}
+
+void
+LmHead::full(tensor::CSpan hidden_state, tensor::Span logits) const
+{
+    specee_assert(logits.size() == embedding_.rows(), "full logits size");
+    normalize(hidden_state);
+    tensor::gemv(embedding_, scratch_, logits);
+}
+
+void
+LmHead::sliced(tensor::CSpan hidden_state, const std::vector<int> &tokens,
+               tensor::Span out) const
+{
+    specee_assert(out.size() == tokens.size(), "sliced logits size");
+    normalize(hidden_state);
+    tensor::gemvRows(embedding_, tokens, scratch_, out);
+}
+
+void
+LmHead::grouped(const std::vector<tensor::CSpan> &hiddens,
+                const std::vector<std::vector<int>> &groups,
+                std::vector<tensor::Vec> &out) const
+{
+    specee_assert(hiddens.size() == groups.size(), "grouped sizes");
+    out.resize(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+        out[g].assign(groups[g].size(), 0.0f);
+        normalize(hiddens[g]);
+        tensor::gemvRows(embedding_, groups[g], scratch_, out[g]);
+    }
+}
+
+int
+LmHead::argmaxToken(tensor::CSpan hidden_state) const
+{
+    tensor::Vec logits(embedding_.rows());
+    full(hidden_state, logits);
+    return static_cast<int>(tensor::argmax(logits));
+}
+
+} // namespace specee::model

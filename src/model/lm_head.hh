@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Language-model head: full, sliced (speculative) and grouped
+ * (hyper-token) projections from hidden states to token logits.
+ *
+ * The sliced path is the core of the paper's insight (Fig. 2(b)):
+ * instead of the full hidden x vocab GEMV per layer, the predictor
+ * only needs the columns of the LM head that correspond to the
+ * speculative tokens. The grouped path evaluates one block per token
+ * tree path — the CPU analogue of the cutlass/MegaBlocks group-GEMM
+ * kernel of Fig. 13.
+ */
+
+#ifndef SPECEE_MODEL_LM_HEAD_HH
+#define SPECEE_MODEL_LM_HEAD_HH
+
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace specee::model {
+
+/** LM head tied to the embedding matrix (vocab x hidden). */
+class LmHead
+{
+  public:
+    /**
+     * @param embedding  tied embedding matrix (vocab x hidden)
+     * @param rms_final  final RMSNorm weight (hidden)
+     */
+    LmHead(const tensor::Matrix &embedding, const tensor::Vec &rms_final);
+
+    int vocab() const { return static_cast<int>(embedding_.rows()); }
+    int hidden() const { return static_cast<int>(embedding_.cols()); }
+
+    /** Full-vocabulary logits (the expensive online search). */
+    void full(tensor::CSpan hidden_state, tensor::Span logits) const;
+
+    /** Logits for selected tokens only (speculative LM head). */
+    void sliced(tensor::CSpan hidden_state, const std::vector<int> &tokens,
+                tensor::Span out) const;
+
+    /**
+     * Grouped (block-wise) sliced logits: group g pairs hidden state
+     * hiddens[g] with token set groups[g]. Semantically equal to
+     * calling sliced() per group; implemented as one fused pass so
+     * tests can pin the equivalence (the GPU version is one grouped
+     * GEMM launch instead of |groups| kernel launches).
+     */
+    void grouped(const std::vector<tensor::CSpan> &hiddens,
+                 const std::vector<std::vector<int>> &groups,
+                 std::vector<tensor::Vec> &out) const;
+
+    /** argmax over the full vocabulary for a hidden state. */
+    int argmaxToken(tensor::CSpan hidden_state) const;
+
+  private:
+    /** Apply the final RMSNorm into scratch_. */
+    void normalize(tensor::CSpan hidden_state) const;
+
+    const tensor::Matrix &embedding_;
+    const tensor::Vec &rmsFinal_;
+    mutable tensor::Vec scratch_;
+};
+
+} // namespace specee::model
+
+#endif // SPECEE_MODEL_LM_HEAD_HH

@@ -1,0 +1,129 @@
+#include "model/paged_kv.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specee::model {
+
+PagedKvCache::PagedKvCache(int n_layers, int n_blocks, int hidden)
+    : nLayers_(n_layers),
+      hidden_(hidden),
+      layers_(static_cast<size_t>(n_layers))
+{
+    kPool_.reserve(static_cast<size_t>(n_blocks));
+    vPool_.reserve(static_cast<size_t>(n_blocks));
+    for (int b = 0; b < n_blocks; ++b) {
+        kPool_.emplace_back(static_cast<size_t>(kKvBlockSize),
+                            static_cast<size_t>(hidden));
+        vPool_.emplace_back(static_cast<size_t>(kKvBlockSize),
+                            static_cast<size_t>(hidden));
+        freeList_.push_back(n_blocks - 1 - b);
+    }
+}
+
+int
+PagedKvCache::allocBlock()
+{
+    specee_assert(!freeList_.empty(), "paged KV pool exhausted");
+    int b = freeList_.back();
+    freeList_.pop_back();
+    return b;
+}
+
+void
+PagedKvCache::freeBlock(int b)
+{
+    freeList_.push_back(b);
+}
+
+bool
+PagedKvCache::wouldOverflow(int layer) const
+{
+    const LayerState &st = layers_[static_cast<size_t>(layer)];
+    return st.len % kKvBlockSize == 0 && freeList_.empty();
+}
+
+int
+PagedKvCache::append(int layer, tensor::CSpan k, tensor::CSpan v)
+{
+    specee_assert(layer >= 0 && layer < nLayers_, "bad layer");
+    specee_assert(k.size() == static_cast<size_t>(hidden_) &&
+                  v.size() == static_cast<size_t>(hidden_),
+                  "paged kv dim mismatch");
+    LayerState &st = layers_[static_cast<size_t>(layer)];
+    if (st.len % kKvBlockSize == 0)
+        st.blockTable.push_back(allocBlock());
+    const int pos = st.len++;
+    const int block = st.blockTable[static_cast<size_t>(pos / kKvBlockSize)];
+    const int off = pos % kKvBlockSize;
+    std::copy(k.begin(), k.end(),
+              kPool_[static_cast<size_t>(block)]
+                  .row(static_cast<size_t>(off)).begin());
+    std::copy(v.begin(), v.end(),
+              vPool_[static_cast<size_t>(block)]
+                  .row(static_cast<size_t>(off)).begin());
+    return pos;
+}
+
+std::pair<int, int>
+PagedKvCache::locate(int layer, int pos) const
+{
+    const LayerState &st = layers_[static_cast<size_t>(layer)];
+    specee_assert(pos >= 0 && pos < st.len, "paged kv read past end");
+    return {st.blockTable[static_cast<size_t>(pos / kKvBlockSize)],
+            pos % kKvBlockSize};
+}
+
+tensor::CSpan
+PagedKvCache::key(int layer, int pos) const
+{
+    auto [block, off] = locate(layer, pos);
+    return kPool_[static_cast<size_t>(block)].row(static_cast<size_t>(off));
+}
+
+tensor::CSpan
+PagedKvCache::value(int layer, int pos) const
+{
+    auto [block, off] = locate(layer, pos);
+    return vPool_[static_cast<size_t>(block)].row(static_cast<size_t>(off));
+}
+
+int
+PagedKvCache::length(int layer) const
+{
+    return layers_[static_cast<size_t>(layer)].len;
+}
+
+void
+PagedKvCache::truncate(int new_len)
+{
+    for (auto &st : layers_) {
+        if (st.len <= new_len)
+            continue;
+        const int keep_blocks =
+            new_len == 0 ? 0 : (new_len + kKvBlockSize - 1) / kKvBlockSize;
+        while (static_cast<int>(st.blockTable.size()) > keep_blocks) {
+            freeBlock(st.blockTable.back());
+            st.blockTable.pop_back();
+        }
+        st.len = new_len;
+    }
+}
+
+void
+PagedKvCache::clear()
+{
+    truncate(0);
+}
+
+int
+PagedKvCache::blocksInUse() const
+{
+    int n = 0;
+    for (const auto &st : layers_)
+        n += static_cast<int>(st.blockTable.size());
+    return n;
+}
+
+} // namespace specee::model

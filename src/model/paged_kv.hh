@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Paged KV cache — the PagedAttention (vllm) memory-manager substrate.
+ *
+ * Physical KV storage is divided into fixed-size blocks managed by a
+ * free list; each (sequence, layer) maps logical positions to blocks
+ * through a block table. This is the real data structure vllm uses to
+ * eliminate KV fragmentation; the engine's "vllm" preset routes its
+ * attention reads through it.
+ */
+
+#ifndef SPECEE_MODEL_PAGED_KV_HH
+#define SPECEE_MODEL_PAGED_KV_HH
+
+#include <utility>
+#include <vector>
+
+#include "model/kv_store.hh"
+#include "tensor/matrix.hh"
+
+namespace specee::model {
+
+/** Positions per physical KV block. */
+constexpr int kKvBlockSize = 16;
+
+/**
+ * Block-based KV pool with allocation, per-layer block tables and
+ * rollback. Single-sequence interface (batch 1 decoding), but the
+ * allocator itself is sequence-agnostic and reusable.
+ */
+class PagedKvCache : public KvStore
+{
+  public:
+    /**
+     * @param n_layers  decoder layers
+     * @param n_blocks  physical blocks in the pool (shared by layers)
+     * @param hidden    per-position K/V width
+     */
+    PagedKvCache(int n_layers, int n_blocks, int hidden);
+
+    /** Append k/v for the next position of layer l. @return position */
+    int append(int layer, tensor::CSpan k, tensor::CSpan v) override;
+
+    tensor::CSpan key(int layer, int pos) const override;
+    tensor::CSpan value(int layer, int pos) const override;
+
+    int length(int layer) const override;
+
+    /** Roll back to new_len positions, freeing now-empty blocks. */
+    void truncate(int new_len) override;
+
+    /** Free all blocks. */
+    void clear() override;
+
+    /** Physical blocks currently allocated across all layers. */
+    int blocksInUse() const;
+
+    /** Physical blocks still free. */
+    int blocksFree() const { return static_cast<int>(freeList_.size()); }
+
+    /** True if an append would fail for `layer`. */
+    bool wouldOverflow(int layer) const;
+
+  private:
+    struct LayerState
+    {
+        std::vector<int> blockTable; ///< logical block -> physical block
+        int len = 0;                 ///< cached positions
+    };
+
+    /** Physical location of (layer, pos). */
+    std::pair<int, int> locate(int layer, int pos) const;
+
+    int allocBlock();
+    void freeBlock(int b);
+
+    int nLayers_;
+    int hidden_;
+    // Physical pool: per block, kKvBlockSize rows for K and V.
+    std::vector<tensor::Matrix> kPool_;
+    std::vector<tensor::Matrix> vPool_;
+    std::vector<int> freeList_;
+    std::vector<LayerState> layers_;
+};
+
+} // namespace specee::model
+
+#endif // SPECEE_MODEL_PAGED_KV_HH

@@ -1,0 +1,195 @@
+#include "model/target_model.hh"
+
+#include <cmath>
+
+#include "model/paged_kv.hh"
+#include "tensor/kernels.hh"
+#include "util/logging.hh"
+
+namespace specee::model {
+
+namespace {
+
+/** Normalize v to unit L2 norm (no-op on zero vectors). */
+void
+unitize(tensor::Span v)
+{
+    const float n = tensor::norm2(v);
+    if (n > 0.0f)
+        tensor::scaleInplace(v, 1.0f / n);
+}
+
+} // namespace
+
+TargetModel::TargetModel(const ModelConfig &cfg,
+                         const TargetModelOptions &opts)
+    : cfg_(cfg),
+      opts_(opts),
+      weights_(cfg, opts.quantized),
+      lmHead_(weights_.embedding(), weights_.rmsFinal()),
+      layerBlock_(cfg),
+      noiseRng_(opts.noise_seed),
+      hidden_(static_cast<size_t>(cfg.sim.hidden)),
+      dirTarget_(static_cast<size_t>(cfg.sim.hidden)),
+      dirDistractor_(static_cast<size_t>(cfg.sim.hidden))
+{
+    if (opts.paged_kv) {
+        const int blocks =
+            cfg.n_layers * (cfg.context_len / kKvBlockSize + 2);
+        kv_ = std::make_unique<PagedKvCache>(cfg.n_layers, blocks,
+                                             cfg.sim.hidden);
+    } else {
+        kv_ = std::make_unique<KvCache>(cfg.n_layers, cfg.context_len,
+                                        cfg.sim.hidden);
+    }
+}
+
+void
+TargetModel::reset()
+{
+    kv_->clear();
+    pos_ = 0;
+    layer_ = 0;
+    inToken_ = false;
+}
+
+void
+TargetModel::prefill(const std::vector<int> &tokens)
+{
+    specee_assert(!inToken_, "prefill during a decode step");
+    for (int tok : tokens) {
+        specee_assert(tok >= 0 && tok < cfg_.sim.vocab,
+                      "prompt token %d out of range", tok);
+        tensor::CSpan e = weights_.embedding().row(static_cast<size_t>(tok));
+        hidden_.assign(e.begin(), e.end());
+        for (int l = 0; l < cfg_.n_layers; ++l)
+            layerBlock_.fillKv(weights_.layer(l), l, hidden_, pos_, *kv_);
+        ++pos_;
+    }
+}
+
+void
+TargetModel::beginToken(int input_token, const TokenScript &script)
+{
+    specee_assert(!inToken_, "beginToken during a decode step");
+    specee_assert(input_token >= 0 && input_token < cfg_.sim.vocab,
+                  "input token out of range");
+    specee_assert(script.target >= 0 && script.target < cfg_.sim.vocab &&
+                  script.distractor >= 0 &&
+                  script.distractor < cfg_.sim.vocab,
+                  "script token out of range");
+    script_ = script;
+    layer_ = 0;
+    inToken_ = true;
+
+    // Residual stream starts at the input embedding.
+    tensor::CSpan e =
+        weights_.embedding().row(static_cast<size_t>(input_token));
+    hidden_.assign(e.begin(), e.end());
+
+    // Per-token noisy target direction: dir = unit(E[target] + nu*z).
+    tensor::CSpan et =
+        weights_.embedding().row(static_cast<size_t>(script.target));
+    const float nu = opts_.steer.target_noise;
+    const float per_dim =
+        nu / std::sqrt(static_cast<float>(cfg_.sim.hidden));
+    for (size_t i = 0; i < dirTarget_.size(); ++i) {
+        dirTarget_[i] =
+            et[i] + static_cast<float>(noiseRng_.normal(0.0, per_dim));
+    }
+    unitize(dirTarget_);
+
+    tensor::CSpan ed =
+        weights_.embedding().row(static_cast<size_t>(script.distractor));
+    dirDistractor_.assign(ed.begin(), ed.end());
+
+    const float j = opts_.steer.distractor_jitter;
+    distractorScale_ =
+        static_cast<float>(noiseRng_.uniform(1.0 - j, 1.0 + j));
+}
+
+void
+TargetModel::steer(int layer_just_run)
+{
+    const SteerParams &sp = opts_.steer;
+    const int l = layer_just_run;
+
+    float alpha = tensor::sigmoid(
+        (static_cast<float>(l - script_.conv_layer) + 0.5f) / sp.tau);
+    if (l == cfg_.n_layers - 1)
+        alpha = std::max(alpha, sp.final_alpha);
+
+    // The distractor fades in over the first few layers and out as
+    // the target takes over.
+    const float ramp =
+        std::min(1.0f, static_cast<float>(l + 1) / 4.0f);
+    const float beta = sp.distractor_strength * distractorScale_ *
+                       (1.0f - alpha) * ramp;
+
+    unitize(hidden_); // texture component on the unit sphere
+    const float tex = std::max(0.0f, 1.0f - alpha - beta);
+    for (size_t i = 0; i < hidden_.size(); ++i) {
+        hidden_[i] = tex * hidden_[i] + alpha * dirTarget_[i] +
+                     beta * dirDistractor_[i];
+    }
+    unitize(hidden_);
+}
+
+tensor::CSpan
+TargetModel::runLayer()
+{
+    specee_assert(inToken_, "runLayer outside a decode step");
+    specee_assert(layer_ < cfg_.n_layers, "runLayer past last layer");
+    layerBlock_.forward(weights_.layer(layer_), layer_, hidden_, pos_,
+                        *kv_, opts_.sparse_ffn, opts_.ffn_active_frac);
+    steer(layer_);
+    ++layer_;
+    return hidden_;
+}
+
+int
+TargetModel::runRemainingLayers()
+{
+    specee_assert(inToken_, "runRemainingLayers outside a decode step");
+    while (layer_ < cfg_.n_layers)
+        runLayer();
+    inToken_ = false;
+    ++pos_;
+    return lmHead_.argmaxToken(hidden_);
+}
+
+int
+TargetModel::finishEarly()
+{
+    specee_assert(inToken_, "finishEarly outside a decode step");
+    const int filled = cfg_.n_layers - layer_;
+    for (int l = layer_; l < cfg_.n_layers; ++l)
+        layerBlock_.fillKv(weights_.layer(l), l, hidden_, pos_, *kv_);
+    layer_ = cfg_.n_layers;
+    inToken_ = false;
+    ++pos_;
+    return filled;
+}
+
+int
+TargetModel::globalArgmax() const
+{
+    return lmHead_.argmaxToken(hidden_);
+}
+
+void
+TargetModel::logitsSliced(const std::vector<int> &tokens,
+                          tensor::Span out) const
+{
+    lmHead_.sliced(hidden_, tokens, out);
+}
+
+tensor::Vec
+TargetModel::fullLogits() const
+{
+    tensor::Vec logits(static_cast<size_t>(cfg_.sim.vocab));
+    lmHead_.full(hidden_, logits);
+    return logits;
+}
+
+} // namespace specee::model

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * TargetModel — the simulated target LLM (TLM) with layer-level
+ * stepping and convergence steering.
+ *
+ * The model runs real transformer math (attention over a KV store,
+ * SwiGLU FFN, tied LM head) at the simulation dimensions, and blends
+ * each layer's output with oracle-directed embedding directions so
+ * that the *probability shift* of §4.2 appears at a scripted
+ * convergence layer:
+ *
+ *   - before conv_layer, the hidden state points mostly at the layer
+ *     "texture" plus a moderate distractor direction, so the global
+ *     argmax is the distractor and speculative-token probabilities
+ *     stay flat;
+ *   - at conv_layer, a sharp sigmoid ramp rotates the hidden state
+ *     onto the (noisy) target-token embedding, so the target's local
+ *     probability and logit jump — exactly the feature signal the
+ *     SpecEE predictor is trained on;
+ *   - at the final layer the target component is forced dominant, so
+ *     a full forward pass always emits the scripted target (dense
+ *     accuracy is therefore controlled by the workload scripts).
+ *
+ * This steering is the documented substitution for trained Llama-2
+ * weights (DESIGN.md §1); everything else in the pipeline operates
+ * on the model exactly as it would on a real checkpoint.
+ */
+
+#ifndef SPECEE_MODEL_TARGET_MODEL_HH
+#define SPECEE_MODEL_TARGET_MODEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "model/config.hh"
+#include "model/decoder_layer.hh"
+#include "model/kv_cache.hh"
+#include "model/kv_store.hh"
+#include "model/lm_head.hh"
+#include "model/weights.hh"
+#include "util/rng.hh"
+
+namespace specee::model {
+
+/** Oracle script for one generated token. */
+struct TokenScript
+{
+    int target = 0;      ///< token the full forward pass emits
+    int distractor = 0;  ///< pre-convergence global argmax
+    int conv_layer = 0;  ///< layer of the probability shift
+};
+
+/** Steering strength parameters (defaults calibrated in tests). */
+struct SteerParams
+{
+    float tau = 0.25f;               ///< ramp sharpness
+    float distractor_strength = 0.45f;
+    /**
+     * Per-token multiplier range for the distractor strength
+     * (uniform in [1-j, 1+j]). Strong-distractor tokens show high
+     * *global* top-1 confidence before convergence — the ambiguity
+     * that fools verification-free predictors (AdaInfer) while the
+     * *local* speculative probabilities stay flat.
+     */
+    float distractor_jitter = 0.55f;
+    float target_noise = 0.35f;      ///< feature noise level
+    float final_alpha = 0.93f;       ///< target dominance at last layer
+};
+
+/** Options controlling the functional compute paths. */
+struct TargetModelOptions
+{
+    bool quantized = false;   ///< Q4 weights (AWQ / llama.cpp engines)
+    bool paged_kv = false;    ///< use the paged KV cache (vllm engine)
+    bool sparse_ffn = false;  ///< PowerInfer-style sparse FFN
+    float ffn_active_frac = 0.3f;
+    SteerParams steer;
+    uint64_t noise_seed = 0xfeed;
+};
+
+/**
+ * Layer-steppable target model for one sequence.
+ */
+class TargetModel
+{
+  public:
+    TargetModel(const ModelConfig &cfg, const TargetModelOptions &opts);
+
+    const ModelConfig &config() const { return cfg_; }
+    const Weights &weights() const { return weights_; }
+    const LmHead &lmHead() const { return lmHead_; }
+    int nLayers() const { return cfg_.n_layers; }
+
+    /** Clear KV and position state for a new sequence. */
+    void reset();
+
+    /** Next absolute position to be written. */
+    int position() const { return pos_; }
+
+    /**
+     * Fast prompt ingestion: fills every layer's KV from the token
+     * embeddings without full layer compute. Prompt hidden fidelity
+     * only matters through attention texture, and decode-time costs
+     * are charged by the cost model at the true prompt length.
+     */
+    void prefill(const std::vector<int> &tokens);
+
+    /** Begin a decode step for `input_token` under `script`. */
+    void beginToken(int input_token, const TokenScript &script);
+
+    /** Layer that runLayer() would execute next (0-based). */
+    int currentLayer() const { return layer_; }
+
+    /** True once all layers have run for the current token. */
+    bool doneAllLayers() const { return layer_ >= cfg_.n_layers; }
+
+    /**
+     * Run the next layer (attention + FFN + steering); returns the
+     * steered hidden state after that layer.
+     */
+    tensor::CSpan runLayer();
+
+    /** Current steered hidden state. */
+    tensor::CSpan hidden() const { return hidden_; }
+
+    /** Run all remaining layers; returns the final argmax token. */
+    int runRemainingLayers();
+
+    /**
+     * Finish the current token after an early exit: fills KV for all
+     * layers that were skipped from the current hidden state so later
+     * tokens can attend to this position.
+     *
+     * @return number of layers whose KV was filled
+     */
+    int finishEarly();
+
+    /** Full-vocabulary argmax on the current hidden state. */
+    int globalArgmax() const;
+
+    /** Sliced logits of `tokens` on the current hidden state. */
+    void logitsSliced(const std::vector<int> &tokens,
+                      tensor::Span out) const;
+
+    /** Full logits on the current hidden state. */
+    tensor::Vec fullLogits() const;
+
+    /** KV store (for tests). */
+    const KvStore &kv() const { return *kv_; }
+
+  private:
+    /** Apply convergence steering to the raw layer output. */
+    void steer(int layer_just_run);
+
+    ModelConfig cfg_;
+    TargetModelOptions opts_;
+    Weights weights_;
+    LmHead lmHead_;
+    std::unique_ptr<KvStore> kv_;
+    DecoderLayer layerBlock_;
+    Rng noiseRng_;
+
+    int pos_ = 0;    ///< position of the token being decoded
+    int layer_ = 0;  ///< next layer to run for the current token
+    bool inToken_ = false;
+    TokenScript script_;
+    tensor::Vec hidden_;
+    tensor::Vec dirTarget_;
+    tensor::Vec dirDistractor_;
+    float distractorScale_ = 1.0f; ///< per-token strength multiplier
+};
+
+} // namespace specee::model
+
+#endif // SPECEE_MODEL_TARGET_MODEL_HH

@@ -1,0 +1,96 @@
+#include "model/tokenizer.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace specee::model {
+
+namespace {
+
+// Frequent-word table for low token ids (after the reserved range).
+constexpr std::array<const char *, 64> kWords = {
+    "the", "of", "and", "to", "a", "in", "is", "that", "it", "was",
+    "for", "on", "are", "as", "with", "his", "they", "at", "be",
+    "this", "from", "have", "or", "one", "had", "by", "word", "but",
+    "not", "what", "all", "were", "we", "when", "your", "can",
+    "said", "there", "use", "an", "each", "which", "she", "do",
+    "how", "their", "if", "will", "up", "other", "about", "out",
+    "many", "then", "them", "these", "so", "some", "her", "would",
+    "make", "like", "him", "into",
+};
+
+constexpr int kWordBase = kOptionTokenBase + kMaxOptions;
+
+} // namespace
+
+Tokenizer::Tokenizer(int vocab) : vocab_(vocab)
+{
+    specee_assert(vocab > kWordBase + static_cast<int>(kWords.size()),
+                  "vocab %d too small for tokenizer", vocab);
+}
+
+std::string
+Tokenizer::decode(int token) const
+{
+    specee_assert(token >= 0 && token < vocab_, "token %d out of range",
+                  token);
+    if (token == 0)
+        return "<s>";
+    if (token == 1)
+        return "</s>";
+    const int opt = optionIndex(token);
+    if (opt >= 0)
+        return std::string("(") + static_cast<char>('A' + opt) + ")";
+    if (token - kWordBase < static_cast<int>(kWords.size()))
+        return kWords[static_cast<size_t>(token - kWordBase)];
+    return "tok" + std::to_string(token);
+}
+
+std::string
+Tokenizer::decode(const std::vector<int> &tokens) const
+{
+    std::string out;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        if (i > 0)
+            out += ' ';
+        out += decode(tokens[i]);
+    }
+    return out;
+}
+
+int
+Tokenizer::encode(const std::string &word) const
+{
+    if (word == "<s>")
+        return 0;
+    if (word == "</s>")
+        return 1;
+    if (word.size() == 3 && word.front() == '(' && word.back() == ')')
+        return optionToken(word[1] - 'A');
+    for (size_t i = 0; i < kWords.size(); ++i) {
+        if (word == kWords[i])
+            return kWordBase + static_cast<int>(i);
+    }
+    if (word.rfind("tok", 0) == 0)
+        return std::stoi(word.substr(3));
+    specee_fatal("cannot encode word '%s'", word.c_str());
+}
+
+int
+Tokenizer::optionToken(int option)
+{
+    specee_assert(option >= 0 && option < kMaxOptions,
+                  "option %d out of range", option);
+    return kOptionTokenBase + option;
+}
+
+int
+Tokenizer::optionIndex(int token)
+{
+    if (token >= kOptionTokenBase && token < kOptionTokenBase + kMaxOptions)
+        return token - kOptionTokenBase;
+    return -1;
+}
+
+} // namespace specee::model

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic tokenizer over the simulation vocabulary.
+ *
+ * Maps token ids to printable strings for the example applications.
+ * A small English word list covers the most frequent (low) ids; the
+ * tail renders as "tok<id>". Multiple-choice option tokens render as
+ * "(A)".."(H)".
+ */
+
+#ifndef SPECEE_MODEL_TOKENIZER_HH
+#define SPECEE_MODEL_TOKENIZER_HH
+
+#include <string>
+#include <vector>
+
+namespace specee::model {
+
+/** First token id reserved for multiple-choice options. */
+constexpr int kOptionTokenBase = 2;
+/** Maximum number of option tokens. */
+constexpr int kMaxOptions = 8;
+
+/** Reversible id <-> string tokenizer for the synthetic vocabulary. */
+class Tokenizer
+{
+  public:
+    explicit Tokenizer(int vocab);
+
+    int vocab() const { return vocab_; }
+
+    /** Printable text for a token id. */
+    std::string decode(int token) const;
+
+    /** Decode a token sequence with separating spaces. */
+    std::string decode(const std::vector<int> &tokens) const;
+
+    /** Token id of a string previously produced by decode(). */
+    int encode(const std::string &word) const;
+
+    /** Option token id for option index (0 = A). */
+    static int optionToken(int option);
+
+    /** Option index for an option token id, or -1. */
+    static int optionIndex(int token);
+
+  private:
+    int vocab_;
+};
+
+} // namespace specee::model
+
+#endif // SPECEE_MODEL_TOKENIZER_HH

@@ -1,0 +1,149 @@
+#include "model/weights.hh"
+
+#include <cmath>
+
+#include "tensor/kernels.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace specee::model {
+
+WeightMat::WeightMat(tensor::Matrix dense, bool quantize)
+{
+    if (quantize) {
+        isQuant_ = true;
+        q4_ = tensor::Q4Matrix::quantize(dense);
+    } else {
+        dense_ = std::move(dense);
+    }
+}
+
+void
+WeightMat::gemv(tensor::CSpan x, tensor::Span y) const
+{
+    if (isQuant_)
+        q4_.gemv(x, y);
+    else
+        tensor::gemv(dense_, x, y);
+}
+
+void
+WeightMat::gemvRows(const std::vector<int> &rows, tensor::CSpan x,
+                    tensor::Span y) const
+{
+    if (isQuant_)
+        q4_.gemvRows(rows, x, y);
+    else
+        tensor::gemvRows(dense_, rows, x, y);
+}
+
+tensor::Vec
+WeightMat::denseRow(size_t r) const
+{
+    tensor::Vec out(cols());
+    if (isQuant_) {
+        for (size_t c = 0; c < cols(); ++c)
+            out[c] = q4_.at(r, c);
+    } else {
+        tensor::CSpan row = dense_.row(r);
+        out.assign(row.begin(), row.end());
+    }
+    return out;
+}
+
+float
+WeightMat::rowDot(size_t r, tensor::CSpan x) const
+{
+    specee_assert(x.size() == cols(), "rowDot size mismatch");
+    if (isQuant_) {
+        float acc = 0.0f;
+        for (size_t c = 0; c < cols(); ++c)
+            acc += q4_.at(r, c) * x[c];
+        return acc;
+    }
+    return tensor::dot(dense_.row(r), x);
+}
+
+void
+WeightMat::addScaledColumn(size_t c, float scale, tensor::Span out) const
+{
+    specee_assert(out.size() == rows(), "addScaledColumn size mismatch");
+    if (isQuant_) {
+        for (size_t r = 0; r < rows(); ++r)
+            out[r] += scale * q4_.at(r, c);
+        return;
+    }
+    const size_t stride = dense_.cols();
+    const float *base = dense_.data() + c;
+    for (size_t r = 0; r < rows(); ++r)
+        out[r] += scale * base[r * stride];
+}
+
+size_t
+WeightMat::rows() const
+{
+    return isQuant_ ? q4_.rows() : dense_.rows();
+}
+
+size_t
+WeightMat::cols() const
+{
+    return isQuant_ ? q4_.cols() : dense_.cols();
+}
+
+namespace {
+
+tensor::Matrix
+randomMatrix(size_t rows, size_t cols, float sd, Rng &rng)
+{
+    tensor::Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = static_cast<float>(rng.normal(0.0, sd));
+    return m;
+}
+
+} // namespace
+
+Weights::Weights(const ModelConfig &cfg, bool quantize)
+    : quantized_(quantize)
+{
+    Rng rng(cfg.weight_seed);
+    const size_t h = static_cast<size_t>(cfg.sim.hidden);
+    const size_t f = static_cast<size_t>(cfg.sim.ffn);
+    const size_t v = static_cast<size_t>(cfg.sim.vocab);
+
+    // Embedding rows normalized to unit L2 norm: the tied LM head then
+    // produces logits whose scale is controlled purely by the hidden
+    // norm, which the convergence steering relies on.
+    embedding_ = randomMatrix(v, h, 1.0f, rng);
+    for (size_t r = 0; r < v; ++r) {
+        tensor::Span row = embedding_.row(r);
+        float n = tensor::norm2(row);
+        if (n > 0.0f)
+            tensor::scaleInplace(row, 1.0f / n);
+    }
+
+    // Projection scale keeps layer outputs O(1) per dim before the
+    // per-layer renormalization in TargetModel.
+    const float ps = 1.0f / std::sqrt(static_cast<float>(h));
+    layers_.reserve(static_cast<size_t>(cfg.n_layers));
+    for (int l = 0; l < cfg.n_layers; ++l) {
+        LayerWeights lw;
+        lw.wq = WeightMat(randomMatrix(h, h, ps, rng), quantize);
+        lw.wk = WeightMat(randomMatrix(h, h, ps, rng), quantize);
+        lw.wv = WeightMat(randomMatrix(h, h, ps, rng), quantize);
+        lw.wo = WeightMat(randomMatrix(h, h, ps, rng), quantize);
+        lw.w_gate = WeightMat(randomMatrix(f, h, ps, rng), quantize);
+        lw.w_up = WeightMat(randomMatrix(f, h, ps, rng), quantize);
+        lw.w_down = WeightMat(
+            randomMatrix(h, f, 1.0f / std::sqrt(static_cast<float>(f)),
+                         rng),
+            quantize);
+        lw.rms_attn.assign(h, 1.0f);
+        lw.rms_ffn.assign(h, 1.0f);
+        layers_.push_back(std::move(lw));
+    }
+    rmsFinal_.assign(h, 1.0f);
+}
+
+} // namespace specee::model

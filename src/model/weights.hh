@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic seeded transformer weights, fp32 or group-quantized.
+ *
+ * Weight matrices are generated from the model seed so every run is
+ * reproducible without checkpoints on disk. When `quantized` is set
+ * (the AWQ / llama.cpp engines) each projection is stored as a
+ * Q4Matrix and GEMVs run through the dequantize-on-the-fly kernel.
+ */
+
+#ifndef SPECEE_MODEL_WEIGHTS_HH
+#define SPECEE_MODEL_WEIGHTS_HH
+
+#include <vector>
+
+#include "model/config.hh"
+#include "tensor/matrix.hh"
+#include "tensor/quant.hh"
+
+namespace specee::model {
+
+/**
+ * One weight matrix that can be held dense (fp32) or quantized (Q4),
+ * with a uniform gemv interface.
+ */
+class WeightMat
+{
+  public:
+    WeightMat() = default;
+
+    /** Build dense; optionally quantize (drops the dense copy). */
+    WeightMat(tensor::Matrix dense, bool quantize);
+
+    void gemv(tensor::CSpan x, tensor::Span y) const;
+    void gemvRows(const std::vector<int> &rows, tensor::CSpan x,
+                  tensor::Span y) const;
+
+    /** Single row as a dense vector (dequantized if needed). */
+    tensor::Vec denseRow(size_t r) const;
+
+    /** Dot of row r with x (sparse row access, e.g. PowerInfer up-proj). */
+    float rowDot(size_t r, tensor::CSpan x) const;
+
+    /** out += scale * column c (sparse down-projection accumulate). */
+    void addScaledColumn(size_t c, float scale, tensor::Span out) const;
+
+    size_t rows() const;
+    size_t cols() const;
+    bool quantized() const { return isQuant_; }
+
+  private:
+    bool isQuant_ = false;
+    tensor::Matrix dense_;
+    tensor::Q4Matrix q4_;
+};
+
+/** Per-layer weights of the simulated transformer. */
+struct LayerWeights
+{
+    WeightMat wq, wk, wv, wo;       ///< attention projections
+    WeightMat w_gate, w_up, w_down; ///< SwiGLU FFN
+    tensor::Vec rms_attn;           ///< pre-attention RMSNorm weight
+    tensor::Vec rms_ffn;            ///< pre-FFN RMSNorm weight
+};
+
+/**
+ * Full weight set: embedding (rows unit-normalized so logits live on
+ * a stable scale), per-layer projections, final norm. The LM head is
+ * tied to the embedding.
+ */
+class Weights
+{
+  public:
+    /**
+     * @param cfg        model configuration (sim dims are used)
+     * @param quantize   store projections as Q4 (AWQ / llama.cpp mode)
+     */
+    Weights(const ModelConfig &cfg, bool quantize);
+
+    const tensor::Matrix &embedding() const { return embedding_; }
+    const LayerWeights &layer(int l) const { return layers_[static_cast<size_t>(l)]; }
+    const tensor::Vec &rmsFinal() const { return rmsFinal_; }
+    int nLayers() const { return static_cast<int>(layers_.size()); }
+    bool quantized() const { return quantized_; }
+
+  private:
+    bool quantized_;
+    tensor::Matrix embedding_; // vocab x hidden, unit-norm rows
+    std::vector<LayerWeights> layers_;
+    tensor::Vec rmsFinal_;
+};
+
+} // namespace specee::model
+
+#endif // SPECEE_MODEL_WEIGHTS_HH

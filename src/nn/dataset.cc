@@ -1,0 +1,82 @@
+#include "nn/dataset.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specee::nn {
+
+void
+Dataset::add(tensor::CSpan features, float label)
+{
+    if (dim_ == 0)
+        dim_ = features.size();
+    specee_assert(features.size() == dim_,
+                  "dataset dim mismatch: %zu vs %zu", features.size(), dim_);
+    x_.insert(x_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+}
+
+double
+Dataset::positiveRate() const
+{
+    if (labels_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (float l : labels_)
+        s += l;
+    return s / labels_.size();
+}
+
+void
+Dataset::shuffle(Rng &rng)
+{
+    for (size_t i = size(); i > 1; --i) {
+        size_t j = static_cast<size_t>(rng.next() % i);
+        if (j == i - 1)
+            continue;
+        std::swap(labels_[i - 1], labels_[j]);
+        for (size_t d = 0; d < dim_; ++d)
+            std::swap(x_[(i - 1) * dim_ + d], x_[j * dim_ + d]);
+    }
+}
+
+std::pair<Dataset, Dataset>
+Dataset::split(double train_frac) const
+{
+    Dataset train(dim_);
+    Dataset test(dim_);
+    const size_t n_train =
+        static_cast<size_t>(static_cast<double>(size()) * train_frac);
+    for (size_t i = 0; i < size(); ++i) {
+        if (i < n_train)
+            train.add(features(i), labels_[i]);
+        else
+            test.add(features(i), labels_[i]);
+    }
+    return {std::move(train), std::move(test)};
+}
+
+Dataset
+Dataset::head(size_t n) const
+{
+    Dataset out(dim_);
+    n = std::min(n, size());
+    for (size_t i = 0; i < n; ++i)
+        out.add(features(i), labels_[i]);
+    return out;
+}
+
+void
+Dataset::append(const Dataset &other)
+{
+    if (other.empty())
+        return;
+    if (dim_ == 0)
+        dim_ = other.dim();
+    specee_assert(dim_ == other.dim(), "append dim mismatch");
+    for (size_t i = 0; i < other.size(); ++i)
+        add(other.features(i), other.label(i));
+}
+
+} // namespace specee::nn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Feature dataset container for predictor training.
+ */
+
+#ifndef SPECEE_NN_DATASET_HH
+#define SPECEE_NN_DATASET_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.hh"
+#include "util/rng.hh"
+
+namespace specee::nn {
+
+/**
+ * Binary-labeled feature dataset (rows of fixed dimensionality).
+ *
+ * Used for the exit-predictor training pipeline of §7.4.4: features
+ * are the 12-dim speculation features, labels are 1 when exiting at
+ * the layer would emit the same token as the full forward pass.
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+    explicit Dataset(size_t dim) : dim_(dim) {}
+
+    /** Append one (feature, label) sample. */
+    void add(tensor::CSpan features, float label);
+
+    size_t size() const { return labels_.size(); }
+    size_t dim() const { return dim_; }
+    bool empty() const { return labels_.empty(); }
+
+    tensor::CSpan features(size_t i) const
+    {
+        return tensor::CSpan(x_.data() + i * dim_, dim_);
+    }
+    float label(size_t i) const { return labels_[i]; }
+
+    /** Fraction of positive labels. */
+    double positiveRate() const;
+
+    /** In-place deterministic shuffle. */
+    void shuffle(Rng &rng);
+
+    /** Split into (train, test) with `train_frac` of samples in train. */
+    std::pair<Dataset, Dataset> split(double train_frac) const;
+
+    /** First `n` samples as a new dataset (for training-ratio sweeps). */
+    Dataset head(size_t n) const;
+
+    /** Merge another dataset of the same dimension into this one. */
+    void append(const Dataset &other);
+
+  private:
+    size_t dim_ = 0;
+    std::vector<float> x_;
+    std::vector<float> labels_;
+};
+
+} // namespace specee::nn
+
+#endif // SPECEE_NN_DATASET_HH

@@ -1,0 +1,99 @@
+#include "nn/linear.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace specee::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng &rng)
+    : w_(out_dim, in_dim),
+      b_(out_dim, 0.0f),
+      gw_(out_dim, in_dim),
+      gb_(out_dim, 0.0f),
+      mw_(out_dim, in_dim),
+      vw_(out_dim, in_dim),
+      mb_(out_dim, 0.0f),
+      vb_(out_dim, 0.0f)
+{
+    const float sd = std::sqrt(2.0f / static_cast<float>(in_dim));
+    for (size_t r = 0; r < out_dim; ++r)
+        for (size_t c = 0; c < in_dim; ++c)
+            w_.at(r, c) = static_cast<float>(rng.normal(0.0, sd));
+}
+
+void
+Linear::forward(tensor::CSpan x, tensor::Span out) const
+{
+    specee_assert(x.size() == w_.cols() && out.size() == w_.rows(),
+                  "linear forward shape");
+    for (size_t r = 0; r < w_.rows(); ++r) {
+        const float *row = w_.data() + r * w_.cols();
+        float acc = b_[r];
+        for (size_t c = 0; c < w_.cols(); ++c)
+            acc += row[c] * x[c];
+        out[r] = acc;
+    }
+}
+
+void
+Linear::backward(tensor::CSpan x, tensor::CSpan d_out, tensor::Span d_x)
+{
+    specee_assert(x.size() == w_.cols() && d_out.size() == w_.rows(),
+                  "linear backward shape");
+    for (size_t r = 0; r < w_.rows(); ++r) {
+        const float g = d_out[r];
+        gb_[r] += g;
+        float *grow = gw_.data() + r * gw_.cols();
+        for (size_t c = 0; c < w_.cols(); ++c)
+            grow[c] += g * x[c];
+    }
+    if (!d_x.empty()) {
+        specee_assert(d_x.size() == w_.cols(), "linear backward d_x shape");
+        for (size_t c = 0; c < w_.cols(); ++c) {
+            float acc = 0.0f;
+            for (size_t r = 0; r < w_.rows(); ++r)
+                acc += w_.at(r, c) * d_out[r];
+            d_x[c] = acc;
+        }
+    }
+}
+
+void
+Linear::zeroGrad()
+{
+    gw_.fill(0.0f);
+    std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+void
+Linear::adamStep(double lr, double beta1, double beta2, double eps,
+                 int t, size_t batch)
+{
+    const double bc1 = 1.0 - std::pow(beta1, t);
+    const double bc2 = 1.0 - std::pow(beta2, t);
+    const double inv_batch = 1.0 / static_cast<double>(batch);
+    for (size_t i = 0; i < w_.size(); ++i) {
+        const double g = gw_.data()[i] * inv_batch;
+        double m = mw_.data()[i] = static_cast<float>(
+            beta1 * mw_.data()[i] + (1.0 - beta1) * g);
+        double v = vw_.data()[i] = static_cast<float>(
+            beta2 * vw_.data()[i] + (1.0 - beta2) * g * g);
+        const double mhat = m / bc1;
+        const double vhat = v / bc2;
+        w_.data()[i] -= static_cast<float>(lr * mhat /
+                                           (std::sqrt(vhat) + eps));
+    }
+    for (size_t i = 0; i < b_.size(); ++i) {
+        const double g = gb_[i] * inv_batch;
+        double m = mb_[i] = static_cast<float>(
+            beta1 * mb_[i] + (1.0 - beta1) * g);
+        double v = vb_[i] = static_cast<float>(
+            beta2 * vb_[i] + (1.0 - beta2) * g * g);
+        const double mhat = m / bc1;
+        const double vhat = v / bc2;
+        b_[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps));
+    }
+}
+
+} // namespace specee::nn

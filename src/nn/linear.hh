@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fully-connected layer with backward pass and Adam state.
+ */
+
+#ifndef SPECEE_NN_LINEAR_HH
+#define SPECEE_NN_LINEAR_HH
+
+#include "tensor/matrix.hh"
+#include "util/rng.hh"
+
+namespace specee::nn {
+
+/**
+ * Dense layer y = W x + b with gradient accumulation and an Adam
+ * update step. Sized for the tiny exit-predictor MLPs (inputs of a
+ * few dozen dims), so no batching inside the layer.
+ */
+class Linear
+{
+  public:
+    Linear() = default;
+
+    /** He-initialized layer of shape (out_dim x in_dim). */
+    Linear(size_t in_dim, size_t out_dim, Rng &rng);
+
+    /** Forward: out = W x + b. */
+    void forward(tensor::CSpan x, tensor::Span out) const;
+
+    /**
+     * Backward for one sample: accumulates dW, db from d_out and
+     * writes d_x (may be empty for the first layer).
+     */
+    void backward(tensor::CSpan x, tensor::CSpan d_out, tensor::Span d_x);
+
+    /** Zero accumulated gradients. */
+    void zeroGrad();
+
+    /** Adam step over accumulated gradients (divided by batch). */
+    void adamStep(double lr, double beta1, double beta2, double eps,
+                  int t, size_t batch);
+
+    size_t inDim() const { return w_.cols(); }
+    size_t outDim() const { return w_.rows(); }
+
+    /** Number of parameters (weights + biases). */
+    size_t paramCount() const { return w_.size() + b_.size(); }
+
+    tensor::Matrix &weights() { return w_; }
+    const tensor::Matrix &weights() const { return w_; }
+    tensor::Vec &bias() { return b_; }
+    const tensor::Vec &bias() const { return b_; }
+
+  private:
+    tensor::Matrix w_;
+    tensor::Vec b_;
+    tensor::Matrix gw_;
+    tensor::Vec gb_;
+    // Adam moments
+    tensor::Matrix mw_, vw_;
+    tensor::Vec mb_, vb_;
+};
+
+} // namespace specee::nn
+
+#endif // SPECEE_NN_LINEAR_HH

@@ -1,0 +1,229 @@
+#include "nn/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "tensor/kernels.hh"
+#include "util/logging.hh"
+
+namespace specee::nn {
+
+Mlp::Mlp(const std::vector<size_t> &dims, uint64_t seed)
+{
+    specee_assert(dims.size() >= 2, "MLP needs at least input/output dims");
+    specee_assert(dims.back() == 1, "binary classifier must end in 1 unit");
+    Rng rng(seed);
+    for (size_t i = 0; i + 1 < dims.size(); ++i)
+        layers_.emplace_back(dims[i], dims[i + 1], rng);
+    act_.resize(layers_.size());
+    dact_.resize(layers_.size());
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        act_[i].assign(layers_[i].outDim(), 0.0f);
+        dact_[i].assign(layers_[i].outDim(), 0.0f);
+    }
+}
+
+float
+Mlp::forwardLogit(tensor::CSpan x) const
+{
+    specee_assert(!layers_.empty(), "forward on empty MLP");
+    tensor::CSpan cur = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i].forward(cur, act_[i]);
+        if (i + 1 < layers_.size())
+            tensor::relu(act_[i]);
+        cur = act_[i];
+    }
+    return act_.back()[0];
+}
+
+float
+Mlp::predict(tensor::CSpan x) const
+{
+    return tensor::sigmoid(forwardLogit(x));
+}
+
+double
+Mlp::trainEpoch(const Dataset &data, const TrainConfig &cfg, Rng &rng,
+                int &adam_t)
+{
+    std::vector<size_t> order(data.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    double total_loss = 0.0;
+    size_t batch_fill = 0;
+    for (auto &l : layers_)
+        l.zeroGrad();
+
+    // Retained pre-activation inputs per layer for backward.
+    std::vector<tensor::Vec> inputs(layers_.size());
+
+    for (size_t oi = 0; oi < order.size(); ++oi) {
+        const size_t i = order[oi];
+        tensor::CSpan x = data.features(i);
+        const float y = data.label(i);
+
+        // Forward, retaining layer inputs.
+        tensor::CSpan cur = x;
+        for (size_t li = 0; li < layers_.size(); ++li) {
+            inputs[li].assign(cur.begin(), cur.end());
+            layers_[li].forward(cur, act_[li]);
+            if (li + 1 < layers_.size())
+                tensor::relu(act_[li]);
+            cur = act_[li];
+        }
+        const float logit = act_.back()[0];
+        const float p = tensor::sigmoid(logit);
+        const float pc = std::clamp(p, 1e-7f, 1.0f - 1e-7f);
+        total_loss += -(y * std::log(pc) + (1.0f - y) * std::log(1.0f - pc));
+
+        // Backward. dL/dlogit = p - y for sigmoid+BCE.
+        dact_.back()[0] = p - y;
+        for (size_t li = layers_.size(); li-- > 0;) {
+            tensor::Span d_x = li > 0 ? tensor::Span(dact_[li - 1])
+                                      : tensor::Span();
+            layers_[li].backward(inputs[li], dact_[li], d_x);
+            if (li > 0) {
+                // Backprop through the ReLU of the previous layer.
+                for (size_t k = 0; k < dact_[li - 1].size(); ++k) {
+                    if (act_[li - 1][k] <= 0.0f)
+                        dact_[li - 1][k] = 0.0f;
+                }
+            }
+        }
+
+        if (++batch_fill == cfg.batch || oi + 1 == order.size()) {
+            ++adam_t;
+            for (auto &l : layers_)
+                l.adamStep(cfg.lr, cfg.beta1, cfg.beta2, cfg.eps, adam_t,
+                           batch_fill);
+            for (auto &l : layers_)
+                l.zeroGrad();
+            batch_fill = 0;
+        }
+    }
+    return total_loss / static_cast<double>(data.size());
+}
+
+TrainStats
+Mlp::fit(const Dataset &data, const TrainConfig &cfg)
+{
+    specee_assert(!data.empty(), "fit on empty dataset");
+    specee_assert(data.dim() == inputDim(),
+                  "dataset dim %zu != MLP input %zu", data.dim(),
+                  inputDim());
+    Rng rng(cfg.seed);
+    TrainStats stats;
+    int adam_t = 0;
+    for (int e = 0; e < cfg.epochs; ++e) {
+        stats.final_loss = trainEpoch(data, cfg, rng, adam_t);
+        stats.epochs_run = e + 1;
+    }
+    stats.train_accuracy = accuracy(data);
+    return stats;
+}
+
+double
+Mlp::accuracy(const Dataset &data, float threshold) const
+{
+    if (data.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        const bool pred = predict(data.features(i)) > threshold;
+        const bool truth = data.label(i) > 0.5f;
+        if (pred == truth)
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+size_t
+Mlp::paramCount() const
+{
+    size_t n = 0;
+    for (const auto &l : layers_)
+        n += l.paramCount();
+    return n;
+}
+
+size_t
+Mlp::flopsPerInference() const
+{
+    size_t n = 0;
+    for (const auto &l : layers_)
+        n += 2 * l.inDim() * l.outDim();
+    return n;
+}
+
+namespace {
+
+constexpr uint32_t kMlpMagic = 0x5eec41fe;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    specee_assert(static_cast<bool>(is), "truncated MLP stream");
+    return v;
+}
+
+} // namespace
+
+void
+Mlp::save(std::ostream &os) const
+{
+    writePod(os, kMlpMagic);
+    writePod(os, static_cast<uint32_t>(layers_.size() + 1));
+    writePod(os, static_cast<uint32_t>(inputDim()));
+    for (const auto &l : layers_)
+        writePod(os, static_cast<uint32_t>(l.outDim()));
+    for (const auto &l : layers_) {
+        const auto &w = l.weights();
+        os.write(reinterpret_cast<const char *>(w.data()),
+                 static_cast<std::streamsize>(w.byteSize()));
+        os.write(reinterpret_cast<const char *>(l.bias().data()),
+                 static_cast<std::streamsize>(l.bias().size() *
+                                              sizeof(float)));
+    }
+    specee_assert(static_cast<bool>(os), "MLP save failed");
+}
+
+Mlp
+Mlp::load(std::istream &is)
+{
+    const uint32_t magic = readPod<uint32_t>(is);
+    specee_assert(magic == kMlpMagic, "bad MLP magic 0x%x", magic);
+    const uint32_t n_dims = readPod<uint32_t>(is);
+    specee_assert(n_dims >= 2 && n_dims < 64, "bad MLP depth %u",
+                  n_dims);
+    std::vector<size_t> dims;
+    for (uint32_t i = 0; i < n_dims; ++i)
+        dims.push_back(readPod<uint32_t>(is));
+    Mlp mlp(dims, /*seed=*/0);
+    for (auto &l : mlp.layers_) {
+        auto &w = l.weights();
+        is.read(reinterpret_cast<char *>(w.data()),
+                static_cast<std::streamsize>(w.byteSize()));
+        is.read(reinterpret_cast<char *>(l.bias().data()),
+                static_cast<std::streamsize>(l.bias().size() *
+                                             sizeof(float)));
+        specee_assert(static_cast<bool>(is), "truncated MLP payload");
+    }
+    return mlp;
+}
+
+} // namespace specee::nn

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Lightweight MLP binary classifier — the SpecEE exit predictor (§4.3.2).
+ *
+ * The paper's optimal configuration is a 2-layer MLP with hidden
+ * dimension 512, ReLU activations and a sigmoid output, trained with
+ * binary cross-entropy. Depth and width are configurable to support
+ * the design-space exploration of Fig. 8.
+ */
+
+#ifndef SPECEE_NN_MLP_HH
+#define SPECEE_NN_MLP_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/dataset.hh"
+#include "nn/linear.hh"
+
+namespace specee::nn {
+
+/** Training hyper-parameters and results. */
+struct TrainConfig
+{
+    int epochs = 30;
+    size_t batch = 32;
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    uint64_t seed = 1;
+};
+
+/** Outcome of a training run. */
+struct TrainStats
+{
+    double final_loss = 0.0;
+    double train_accuracy = 0.0;
+    int epochs_run = 0;
+};
+
+/**
+ * MLP binary classifier with sigmoid output.
+ *
+ * Architecture: dims = {in, h1, ..., 1}; ReLU between hidden layers.
+ * "Layers" in the paper's Fig. 8 counts weight matrices, so the
+ * 2-layer/512-hidden optimum is dims {12, 512, 1}.
+ */
+class Mlp
+{
+  public:
+    Mlp() = default;
+
+    /** Build from layer dimensions, e.g. {12, 512, 1}. */
+    Mlp(const std::vector<size_t> &dims, uint64_t seed);
+
+    /** Probability of the positive class for one sample. */
+    float predict(tensor::CSpan x) const;
+
+    /** Pre-sigmoid logit for one sample. */
+    float forwardLogit(tensor::CSpan x) const;
+
+    /** One Adam epoch over the dataset; returns mean BCE loss. */
+    double trainEpoch(const Dataset &data, const TrainConfig &cfg,
+                      Rng &rng, int &adam_t);
+
+    /** Full training loop. */
+    TrainStats fit(const Dataset &data, const TrainConfig &cfg);
+
+    /** Classification accuracy at `threshold` on a dataset. */
+    double accuracy(const Dataset &data, float threshold = 0.5f) const;
+
+    /** Total parameter count. */
+    size_t paramCount() const;
+
+    /** Multiply-accumulate operations per inference. */
+    size_t flopsPerInference() const;
+
+    size_t inputDim() const
+    {
+        return layers_.empty() ? 0 : layers_.front().inDim();
+    }
+
+    /** Number of weight matrices (the paper's "layers"). */
+    size_t depth() const { return layers_.size(); }
+
+    /**
+     * Serialize weights to a binary stream (magic + dims + fp32
+     * payload). Adam state is not persisted — a loaded model is for
+     * inference or fresh fine-tuning.
+     */
+    void save(std::ostream &os) const;
+
+    /** Deserialize a model previously written by save(). */
+    static Mlp load(std::istream &is);
+
+  private:
+    std::vector<Linear> layers_;
+    // Scratch activations (mutable so predict() stays const).
+    mutable std::vector<tensor::Vec> act_;
+    std::vector<tensor::Vec> dact_;
+};
+
+} // namespace specee::nn
+
+#endif // SPECEE_NN_MLP_HH

@@ -1,0 +1,64 @@
+#include "nn/svm.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace specee::nn {
+
+float
+LinearSvm::margin(tensor::CSpan x) const
+{
+    specee_assert(x.size() == w_.size(), "svm dim mismatch");
+    float acc = b_;
+    for (size_t i = 0; i < w_.size(); ++i)
+        acc += w_[i] * x[i];
+    return acc;
+}
+
+void
+LinearSvm::fit(const Dataset &data, int epochs, double lr, double lambda,
+               uint64_t seed)
+{
+    specee_assert(!data.empty(), "svm fit on empty data");
+    if (w_.empty())
+        w_.assign(data.dim(), 0.0f);
+    specee_assert(w_.size() == data.dim(), "svm fit dim mismatch");
+
+    Rng rng(seed);
+    std::vector<size_t> order(data.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    for (int e = 0; e < epochs; ++e) {
+        rng.shuffle(order);
+        const double step = lr / (1.0 + 0.1 * e);
+        for (size_t i : order) {
+            tensor::CSpan x = data.features(i);
+            const float y = data.label(i) > 0.5f ? 1.0f : -1.0f;
+            const float m = margin(x) * y;
+            // L2 shrinkage.
+            for (auto &w : w_)
+                w -= static_cast<float>(step * lambda) * w;
+            if (m < 1.0f) {
+                for (size_t d = 0; d < w_.size(); ++d)
+                    w_[d] += static_cast<float>(step) * y * x[d];
+                b_ += static_cast<float>(step) * y;
+            }
+        }
+    }
+}
+
+double
+LinearSvm::accuracy(const Dataset &data) const
+{
+    if (data.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        if (predict(data.features(i)) == (data.label(i) > 0.5f))
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+} // namespace specee::nn

@@ -1,0 +1,127 @@
+#include "oracle/convergence.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace specee::oracle {
+
+std::vector<float>
+ConvergenceProcess::makeSkewedDist(int n_exit_layers, double mean_layer,
+                                   int hot_layers, uint64_t seed)
+{
+    specee_assert(n_exit_layers > 4, "too few exit layers");
+    Rng rng(seed);
+    std::vector<double> d(static_cast<size_t>(n_exit_layers), 0.0);
+
+    // A small uniform floor so every layer has nonzero exit mass.
+    const double floor_mass = 0.10;
+    for (auto &v : d)
+        v = floor_mass / n_exit_layers;
+
+    // Hot bumps clustered around the target mean; widths small enough
+    // that roughly half the layers stay below the average probability
+    // (the skew of Fig. 10a/c).
+    double bump_mass = 1.0 - floor_mass;
+    std::vector<double> centers;
+    for (int i = 0; i < hot_layers; ++i) {
+        double jitter = rng.normal(0.0, 0.16 * n_exit_layers);
+        double c = mean_layer + jitter;
+        centers.push_back(std::clamp(c, 1.0, n_exit_layers - 1.5));
+    }
+    for (size_t b = 0; b < centers.size(); ++b) {
+        const double w = bump_mass / centers.size();
+        const double sigma = 1.0 + rng.uniform() * 1.2;
+        double local = 0.0;
+        std::vector<double> g(static_cast<size_t>(n_exit_layers));
+        for (int l = 0; l < n_exit_layers; ++l) {
+            double z = (l - centers[b]) / sigma;
+            g[static_cast<size_t>(l)] = std::exp(-0.5 * z * z);
+            local += g[static_cast<size_t>(l)];
+        }
+        for (int l = 0; l < n_exit_layers; ++l)
+            d[static_cast<size_t>(l)] += w * g[static_cast<size_t>(l)] / local;
+    }
+
+    // Renormalize, then shift the mean to the target by mixing with a
+    // point mass-like adjustment: iteratively nudge toward target mean.
+    double total = 0.0;
+    for (double v : d)
+        total += v;
+    for (auto &v : d)
+        v /= total;
+
+    double mean = 0.0;
+    for (int l = 0; l < n_exit_layers; ++l)
+        mean += l * d[static_cast<size_t>(l)];
+    // One corrective pass: blend with a narrow bump at the reflected
+    // position to move the mean close to the target.
+    const double err = mean_layer - mean;
+    if (std::fabs(err) > 0.5) {
+        double c = std::clamp(mean + 2.5 * err, 0.0,
+                              static_cast<double>(n_exit_layers - 1));
+        std::vector<double> g(static_cast<size_t>(n_exit_layers));
+        double local = 0.0;
+        for (int l = 0; l < n_exit_layers; ++l) {
+            double z = (l - c) / 1.5;
+            g[static_cast<size_t>(l)] = std::exp(-0.5 * z * z);
+            local += g[static_cast<size_t>(l)];
+        }
+        const double blend = std::min(0.4, std::fabs(err) /
+                                               n_exit_layers * 4.0);
+        for (int l = 0; l < n_exit_layers; ++l) {
+            d[static_cast<size_t>(l)] =
+                (1.0 - blend) * d[static_cast<size_t>(l)] +
+                blend * g[static_cast<size_t>(l)] / local;
+        }
+    }
+
+    std::vector<float> out(d.size());
+    for (size_t i = 0; i < d.size(); ++i)
+        out[i] = static_cast<float>(d[i]);
+    return out;
+}
+
+ConvergenceProcess::ConvergenceProcess(const ConvergenceParams &params)
+    : params_(params),
+      base_(makeSkewedDist(params.n_layers - 1, params.mean_layer,
+                           params.hot_layers, params.seed))
+{
+}
+
+void
+ConvergenceProcess::reset()
+{
+    history_.clear();
+}
+
+int
+ConvergenceProcess::next(Rng &rng)
+{
+    const int max_exit = maxExitLayer();
+    int c;
+
+    // Hard tokens only converge at the very end (no early exit
+    // possible); they also break the context chain.
+    if (rng.bernoulli(params_.hard_token_rate)) {
+        c = max_exit + 1; // == last layer, not exitable
+    } else if (!history_.empty() &&
+               rng.bernoulli(params_.context_strength)) {
+        // Context-similar draw: near a random recent exit.
+        const int pick = history_[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int>(history_.size()) - 1))];
+        const int off = rng.uniformInt(-params_.radius, params_.radius);
+        c = std::clamp(pick + off, 0, max_exit);
+    } else {
+        c = static_cast<int>(rng.categorical(base_));
+        c = std::min(c, max_exit);
+    }
+
+    history_.push_back(std::min(c, max_exit));
+    while (static_cast<int>(history_.size()) > params_.window)
+        history_.pop_front();
+    return c;
+}
+
+} // namespace specee::oracle

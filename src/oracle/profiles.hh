@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-dataset workload profiles.
+ *
+ * Each profile stands in for one of the paper's evaluation datasets
+ * (§7.1.3): MT-Bench, SUM, QA, Alpaca, GSM8K, HumanEval, MMLU,
+ * CommonsenseQA, SST2. A profile carries the task shape (prompt /
+ * generation lengths, multiple-choice option count) and per-model
+ * calibration targets taken from Table 4 (dense accuracy or
+ * perplexity, average forward layers) and Fig. 7 (AdaInfer's average
+ * forward layers). Calibration values are inputs to the oracle; all
+ * SpecEE-side numbers are measured from simulation.
+ */
+
+#ifndef SPECEE_ORACLE_PROFILES_HH
+#define SPECEE_ORACLE_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+namespace specee::oracle {
+
+/** Task family of a dataset profile. */
+enum class TaskKind {
+    MultipleChoice, ///< graded by one answer token (MMLU, CSQA, SST2)
+    Math,           ///< graded by final answer token (GSM8K)
+    Code,           ///< graded pass/fail on one completion (HumanEval)
+    Generation,     ///< graded by perplexity (MT-Bench, Alpaca, QA)
+    Summarization,  ///< graded by perplexity (SUM)
+};
+
+/** Per-model calibration targets for one dataset. */
+struct ModelCal
+{
+    /** Model key: "llama2-7b", "llama2-13b", "llama2-70b", "vicuna-7b". */
+    std::string model;
+
+    /** Dense task accuracy in percent (MC/Math/Code; <0 if N/A). */
+    double dense_accuracy = -1.0;
+
+    /** Dense accuracy of the AWQ-quantized model (Table 4; <0 if N/A). */
+    double awq_accuracy = -1.0;
+
+    /** Dense perplexity target (generation tasks; <0 if N/A). */
+    double dense_ppl = -1.0;
+
+    /** SpecEE average forward layers reported in Table 4. */
+    double avg_layers = 0.0;
+
+    /** AdaInfer average forward layers (Table 4; <0 if unreported). */
+    double adainfer_avg_layers = -1.0;
+};
+
+/** Workload profile standing in for one evaluation dataset. */
+struct DatasetProfile
+{
+    std::string name;
+    TaskKind kind = TaskKind::Generation;
+
+    int prompt_len = 64;
+    int gen_len = 64;
+
+    /** Number of answer options for MultipleChoice tasks. */
+    int n_options = 4;
+
+    /** Probability the draft model's top-4 contains the true token. */
+    double draft_hit_rate = 0.90;
+
+    /** Per-model calibration rows. */
+    std::vector<ModelCal> cal;
+
+    /** Lookup calibration for a model key; falls back to llama2-7b. */
+    const ModelCal &calFor(const std::string &model) const;
+
+    /** True when the task is graded by accuracy (vs. perplexity). */
+    bool gradedByAccuracy() const;
+};
+
+/** All nine evaluation-dataset profiles. */
+const std::vector<DatasetProfile> &allProfiles();
+
+/** Profile lookup by name; fatal on unknown name. */
+const DatasetProfile &profileByName(const std::string &name);
+
+/** The 8 throughput-evaluation datasets of Fig. 14 in paper order. */
+std::vector<std::string> throughputDatasets();
+
+/** The 7 accuracy/PPL datasets of Table 4 in paper order. */
+std::vector<std::string> accuracyDatasets();
+
+} // namespace specee::oracle
+
+#endif // SPECEE_ORACLE_PROFILES_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Scalar math kernels used by the functional LLM simulator.
+ *
+ * These are correctness-first reference kernels (auto-vectorized by
+ * the compiler at -O2); paper-figure latencies are produced by the
+ * analytic hw::CostModel, not by timing these loops.
+ */
+
+#ifndef SPECEE_TENSOR_KERNELS_HH
+#define SPECEE_TENSOR_KERNELS_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace specee::tensor {
+
+/** y = W x with W (m x n), x (n), y (m). */
+void gemv(const Matrix &w, CSpan x, Span y);
+
+/** y = W^T x with W (m x n), x (m), y (n). */
+void gemvT(const Matrix &w, CSpan x, Span y);
+
+/**
+ * Sliced GEMV: y[i] = W.row(rows[i]) . x — the speculative LM head.
+ * Only |rows| rows of W are touched (the paper's ~10^4x search-space
+ * reduction, Fig. 2(b)).
+ */
+void gemvRows(const Matrix &w, const std::vector<int> &rows, CSpan x,
+              Span y);
+
+/** out = A B with A (m x k), B (k x n), out (m x n). */
+void gemm(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** Dot product (sizes must match). */
+float dot(CSpan a, CSpan b);
+
+/** In-place numerically-stable softmax. */
+void softmax(Span x);
+
+/** Softmax restricted to the first n entries of x. */
+void softmax(Span x, size_t n);
+
+/** Index of the maximum element. @pre x non-empty */
+size_t argmax(CSpan x);
+
+/** Top-k (index, value) pairs in descending value order. */
+std::vector<std::pair<int, float>> topk(CSpan x, size_t k);
+
+/** RMSNorm: out = x / rms(x) * weight. */
+void rmsnorm(CSpan x, CSpan weight, Span out, float eps = 1e-5f);
+
+/** In-place SiLU activation x * sigmoid(x). */
+void silu(Span x);
+
+/** In-place ReLU. */
+void relu(Span x);
+
+/** Numerically-stable scalar sigmoid. */
+float sigmoid(float x);
+
+/** a += b. */
+void addInplace(Span a, CSpan b);
+
+/** x *= s. */
+void scaleInplace(Span x, float s);
+
+/** L2 norm. */
+float norm2(CSpan x);
+
+/**
+ * Rotary position embedding applied in-place to one head-major vector
+ * (pairs of adjacent dims rotated, llama convention with interleaved
+ * halves per head).
+ *
+ * @param x      vector of length n_heads * head_dim
+ * @param n_heads number of attention heads
+ * @param head_dim per-head dimension (must be even)
+ * @param pos    absolute token position
+ */
+void rope(Span x, size_t n_heads, size_t head_dim, size_t pos,
+          float theta = 10000.0f);
+
+} // namespace specee::tensor
+
+#endif // SPECEE_TENSOR_KERNELS_HH

@@ -1,0 +1,26 @@
+#include "tensor/matrix.hh"
+
+#include <algorithm>
+
+namespace specee::tensor {
+
+Matrix::Matrix(size_t rows, size_t cols, float init)
+    : rows_(rows), cols_(cols), data_(rows * cols, init)
+{
+}
+
+void
+Matrix::resize(size_t rows, size_t cols, float init)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, init);
+}
+
+void
+Matrix::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+} // namespace specee::tensor

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dense row-major float matrix and vector span aliases.
+ *
+ * The functional simulator only needs fp32 2-D tensors; everything
+ * higher-dimensional (heads, layers) is expressed as collections of
+ * matrices. Kept deliberately minimal — no expression templates.
+ */
+
+#ifndef SPECEE_TENSOR_MATRIX_HH
+#define SPECEE_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace specee::tensor {
+
+/** Mutable float span. */
+using Span = std::span<float>;
+/** Immutable float span. */
+using CSpan = std::span<const float>;
+/** Owning float vector. */
+using Vec = std::vector<float>;
+
+/**
+ * Dense row-major matrix of floats.
+ *
+ * Storage is a single contiguous std::vector so rows can be handed
+ * out as spans with no copies.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct rows x cols, filled with `init`. */
+    Matrix(size_t rows, size_t cols, float init = 0.0f);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Mutable element access (bounds-checked in debug via assert). */
+    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Row r as a mutable span of length cols(). */
+    Span row(size_t r) { return Span(data_.data() + r * cols_, cols_); }
+    CSpan row(size_t r) const
+    {
+        return CSpan(data_.data() + r * cols_, cols_);
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Resize and zero-fill. */
+    void resize(size_t rows, size_t cols, float init = 0.0f);
+
+    /** Set every element to `v`. */
+    void fill(float v);
+
+    /** Bytes of fp32 payload (functional storage, not modeled memory). */
+    size_t byteSize() const { return data_.size() * sizeof(float); }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace specee::tensor
+
+#endif // SPECEE_TENSOR_MATRIX_HH

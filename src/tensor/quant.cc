@@ -1,0 +1,184 @@
+#include "tensor/quant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace specee::tensor {
+
+Q4Matrix
+Q4Matrix::quantize(const Matrix &m)
+{
+    Q4Matrix out;
+    out.rows_ = m.rows();
+    out.cols_ = m.cols();
+    out.groupsPerRow_ = (m.cols() + kQ4GroupSize - 1) / kQ4GroupSize;
+    const size_t n_groups = out.rows_ * out.groupsPerRow_;
+    out.packed_.assign(n_groups * kQ4GroupSize / 2, 0);
+    out.scale_.assign(n_groups, 0.0f);
+    out.minv_.assign(n_groups, 0.0f);
+
+    for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t g = 0; g < out.groupsPerRow_; ++g) {
+            const size_t c0 = g * kQ4GroupSize;
+            const size_t c1 = std::min(c0 + kQ4GroupSize, m.cols());
+            float lo = m.at(r, c0);
+            float hi = lo;
+            for (size_t c = c0; c < c1; ++c) {
+                lo = std::min(lo, m.at(r, c));
+                hi = std::max(hi, m.at(r, c));
+            }
+            const size_t gi = r * out.groupsPerRow_ + g;
+            float scale = (hi - lo) / 15.0f;
+            if (scale <= 0.0f)
+                scale = 1.0f;
+            out.scale_[gi] = scale;
+            out.minv_[gi] = lo;
+            uint8_t *dst = out.packed_.data() + gi * (kQ4GroupSize / 2);
+            for (size_t c = c0; c < c1; ++c) {
+                float q = std::round((m.at(r, c) - lo) / scale);
+                uint8_t qi = static_cast<uint8_t>(
+                    std::clamp(q, 0.0f, 15.0f));
+                const size_t off = c - c0;
+                if (off % 2 == 0)
+                    dst[off / 2] |= qi;
+                else
+                    dst[off / 2] |= static_cast<uint8_t>(qi << 4);
+            }
+        }
+    }
+    return out;
+}
+
+float
+Q4Matrix::at(size_t r, size_t c) const
+{
+    specee_assert(r < rows_ && c < cols_, "Q4Matrix::at out of range");
+    const size_t g = c / kQ4GroupSize;
+    const size_t off = c % kQ4GroupSize;
+    const size_t gi = r * groupsPerRow_ + g;
+    const uint8_t *src = packed_.data() + gi * (kQ4GroupSize / 2);
+    uint8_t qi = (off % 2 == 0) ? (src[off / 2] & 0x0f)
+                                : (src[off / 2] >> 4);
+    return minv_[gi] + scale_[gi] * static_cast<float>(qi);
+}
+
+Matrix
+Q4Matrix::dequantize() const
+{
+    Matrix m(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            m.at(r, c) = at(r, c);
+    return m;
+}
+
+float
+Q4Matrix::rowDot(size_t r, CSpan x) const
+{
+    float acc = 0.0f;
+    for (size_t g = 0; g < groupsPerRow_; ++g) {
+        const size_t c0 = g * kQ4GroupSize;
+        const size_t c1 = std::min(c0 + kQ4GroupSize, cols_);
+        const size_t gi = r * groupsPerRow_ + g;
+        const float scale = scale_[gi];
+        const float mn = minv_[gi];
+        const uint8_t *src = packed_.data() + gi * (kQ4GroupSize / 2);
+        float dot_q = 0.0f;
+        float sum_x = 0.0f;
+        for (size_t c = c0; c < c1; ++c) {
+            const size_t off = c - c0;
+            uint8_t qi = (off % 2 == 0) ? (src[off / 2] & 0x0f)
+                                        : (src[off / 2] >> 4);
+            dot_q += static_cast<float>(qi) * x[c];
+            sum_x += x[c];
+        }
+        acc += scale * dot_q + mn * sum_x;
+    }
+    return acc;
+}
+
+void
+Q4Matrix::gemv(CSpan x, Span y) const
+{
+    specee_assert(x.size() == cols_ && y.size() == rows_,
+                  "Q4 gemv shape mismatch");
+    for (size_t r = 0; r < rows_; ++r)
+        y[r] = rowDot(r, x);
+}
+
+void
+Q4Matrix::gemvRows(const std::vector<int> &rows, CSpan x, Span y) const
+{
+    specee_assert(x.size() == cols_ && y.size() == rows.size(),
+                  "Q4 gemvRows shape mismatch");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        specee_assert(rows[i] >= 0 &&
+                      static_cast<size_t>(rows[i]) < rows_,
+                      "Q4 gemvRows row out of range");
+        y[i] = rowDot(static_cast<size_t>(rows[i]), x);
+    }
+}
+
+size_t
+Q4Matrix::byteSize() const
+{
+    return packed_.size() * sizeof(uint8_t) +
+           scale_.size() * sizeof(float) + minv_.size() * sizeof(float);
+}
+
+Q8Matrix
+Q8Matrix::quantize(const Matrix &m)
+{
+    Q8Matrix out;
+    out.rows_ = m.rows();
+    out.cols_ = m.cols();
+    out.q_.resize(m.rows() * m.cols());
+    out.scale_.resize(m.rows());
+    for (size_t r = 0; r < m.rows(); ++r) {
+        float mx = 0.0f;
+        for (size_t c = 0; c < m.cols(); ++c)
+            mx = std::max(mx, std::fabs(m.at(r, c)));
+        float scale = mx > 0.0f ? mx / 127.0f : 1.0f;
+        out.scale_[r] = scale;
+        for (size_t c = 0; c < m.cols(); ++c) {
+            float q = std::round(m.at(r, c) / scale);
+            out.q_[r * m.cols() + c] = static_cast<int8_t>(
+                std::clamp(q, -127.0f, 127.0f));
+        }
+    }
+    return out;
+}
+
+Matrix
+Q8Matrix::dequantize() const
+{
+    Matrix m(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            m.at(r, c) = scale_[r] * static_cast<float>(q_[r * cols_ + c]);
+    return m;
+}
+
+void
+Q8Matrix::gemv(CSpan x, Span y) const
+{
+    specee_assert(x.size() == cols_ && y.size() == rows_,
+                  "Q8 gemv shape mismatch");
+    for (size_t r = 0; r < rows_; ++r) {
+        const int8_t *row = q_.data() + r * cols_;
+        float acc = 0.0f;
+        for (size_t c = 0; c < cols_; ++c)
+            acc += static_cast<float>(row[c]) * x[c];
+        y[r] = acc * scale_[r];
+    }
+}
+
+size_t
+Q8Matrix::byteSize() const
+{
+    return q_.size() * sizeof(int8_t) + scale_.size() * sizeof(float);
+}
+
+} // namespace specee::tensor

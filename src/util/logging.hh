@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Logging, assertion and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a SpecEE bug), fatal() is for unrecoverable user error
+ * (bad configuration), warn()/inform() are advisory.
+ */
+
+#ifndef SPECEE_UTIL_LOGGING_HH
+#define SPECEE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace specee {
+
+/** Format a printf-style message into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (a SpecEE bug). */
+#define specee_panic(...) \
+    ::specee::detail::panicImpl(__FILE__, __LINE__, ::specee::strfmt(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define specee_fatal(...) \
+    ::specee::detail::fatalImpl(__FILE__, __LINE__, ::specee::strfmt(__VA_ARGS__))
+
+/** Advisory warning; never stops execution. */
+#define specee_warn(...) \
+    ::specee::detail::warnImpl(::specee::strfmt(__VA_ARGS__))
+
+/** Informational status message. */
+#define specee_inform(...) \
+    ::specee::detail::informImpl(::specee::strfmt(__VA_ARGS__))
+
+/** Assert an invariant; active in all build types. */
+#define specee_assert(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::specee::detail::panicImpl(__FILE__, __LINE__,                 \
+                std::string("assertion failed: " #cond " — ") +             \
+                ::specee::strfmt(__VA_ARGS__));                             \
+        }                                                                   \
+    } while (0)
+
+} // namespace specee
+
+#endif // SPECEE_UTIL_LOGGING_HH

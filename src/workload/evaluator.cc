@@ -1,0 +1,70 @@
+#include "workload/evaluator.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace specee::workload {
+
+EvalResult
+Evaluator::evaluate(const Workload &w,
+                    const std::vector<Emission> &emissions,
+                    const oracle::SyntheticCorpus &corpus)
+{
+    specee_assert(w.instances.size() == emissions.size(),
+                  "emissions/instances mismatch: %zu vs %zu",
+                  emissions.size(), w.instances.size());
+
+    EvalResult r;
+    long correct = 0;
+    long matches = 0;
+    double log_prob_sum = 0.0;
+    long ppl_tokens = 0;
+    double layer_sum = 0.0;
+
+    for (size_t i = 0; i < w.instances.size(); ++i) {
+        const Instance &inst = w.instances[i];
+        const Emission &em = emissions[i];
+        specee_assert(em.tokens.size() <= inst.steps.size(),
+                      "emitted more tokens than scripted");
+        int prev = inst.prompt.back();
+        for (size_t t = 0; t < em.tokens.size(); ++t) {
+            const int tok = em.tokens[t];
+            ++r.tokens;
+            if (tok == inst.steps[t].target)
+                ++matches;
+            if (t < em.exit_layers.size())
+                layer_sum += em.exit_layers[t];
+
+            if (inst.answer_step >= 0 &&
+                t == static_cast<size_t>(inst.answer_step)) {
+                ++r.graded;
+                if (tok == inst.correct_token)
+                    ++correct;
+            }
+            // Perplexity under the corpus language model.
+            const double p = std::max(corpus.prob(prev, tok), 1e-9);
+            log_prob_sum += std::log(p);
+            ++ppl_tokens;
+            prev = tok;
+        }
+    }
+
+    if (r.tokens > 0) {
+        r.token_match_rate =
+            static_cast<double>(matches) / static_cast<double>(r.tokens);
+        r.avg_forward_layers = layer_sum / static_cast<double>(r.tokens);
+    }
+    if (r.graded > 0) {
+        r.accuracy_pct = 100.0 * static_cast<double>(correct) /
+                         static_cast<double>(r.graded);
+    }
+    if (w.kind == oracle::TaskKind::Generation ||
+        w.kind == oracle::TaskKind::Summarization) {
+        if (ppl_tokens > 0)
+            r.ppl = std::exp(-log_prob_sum / static_cast<double>(ppl_tokens));
+    }
+    return r;
+}
+
+} // namespace specee::workload

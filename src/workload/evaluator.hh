@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Accuracy and perplexity evaluation of engine emissions (Table 4).
+ *
+ * Accuracy tasks grade the designated answer step against the
+ * ground-truth option token. Perplexity tasks score every emitted
+ * token under the corpus bigram model: the dense engine emits likely
+ * continuations (low PPL); early-exit mistakes emit lower-probability
+ * tokens and raise PPL — the mechanism behind Table 4's PPL deltas.
+ */
+
+#ifndef SPECEE_WORKLOAD_EVALUATOR_HH
+#define SPECEE_WORKLOAD_EVALUATOR_HH
+
+#include <vector>
+
+#include "oracle/corpus.hh"
+#include "workload/datasets.hh"
+
+namespace specee::workload {
+
+/** Emitted tokens of one instance (aligned with Instance::steps). */
+struct Emission
+{
+    std::vector<int> tokens;
+    std::vector<int> exit_layers; ///< forward layers used per token
+};
+
+/** Aggregate quality metrics over a workload. */
+struct EvalResult
+{
+    double accuracy_pct = -1.0; ///< graded tasks only
+    double ppl = -1.0;          ///< perplexity tasks only
+    double avg_forward_layers = 0.0;
+    double token_match_rate = 0.0; ///< emitted == scripted dense target
+    long graded = 0;
+    long tokens = 0;
+};
+
+/** Stateless evaluation over (workload, emissions). */
+class Evaluator
+{
+  public:
+    static EvalResult evaluate(const Workload &w,
+                               const std::vector<Emission> &emissions,
+                               const oracle::SyntheticCorpus &corpus);
+};
+
+} // namespace specee::workload
+
+#endif // SPECEE_WORKLOAD_EVALUATOR_HH

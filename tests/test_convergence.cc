@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Convergence-process tests: the three calibrated statistics the
+ * paper's techniques exploit — skewed layer distribution (Fig. 10),
+ * context similarity (Fig. 11), dataset-dependent means (Table 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+
+#include "metrics/stats.hh"
+#include "oracle/convergence.hh"
+
+using namespace specee;
+using namespace specee::oracle;
+
+namespace {
+
+ConvergenceParams
+params32(double mean = 21.0, double ctx = 0.68)
+{
+    ConvergenceParams p;
+    p.n_layers = 32;
+    p.mean_layer = mean;
+    p.context_strength = ctx;
+    return p;
+}
+
+} // namespace
+
+TEST(Convergence, SkewedDistIsNormalized)
+{
+    auto d = ConvergenceProcess::makeSkewedDist(31, 21.0, 5, 7);
+    double total = 0.0;
+    for (float p : d)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-5);
+    for (float p : d)
+        EXPECT_GT(p, 0.0f); // uniform floor
+}
+
+TEST(Convergence, SkewMatchesFig10)
+{
+    // Fig. 10(a): the bottom-50% layers by frequency hold < 20% of
+    // the exit mass; ~50% of layers are below the 1/31 average.
+    auto d = ConvergenceProcess::makeSkewedDist(31, 21.0, 5, 7);
+    std::vector<float> sorted = d;
+    std::sort(sorted.begin(), sorted.end());
+    double bottom = 0.0;
+    for (size_t i = 0; i < sorted.size() / 2; ++i)
+        bottom += sorted[i];
+    EXPECT_LT(bottom, 0.20);
+
+    int below_avg = 0;
+    for (float p : d)
+        below_avg += p < 1.0f / 31.0f ? 1 : 0;
+    EXPECT_GE(below_avg, 12);
+    EXPECT_LE(below_avg, 24);
+}
+
+TEST(Convergence, MeanIsControllable)
+{
+    for (double target : {15.0, 21.0, 25.0}) {
+        ConvergenceProcess proc(params32(target, 0.0));
+        Rng rng(1);
+        double sum = 0.0;
+        const int n = 4000;
+        int counted = 0;
+        ConvergenceParams p = proc.params();
+        (void)p;
+        for (int i = 0; i < n; ++i) {
+            int c = proc.next(rng);
+            if (c <= proc.maxExitLayer()) {
+                sum += c;
+                ++counted;
+            }
+        }
+        EXPECT_NEAR(sum / counted, target, 2.5) << "target " << target;
+    }
+}
+
+TEST(Convergence, HardTokensNeverExitEarly)
+{
+    auto p = params32();
+    p.hard_token_rate = 0.5;
+    ConvergenceProcess proc(p);
+    Rng rng(2);
+    int hard = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        if (proc.next(rng) > proc.maxExitLayer())
+            ++hard;
+    }
+    EXPECT_NEAR(hard / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(Convergence, ContextSimilarityMatchesFig11)
+{
+    // Fig. 11: the exit layer falls within +/-2 of one of the last 5
+    // exits ~80% of the time.
+    ConvergenceProcess proc(params32());
+    Rng rng(3);
+    std::deque<int> last5;
+    int hits = 0, total = 0;
+    for (int i = 0; i < 8000; ++i) {
+        int c = proc.next(rng);
+        if (c > proc.maxExitLayer()) {
+            continue; // hard token: no exit recorded
+        }
+        if (static_cast<int>(last5.size()) == 5) {
+            bool near = false;
+            for (int prev : last5)
+                near |= std::abs(c - prev) <= 2;
+            hits += near ? 1 : 0;
+            ++total;
+        }
+        last5.push_back(c);
+        if (last5.size() > 5)
+            last5.pop_front();
+    }
+    const double hit_ratio = static_cast<double>(hits) / total;
+    EXPECT_GT(hit_ratio, 0.72);
+    EXPECT_LT(hit_ratio, 0.92);
+}
+
+TEST(Convergence, ActualHitRatioBeatsTheoretical)
+{
+    // Fig. 11's comparison: the *theoretical* hit ratio is the union
+    // size of the last-5 exits' +/-2 neighbourhoods over the layer
+    // count (~10.2/32 ~= 32%); the *actual* hit ratio is ~80%.
+    ConvergenceProcess proc(params32());
+    Rng rng(4);
+    std::deque<int> last5;
+    int hits = 0, total = 0;
+    double union_sum = 0.0;
+    for (int i = 0; i < 8000; ++i) {
+        int c = proc.next(rng);
+        if (c > proc.maxExitLayer())
+            continue;
+        if (static_cast<int>(last5.size()) == 5) {
+            std::vector<bool> in_union(32, false);
+            bool near = false;
+            for (int prev : last5) {
+                near |= std::abs(c - prev) <= 2;
+                for (int l = std::max(0, prev - 2);
+                     l <= std::min(31, prev + 2); ++l)
+                    in_union[static_cast<size_t>(l)] = true;
+            }
+            hits += near ? 1 : 0;
+            union_sum += std::count(in_union.begin(), in_union.end(),
+                                    true);
+            ++total;
+        }
+        last5.push_back(c);
+        if (last5.size() > 5)
+            last5.pop_front();
+    }
+    const double actual = static_cast<double>(hits) / total;
+    const double theoretical = union_sum / total / 32.0;
+    EXPECT_LT(theoretical, 0.55);
+    EXPECT_GT(actual, theoretical + 0.25);
+}
+
+TEST(Convergence, ResetClearsHistory)
+{
+    ConvergenceProcess proc(params32(21.0, 1.0));
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i)
+        proc.next(rng);
+    proc.reset();
+    // With probability context_strength=1 but empty history, the next
+    // draw must come from the base distribution (no crash, in range).
+    int c = proc.next(rng);
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, proc.maxExitLayer() + 1);
+}
+
+TEST(Convergence, DifferentSeedsDifferentSkewShapes)
+{
+    auto a = ConvergenceProcess::makeSkewedDist(31, 21.0, 5, 1);
+    auto b = ConvergenceProcess::makeSkewedDist(31, 21.0, 5, 2);
+    double l1 = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        l1 += std::abs(a[i] - b[i]);
+    EXPECT_GT(l1, 0.2); // Fig. 10(a) vs (c): model-dependent shapes
+}

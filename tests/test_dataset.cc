@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dataset container tests: add/split/shuffle/head/append semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hh"
+
+using namespace specee;
+using namespace specee::nn;
+
+namespace {
+
+Dataset
+sequential(int n)
+{
+    Dataset d(2);
+    for (int i = 0; i < n; ++i) {
+        std::vector<float> f = {static_cast<float>(i),
+                                static_cast<float>(-i)};
+        d.add(f, i % 2 == 0 ? 1.0f : 0.0f);
+    }
+    return d;
+}
+
+} // namespace
+
+TEST(Dataset, AddAndAccess)
+{
+    auto d = sequential(5);
+    EXPECT_EQ(d.size(), 5u);
+    EXPECT_EQ(d.dim(), 2u);
+    EXPECT_FLOAT_EQ(d.features(3)[0], 3.0f);
+    EXPECT_FLOAT_EQ(d.features(3)[1], -3.0f);
+    EXPECT_FLOAT_EQ(d.label(3), 0.0f);
+}
+
+TEST(Dataset, DimInferredFromFirstAdd)
+{
+    Dataset d;
+    std::vector<float> f = {1.0f, 2.0f, 3.0f};
+    d.add(f, 1.0f);
+    EXPECT_EQ(d.dim(), 3u);
+}
+
+TEST(Dataset, PositiveRate)
+{
+    auto d = sequential(10);
+    EXPECT_NEAR(d.positiveRate(), 0.5, 1e-9);
+    Dataset empty(2);
+    EXPECT_EQ(empty.positiveRate(), 0.0);
+}
+
+TEST(Dataset, SplitPreservesOrderAndCounts)
+{
+    auto d = sequential(10);
+    auto [train, test] = d.split(0.7);
+    EXPECT_EQ(train.size(), 7u);
+    EXPECT_EQ(test.size(), 3u);
+    EXPECT_FLOAT_EQ(train.features(0)[0], 0.0f);
+    EXPECT_FLOAT_EQ(test.features(0)[0], 7.0f);
+}
+
+TEST(Dataset, ShuffleKeepsPairsAligned)
+{
+    auto d = sequential(50);
+    Rng rng(3);
+    d.shuffle(rng);
+    // Feature[0] encodes the original index; label parity must follow.
+    for (size_t i = 0; i < d.size(); ++i) {
+        int orig = static_cast<int>(d.features(i)[0]);
+        EXPECT_FLOAT_EQ(d.label(i), orig % 2 == 0 ? 1.0f : 0.0f);
+        EXPECT_FLOAT_EQ(d.features(i)[1], -static_cast<float>(orig));
+    }
+}
+
+TEST(Dataset, ShuffleActuallyPermutes)
+{
+    auto d = sequential(50);
+    Rng rng(4);
+    d.shuffle(rng);
+    int moved = 0;
+    for (size_t i = 0; i < d.size(); ++i)
+        moved += static_cast<int>(d.features(i)[0]) !=
+                         static_cast<int>(i)
+                     ? 1
+                     : 0;
+    EXPECT_GT(moved, 30);
+}
+
+TEST(Dataset, HeadTruncates)
+{
+    auto d = sequential(10);
+    auto h = d.head(4);
+    EXPECT_EQ(h.size(), 4u);
+    EXPECT_FLOAT_EQ(h.features(3)[0], 3.0f);
+    EXPECT_EQ(d.head(99).size(), 10u);
+}
+
+TEST(Dataset, AppendConcatenates)
+{
+    auto a = sequential(3);
+    auto b = sequential(2);
+    a.append(b);
+    EXPECT_EQ(a.size(), 5u);
+    EXPECT_FLOAT_EQ(a.features(4)[0], 1.0f);
+}
+
+TEST(Dataset, AppendDimMismatchDies)
+{
+    auto a = sequential(2);
+    Dataset b(3);
+    std::vector<float> f = {1, 2, 3};
+    b.add(f, 0.0f);
+    EXPECT_DEATH(a.append(b), "dim mismatch");
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Draft-model tests: calibrated hit rate, slot placement, distinct
+ * proposals, hit-rate sweep (parameterized).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/draft_model.hh"
+#include "oracle/corpus.hh"
+
+using namespace specee;
+using namespace specee::model;
+
+namespace {
+
+struct Fixture
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    oracle::SyntheticCorpus corpus{cfg.sim.vocab, 321};
+};
+
+} // namespace
+
+TEST(DraftModel, ProposesRequestedCount)
+{
+    Fixture f;
+    DraftModel dlm(f.cfg, f.corpus, 0.9);
+    Rng rng(1);
+    for (int k : {1, 2, 4, 8}) {
+        auto spec = dlm.speculate(17, 200, k, rng);
+        EXPECT_EQ(static_cast<int>(spec.size()), k);
+    }
+}
+
+TEST(DraftModel, ProposalsAreDistinctAndInRange)
+{
+    Fixture f;
+    DraftModel dlm(f.cfg, f.corpus, 0.9);
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i) {
+        auto spec = dlm.speculate(i % f.cfg.sim.vocab, 100, 4, rng);
+        std::vector<int> sorted = spec;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(std::unique(sorted.begin(), sorted.end()),
+                  sorted.end());
+        for (int t : spec) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, f.cfg.sim.vocab);
+        }
+    }
+}
+
+TEST(DraftModel, TargetMostlyInTopSlot)
+{
+    Fixture f;
+    DraftModel dlm(f.cfg, f.corpus, 1.0);
+    Rng rng(3);
+    int slot0 = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        auto spec = dlm.speculate(9, 333, 4, rng);
+        ASSERT_NE(std::find(spec.begin(), spec.end(), 333), spec.end());
+        slot0 += spec[0] == 333 ? 1 : 0;
+    }
+    // Strong drafts rank the true token first ~70% of the time.
+    EXPECT_NEAR(slot0 / static_cast<double>(n), 0.70, 0.06);
+}
+
+TEST(DraftModel, NegativeTargetMeansNoHit)
+{
+    Fixture f;
+    DraftModel dlm(f.cfg, f.corpus, 1.0);
+    Rng rng(4);
+    // Used for off-chain tree levels: no true target exists.
+    auto spec = dlm.speculate(11, -1, 4, rng);
+    EXPECT_EQ(spec.size(), 4u);
+}
+
+TEST(DraftModel, DistractorsComeFromContext)
+{
+    Fixture f;
+    DraftModel dlm(f.cfg, f.corpus, 0.0);
+    Rng rng(5);
+    auto spec = dlm.speculate(42, 500, 4, rng);
+    // With hit rate 0, proposals are the corpus continuation head.
+    auto head = f.corpus.topNext(42, 10);
+    for (int t : spec) {
+        bool in_head = false;
+        for (const auto &[tok, p] : head)
+            in_head |= tok == t;
+        EXPECT_TRUE(in_head) << "token " << t;
+    }
+}
+
+class DraftHitSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DraftHitSweep, EmpiricalHitRateMatchesCalibration)
+{
+    Fixture f;
+    const double rate = GetParam();
+    DraftModel dlm(f.cfg, f.corpus, rate);
+    Rng rng(6);
+    int hits = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        auto spec = dlm.speculate(i % 64, 444, 4, rng);
+        hits += std::find(spec.begin(), spec.end(), 444) != spec.end()
+                    ? 1
+                    : 0;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(n), rate, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DraftHitSweep,
+                         ::testing::Values(0.0, 0.5, 0.8, 0.9, 1.0));

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Engine tests: dense correctness, SpecEE early exiting (T1/T2),
+ * AdaInfer baseline behaviour, cost/energy/memory accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "oracle/profiles.hh"
+#include "test_util.hh"
+#include "workload/evaluator.hh"
+
+using namespace specee;
+using engines::EngineConfig;
+
+namespace {
+
+const workload::Workload &
+mtWorkload()
+{
+    static const workload::Workload w = testutil::tinyPipeline().makeWorkload(
+        "MT-Bench", testutil::smallGen());
+    return w;
+}
+
+engines::RunResult
+runConfig(const EngineConfig &cfg,
+          const hw::HardwareSpec &spec = hw::HardwareSpec::a100())
+{
+    auto engine = testutil::tinyPipeline().makeEngine(cfg, spec);
+    return engine->run(mtWorkload(), 11);
+}
+
+} // namespace
+
+TEST(Engine, DenseEmitsScriptedTargetsExactly)
+{
+    auto r = runConfig(EngineConfig::huggingFace());
+    const auto &w = mtWorkload();
+    ASSERT_EQ(r.emissions.size(), w.instances.size());
+    for (size_t i = 0; i < w.instances.size(); ++i) {
+        for (size_t t = 0; t < r.emissions[i].tokens.size(); ++t) {
+            EXPECT_EQ(r.emissions[i].tokens[t],
+                      w.instances[i].steps[t].target);
+        }
+    }
+    EXPECT_DOUBLE_EQ(r.stats.avg_forward_layers,
+                     testutil::tinyPipeline().modelConfig().n_layers);
+    EXPECT_EQ(r.stats.exits, 0);
+}
+
+TEST(Engine, SpecEEExitsEarlyAndStaysAccurate)
+{
+    auto dense = runConfig(EngineConfig::huggingFace());
+    auto ee = runConfig(EngineConfig::huggingFace().withSpecEE());
+    const auto &w = mtWorkload();
+    const auto &pipe = testutil::tinyPipeline();
+
+    auto ev = workload::Evaluator::evaluate(w, ee.emissions, pipe.corpus());
+    EXPECT_GT(ev.token_match_rate, 0.95);
+
+    EXPECT_GT(ee.stats.exits, ee.stats.tokens / 2);
+    EXPECT_LT(ee.stats.avg_forward_layers,
+              dense.stats.avg_forward_layers - 1.0);
+    EXPECT_GT(ee.stats.tokens_per_s, dense.stats.tokens_per_s);
+}
+
+TEST(Engine, T2ReducesPredictorInvocations)
+{
+    auto t1 = runConfig(EngineConfig::huggingFace().withSpecEE(false));
+    auto t2 = runConfig(EngineConfig::huggingFace().withSpecEE(true));
+    EXPECT_LT(t2.stats.predictor_invocations,
+              t1.stats.predictor_invocations);
+    EXPECT_LT(t2.stats.avg_active_predictors,
+              t1.stats.avg_active_predictors);
+    // Scheduling should not cost much in exit opportunity.
+    EXPECT_LT(t2.stats.avg_forward_layers,
+              t1.stats.avg_forward_layers + 2.5);
+    // At the tiny 8-layer scale the scheduling gap nearly offsets the
+    // predictor savings; near-parity is acceptable here — the real
+    // Fig. 10(d)/Fig. 19 ordering is asserted at 32 layers in
+    // test_integration.cc.
+    EXPECT_GT(t2.stats.tokens_per_s, 0.97 * t1.stats.tokens_per_s);
+}
+
+TEST(Engine, VerificationCatchesPrematureExits)
+{
+    auto ee = runConfig(EngineConfig::huggingFace().withSpecEE());
+    EXPECT_GT(ee.stats.verify_calls, 0);
+    // Some verifications must fail (the mechanism that protects
+    // accuracy); all-passing would mean the threshold is vacuous.
+    EXPECT_GT(ee.stats.verify_rejects, 0);
+    EXPECT_LT(ee.stats.verify_rejects, ee.stats.verify_calls);
+}
+
+TEST(Engine, AdaInferIsSlowerAndLessAccurateThanSpecEE)
+{
+    auto ada = runConfig(EngineConfig::adaInfer());
+    auto ee = runConfig(EngineConfig::huggingFace().withSpecEE());
+    const auto &pipe = testutil::tinyPipeline();
+    auto ev_ada = workload::Evaluator::evaluate(mtWorkload(), ada.emissions,
+                                                pipe.corpus());
+    auto ev_ee = workload::Evaluator::evaluate(mtWorkload(), ee.emissions,
+                                               pipe.corpus());
+    // AdaInfer exits without verification -> worse token fidelity
+    // (Table 4: its accuracy trails both the dense model and SpecEE).
+    EXPECT_LT(ev_ada.token_match_rate, ev_ee.token_match_rate - 0.005);
+    // Its per-layer full LM head makes it slower than SpecEE.
+    EXPECT_LT(ada.stats.tokens_per_s, ee.stats.tokens_per_s);
+}
+
+TEST(Engine, QuantizedEngineRunsAndIsFasterPerToken)
+{
+    auto fp16 = runConfig(EngineConfig::huggingFace());
+    auto q4 = runConfig(EngineConfig::awq());
+    // AWQ reads ~3.5x fewer weight bytes; even with its lower kernel
+    // efficiency it beats fp16 HF on throughput.
+    EXPECT_GT(q4.stats.tokens_per_s, fp16.stats.tokens_per_s);
+}
+
+TEST(Engine, PagedAndContiguousKvAgreeFunctionally)
+{
+    auto hf = runConfig(EngineConfig::huggingFace());
+    auto vllm = runConfig(EngineConfig::vllm());
+    ASSERT_EQ(hf.emissions.size(), vllm.emissions.size());
+    for (size_t i = 0; i < hf.emissions.size(); ++i)
+        EXPECT_EQ(hf.emissions[i].tokens, vllm.emissions[i].tokens);
+}
+
+TEST(Engine, FixedPredictorLayersOverrideScheduling)
+{
+    EngineConfig cfg = EngineConfig::huggingFace().withSpecEE();
+    cfg.fixed_predictor_layers = {2, 4};
+    auto r = runConfig(cfg);
+    // Exits can only happen at the fixed layers.
+    for (size_t l = 0; l < r.stats.exit_histogram.size(); ++l) {
+        if (l != 2 && l != 4)
+            EXPECT_EQ(r.stats.exit_histogram[l], 0) << "layer " << l;
+    }
+}
+
+TEST(Engine, EnergyModelShowsEnergyReduction)
+{
+    auto dense = runConfig(EngineConfig::huggingFace());
+    auto ee = runConfig(EngineConfig::huggingFace().withSpecEE());
+    EXPECT_GT(ee.stats.avg_power_w, 0.0);
+    // §7.3.1's *power* reduction needs the 32-layer op mix and is
+    // asserted in test_integration.cc; at 8 layers the verification
+    // heads weigh more, so only the energy-per-token reduction is a
+    // scale-independent claim.
+    EXPECT_LT(ee.stats.energy_per_token_j,
+              dense.stats.energy_per_token_j);
+}
+
+TEST(Engine, MemoryModelAddsDraftModelOverhead)
+{
+    auto dense = runConfig(EngineConfig::huggingFace());
+    auto ee = runConfig(EngineConfig::huggingFace().withSpecEE());
+    EXPECT_GT(ee.stats.peak_mem_gb, dense.stats.peak_mem_gb);
+}
+
+TEST(Engine, OffloadSplitOnPcPlatform)
+{
+    // The tiny model fits in VRAM, so use the PC spec with llama.cpp
+    // config on a big model config to exercise the split.
+    auto cfg7b = model::ModelConfig::llama2_7b();
+    oracle::SyntheticCorpus corpus(cfg7b.sim.vocab, 1);
+    engines::Engine e(EngineConfig::llamaCpp(), cfg7b,
+                      hw::HardwareSpec::pc4060(), corpus);
+    EXPECT_LT(e.deviceWeightFrac(), 0.7);
+    EXPECT_GT(e.deviceWeightFrac(), 0.2);
+}
+
+TEST(Engine, ExitHistogramAccountsAllExits)
+{
+    auto ee = runConfig(EngineConfig::huggingFace().withSpecEE());
+    long hist_total = 0;
+    for (long c : ee.stats.exit_histogram)
+        hist_total += c;
+    EXPECT_EQ(hist_total, ee.stats.exits);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    auto a = runConfig(EngineConfig::huggingFace().withSpecEE());
+    auto b = runConfig(EngineConfig::huggingFace().withSpecEE());
+    ASSERT_EQ(a.emissions.size(), b.emissions.size());
+    for (size_t i = 0; i < a.emissions.size(); ++i)
+        EXPECT_EQ(a.emissions[i].tokens, b.emissions[i].tokens);
+    EXPECT_DOUBLE_EQ(a.stats.modeled_time_s, b.stats.modeled_time_s);
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * End-to-end integration tests at Llama2-7B scale (32 layers): the
+ * full pipeline (corpus -> predictor training -> offline scheduling
+ * -> engines) and the paper's headline orderings — T1 < T1+T2 <
+ * T1+T2+T3 (Fig. 2d/19), SpecEE vs frameworks (Fig. 14), accuracy
+ * preservation (Table 4), energy (§7.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "engines/pipeline.hh"
+#include "oracle/profiles.hh"
+#include "workload/evaluator.hh"
+
+using namespace specee;
+using engines::EngineConfig;
+
+namespace {
+
+const engines::Pipeline &
+pipe7b()
+{
+    static const engines::Pipeline pipe([] {
+        engines::PipelineOptions o;
+        o.model = "llama2-7b";
+        o.train_instances = 8;
+        o.train_gen_len = 40;
+        o.seed = 42;
+        return o;
+    }());
+    return pipe;
+}
+
+const workload::Workload &
+mtWorkload()
+{
+    static const workload::Workload w =
+        pipe7b().makeWorkload("MT-Bench", [] {
+            workload::GenOptions g;
+            g.n_instances = 3;
+            g.gen_len = 40;
+            g.seed = 77;
+            return g;
+        }());
+    return w;
+}
+
+engines::RunResult
+run(const EngineConfig &cfg,
+    const hw::HardwareSpec &spec = hw::HardwareSpec::a100())
+{
+    auto engine = pipe7b().makeEngine(cfg, spec);
+    return engine->run(mtWorkload(), 5);
+}
+
+} // namespace
+
+TEST(Integration, PredictorBankReachesPaperAccuracyBand)
+{
+    // Fig. 8: ~93% predictor accuracy at the 2x512 configuration.
+    EXPECT_GT(pipe7b().trainReport().mean_test_accuracy, 0.88);
+}
+
+TEST(Integration, PredictorMemoryMatchesPaper)
+{
+    // §7.4.2 reports ~416 KB for the whole Llama2-7B bank, which
+    // corresponds to fp16 storage of (12x512 + 512x1) x 32 weights.
+    const auto &preds = pipe7b().predictors();
+    const double fp16_kb =
+        static_cast<double>(preds.paramsPerPredictor()) *
+        preds.nExitLayers() * 2.0 / 1024.0;
+    EXPECT_GT(fp16_kb, 330.0);
+    EXPECT_LT(fp16_kb, 520.0);
+}
+
+TEST(Integration, TechniqueStackingOrdering)
+{
+    auto hf = run(EngineConfig::huggingFace());
+    auto t1 = run(EngineConfig::huggingFace().withSpecEE(false));
+    auto t12 = run(EngineConfig::huggingFace().withSpecEE(true));
+    auto t123 = run(EngineConfig::huggingFace().withSpecEE(true)
+                        .withSpecDecode());
+
+    // Fig. 2(d) / Fig. 19: each technique adds speedup.
+    EXPECT_GT(t1.stats.tokens_per_s, hf.stats.tokens_per_s);
+    EXPECT_GT(t12.stats.tokens_per_s, t1.stats.tokens_per_s);
+    EXPECT_GT(t123.stats.tokens_per_s, t12.stats.tokens_per_s);
+
+    // Full stack lands in the paper's 2.25x band (+-35%).
+    const double total =
+        t123.stats.tokens_per_s / hf.stats.tokens_per_s;
+    EXPECT_GT(total, 1.45);
+    EXPECT_LT(total, 3.2);
+}
+
+TEST(Integration, AverageForwardLayersNearTable4)
+{
+    auto ee = run(EngineConfig::huggingFace().withSpecEE());
+    // Table 4 MT-Bench Llama2-7B: 23.22 average forward layers.
+    EXPECT_GT(ee.stats.avg_forward_layers, 20.0);
+    EXPECT_LT(ee.stats.avg_forward_layers, 27.0);
+}
+
+TEST(Integration, AccuracyPreservationOnGradedTask)
+{
+    auto w = pipe7b().makeWorkload("CommonsenseQA", [] {
+        workload::GenOptions g;
+        g.n_instances = 60;
+        g.gen_len = 6;
+        g.seed = 3;
+        return g;
+    }());
+    auto dense_engine = pipe7b().makeEngine(EngineConfig::huggingFace(),
+                                            hw::HardwareSpec::a100());
+    auto ee_engine = pipe7b().makeEngine(
+        EngineConfig::huggingFace().withSpecEE(),
+        hw::HardwareSpec::a100());
+    auto dense = dense_engine->run(w, 9);
+    auto ee = ee_engine->run(w, 9);
+    auto ev_d = workload::Evaluator::evaluate(w, dense.emissions,
+                                              pipe7b().corpus());
+    auto ev_e = workload::Evaluator::evaluate(w, ee.emissions,
+                                              pipe7b().corpus());
+    // Table 4: <1% absolute accuracy delta (we allow a small-sample
+    // margin — 60 instances quantize accuracy to ~1.7% steps).
+    EXPECT_GE(ev_d.accuracy_pct, 0.0);
+    EXPECT_NEAR(ev_e.accuracy_pct, ev_d.accuracy_pct, 5.1);
+}
+
+TEST(Integration, SpecEESpeedsUpVllmAndAwqLess)
+{
+    auto vllm = run(EngineConfig::vllm());
+    auto vllm_ee = run(EngineConfig::vllm().withSpecEE());
+    auto hf = run(EngineConfig::huggingFace());
+    auto hf_ee = run(EngineConfig::huggingFace().withSpecEE());
+    const double s_vllm =
+        vllm_ee.stats.tokens_per_s / vllm.stats.tokens_per_s;
+    const double s_hf = hf_ee.stats.tokens_per_s / hf.stats.tokens_per_s;
+    // Fig. 14: the faster the base framework, the smaller the SpecEE
+    // multiplier (1.27x on HF vs 1.12x on vllm for A100).
+    EXPECT_GT(s_hf, 1.05);
+    EXPECT_GT(s_vllm, 1.0);
+    EXPECT_LT(s_vllm, s_hf);
+}
+
+TEST(Integration, EagleGetsModestGainFromT3)
+{
+    auto eagle = run(EngineConfig::eagle());
+    auto both = run(EngineConfig::eagle().withSpecEE());
+    const double s = both.stats.tokens_per_s / eagle.stats.tokens_per_s;
+    // Fig. 15: 1.05-1.06x over EAGLE (allow a generous band).
+    EXPECT_GT(s, 1.0);
+    EXPECT_LT(s, 1.35);
+}
+
+TEST(Integration, PowerDropsRoughlyTenPercent)
+{
+    auto hf = run(EngineConfig::huggingFace());
+    auto ee = run(EngineConfig::huggingFace().withSpecEE());
+    const double rel = ee.stats.avg_power_w / hf.stats.avg_power_w;
+    // §7.3.1: 201 W -> 182 W (~10% reduction).
+    EXPECT_LT(rel, 0.99);
+    EXPECT_GT(rel, 0.80);
+}
+
+TEST(Integration, PcScenarioOrdering)
+{
+    const auto pc = hw::HardwareSpec::pc4060();
+    auto lcpp = run(EngineConfig::llamaCpp(), pc);
+    auto lcpp_ee = run(EngineConfig::llamaCpp().withSpecEE(), pc);
+    auto lcpp_full =
+        run(EngineConfig::llamaCpp().withSpecEE().withSpecDecode(), pc);
+    EXPECT_GT(lcpp_ee.stats.tokens_per_s, lcpp.stats.tokens_per_s);
+    EXPECT_GT(lcpp_full.stats.tokens_per_s, lcpp_ee.stats.tokens_per_s);
+    // Fig. 2(d): llama.cpp at single-digit tok/s on the PC.
+    EXPECT_LT(lcpp.stats.tokens_per_s, 15.0);
+    EXPECT_GT(lcpp.stats.tokens_per_s, 2.0);
+}
+
+TEST(Integration, SeventyBillionScalesDown)
+{
+    engines::PipelineOptions o;
+    o.model = "llama2-70b";
+    o.train_instances = 4;
+    o.train_gen_len = 30;
+    o.seed = 43;
+    engines::Pipeline pipe(o);
+    auto w = pipe.makeWorkload("MMLU", [] {
+        workload::GenOptions g;
+        g.n_instances = 2;
+        g.gen_len = 16;
+        g.seed = 5;
+        return g;
+    }());
+    auto hf = pipe.makeEngine(EngineConfig::huggingFace(),
+                              hw::HardwareSpec::a100x4());
+    auto ee = pipe.makeEngine(EngineConfig::huggingFace().withSpecEE(),
+                              hw::HardwareSpec::a100x4());
+    auto r_hf = hf->run(w, 1);
+    auto r_ee = ee->run(w, 1);
+    // Table 4: ~53 average forward layers of 80.
+    EXPECT_LT(r_ee.stats.avg_forward_layers, 62.0);
+    EXPECT_GT(r_ee.stats.avg_forward_layers, 45.0);
+    EXPECT_GT(r_ee.stats.tokens_per_s, r_hf.stats.tokens_per_s);
+}

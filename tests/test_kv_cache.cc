@@ -1,0 +1,145 @@
+/**
+ * @file
+ * KV storage tests: contiguous cache, paged allocator (vllm
+ * substrate), equivalence between the two, rollback semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/kv_cache.hh"
+#include "model/paged_kv.hh"
+#include "util/rng.hh"
+
+using namespace specee;
+using namespace specee::model;
+
+namespace {
+
+tensor::Vec
+vec(int hidden, float base)
+{
+    tensor::Vec v(static_cast<size_t>(hidden));
+    for (int i = 0; i < hidden; ++i)
+        v[static_cast<size_t>(i)] = base + static_cast<float>(i);
+    return v;
+}
+
+} // namespace
+
+TEST(KvCache, AppendAndReadBack)
+{
+    KvCache kv(2, 16, 4);
+    auto k = vec(4, 1.0f);
+    auto v = vec(4, 100.0f);
+    EXPECT_EQ(kv.append(0, k, v), 0);
+    EXPECT_EQ(kv.append(0, k, v), 1);
+    EXPECT_EQ(kv.length(0), 2);
+    EXPECT_EQ(kv.length(1), 0);
+    EXPECT_FLOAT_EQ(kv.key(0, 1)[2], 3.0f);
+    EXPECT_FLOAT_EQ(kv.value(0, 0)[0], 100.0f);
+}
+
+TEST(KvCache, TruncateRollsBack)
+{
+    KvCache kv(1, 8, 2);
+    for (int i = 0; i < 5; ++i)
+        kv.append(0, vec(2, static_cast<float>(i)), vec(2, 0.0f));
+    kv.truncate(2);
+    EXPECT_EQ(kv.length(0), 2);
+    kv.append(0, vec(2, 77.0f), vec(2, 0.0f));
+    EXPECT_FLOAT_EQ(kv.key(0, 2)[0], 77.0f);
+}
+
+TEST(KvCache, OverflowDies)
+{
+    KvCache kv(1, 2, 2);
+    kv.append(0, vec(2, 0), vec(2, 0));
+    kv.append(0, vec(2, 0), vec(2, 0));
+    EXPECT_DEATH(kv.append(0, vec(2, 0), vec(2, 0)), "overflow");
+}
+
+TEST(PagedKv, BlocksAllocatedOnDemand)
+{
+    PagedKvCache kv(1, 4, 2);
+    EXPECT_EQ(kv.blocksInUse(), 0);
+    for (int i = 0; i < kKvBlockSize; ++i)
+        kv.append(0, vec(2, 0), vec(2, 0));
+    EXPECT_EQ(kv.blocksInUse(), 1);
+    kv.append(0, vec(2, 0), vec(2, 0));
+    EXPECT_EQ(kv.blocksInUse(), 2);
+}
+
+TEST(PagedKv, TruncateFreesWholeBlocks)
+{
+    PagedKvCache kv(1, 8, 2);
+    for (int i = 0; i < 2 * kKvBlockSize + 3; ++i)
+        kv.append(0, vec(2, static_cast<float>(i)), vec(2, 0));
+    EXPECT_EQ(kv.blocksInUse(), 3);
+    kv.truncate(kKvBlockSize); // exactly one block's worth
+    EXPECT_EQ(kv.blocksInUse(), 1);
+    EXPECT_EQ(kv.length(0), kKvBlockSize);
+    // Freed blocks are reusable.
+    for (int i = 0; i < kKvBlockSize; ++i)
+        kv.append(0, vec(2, 0), vec(2, 0));
+    EXPECT_EQ(kv.blocksInUse(), 2);
+}
+
+TEST(PagedKv, ClearReleasesEverything)
+{
+    PagedKvCache kv(2, 8, 2);
+    for (int l = 0; l < 2; ++l)
+        for (int i = 0; i < 20; ++i)
+            kv.append(l, vec(2, 0), vec(2, 0));
+    kv.clear();
+    EXPECT_EQ(kv.blocksInUse(), 0);
+    EXPECT_EQ(kv.blocksFree(), 8);
+    EXPECT_EQ(kv.length(0), 0);
+}
+
+TEST(PagedKv, PoolExhaustionDies)
+{
+    PagedKvCache kv(1, 1, 2);
+    for (int i = 0; i < kKvBlockSize; ++i)
+        kv.append(0, vec(2, 0), vec(2, 0));
+    EXPECT_TRUE(kv.wouldOverflow(0));
+    EXPECT_DEATH(kv.append(0, vec(2, 0), vec(2, 0)), "exhausted");
+}
+
+TEST(PagedKv, MatchesContiguousContents)
+{
+    const int layers = 3, hidden = 8, tokens = 40;
+    KvCache a(layers, 64, hidden);
+    PagedKvCache b(layers, layers * (tokens / kKvBlockSize + 2), hidden);
+    Rng rng(7);
+    for (int t = 0; t < tokens; ++t) {
+        for (int l = 0; l < layers; ++l) {
+            tensor::Vec k(hidden), v(hidden);
+            for (auto &x : k)
+                x = static_cast<float>(rng.normal());
+            for (auto &x : v)
+                x = static_cast<float>(rng.normal());
+            EXPECT_EQ(a.append(l, k, v), b.append(l, k, v));
+        }
+    }
+    for (int l = 0; l < layers; ++l) {
+        ASSERT_EQ(a.length(l), b.length(l));
+        for (int p = 0; p < a.length(l); ++p) {
+            for (int d = 0; d < hidden; ++d) {
+                ASSERT_FLOAT_EQ(a.key(l, p)[static_cast<size_t>(d)],
+                                b.key(l, p)[static_cast<size_t>(d)]);
+                ASSERT_FLOAT_EQ(a.value(l, p)[static_cast<size_t>(d)],
+                                b.value(l, p)[static_cast<size_t>(d)]);
+            }
+        }
+    }
+}
+
+TEST(PagedKv, PerLayerIndependentTables)
+{
+    PagedKvCache kv(2, 4, 2);
+    kv.append(0, vec(2, 1.0f), vec(2, 2.0f));
+    kv.append(1, vec(2, 3.0f), vec(2, 4.0f));
+    EXPECT_FLOAT_EQ(kv.key(0, 0)[0], 1.0f);
+    EXPECT_FLOAT_EQ(kv.key(1, 0)[0], 3.0f);
+    EXPECT_EQ(kv.blocksInUse(), 2);
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Logging / assertion helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+using namespace specee;
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strfmt("%.2f", 1.5), "1.50");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Logging, StrfmtLongStrings)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(specee_panic("boom %d", 42), "boom 42");
+}
+
+TEST(Logging, FatalExits)
+{
+    EXPECT_EXIT(specee_fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    specee_assert(1 + 1 == 2, "never shown");
+    EXPECT_DEATH(specee_assert(false, "ctx %d", 9), "ctx 9");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    specee_warn("a warning %d", 1);
+    specee_inform("an info %d", 2);
+    SUCCEED();
+}

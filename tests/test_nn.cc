@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Neural-net substrate tests: Linear backward via numeric gradient
+ * check, MLP training on synthetic tasks, SVM, parameter counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hh"
+#include "nn/svm.hh"
+#include "tensor/kernels.hh"
+
+using namespace specee;
+using namespace specee::nn;
+
+namespace {
+
+/** Linearly separable 2-D dataset. */
+Dataset
+separable(int n, uint64_t seed)
+{
+    Dataset d(2);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        float x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        float y = static_cast<float>(rng.uniform(-1.0, 1.0));
+        float label = (x + y > 0.1f) ? 1.0f : 0.0f;
+        std::vector<float> f = {x, y};
+        d.add(f, label);
+    }
+    return d;
+}
+
+/** XOR-style dataset: not linearly separable. */
+Dataset
+xorData(int n, uint64_t seed)
+{
+    Dataset d(2);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        float x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        float y = static_cast<float>(rng.uniform(-1.0, 1.0));
+        float label = (x * y > 0.0f) ? 1.0f : 0.0f;
+        std::vector<float> f = {x, y};
+        d.add(f, label);
+    }
+    return d;
+}
+
+} // namespace
+
+TEST(Linear, ForwardIsAffine)
+{
+    Rng rng(1);
+    Linear lin(3, 2, rng);
+    lin.weights().fill(0.0f);
+    lin.weights().at(0, 0) = 2.0f;
+    lin.weights().at(1, 2) = -1.0f;
+    lin.bias() = {0.5f, 1.0f};
+    tensor::Vec x = {1.0f, 0.0f, 3.0f};
+    tensor::Vec out(2);
+    lin.forward(x, out);
+    EXPECT_FLOAT_EQ(out[0], 2.5f);
+    EXPECT_FLOAT_EQ(out[1], -2.0f);
+}
+
+TEST(Linear, BackwardMatchesNumericGradient)
+{
+    Rng rng(2);
+    Linear lin(4, 3, rng);
+    tensor::Vec x = {0.3f, -0.2f, 0.8f, 0.1f};
+    tensor::Vec d_out = {1.0f, -0.5f, 0.25f};
+    tensor::Vec d_x(4);
+    lin.zeroGrad();
+    lin.backward(x, d_out, d_x);
+
+    // Numeric check of d_x: loss = d_out . f(x).
+    const float eps = 1e-3f;
+    for (size_t i = 0; i < x.size(); ++i) {
+        tensor::Vec xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        tensor::Vec op(3), om(3);
+        lin.forward(xp, op);
+        lin.forward(xm, om);
+        float lp = tensor::dot(op, d_out);
+        float lm = tensor::dot(om, d_out);
+        EXPECT_NEAR(d_x[i], (lp - lm) / (2 * eps), 1e-2f) << i;
+    }
+}
+
+TEST(Mlp, RejectsBadArchitectures)
+{
+    EXPECT_DEATH(Mlp({5}, 1), "at least");
+    EXPECT_DEATH(Mlp({5, 3}, 1), "end in 1");
+}
+
+TEST(Mlp, LearnsLinearlySeparableData)
+{
+    Mlp mlp({2, 16, 1}, 3);
+    auto data = separable(400, 4);
+    TrainConfig cfg;
+    cfg.epochs = 30;
+    auto stats = mlp.fit(data, cfg);
+    EXPECT_GT(stats.train_accuracy, 0.95);
+    EXPECT_LT(stats.final_loss, 0.35);
+}
+
+TEST(Mlp, LearnsXorWithHiddenLayer)
+{
+    Mlp mlp({2, 32, 1}, 5);
+    auto data = xorData(600, 6);
+    TrainConfig cfg;
+    cfg.epochs = 60;
+    cfg.lr = 3e-3;
+    auto stats = mlp.fit(data, cfg);
+    EXPECT_GT(stats.train_accuracy, 0.9);
+}
+
+TEST(Mlp, SingleLayerCannotLearnXor)
+{
+    Mlp mlp({2, 1}, 7);
+    auto data = xorData(600, 8);
+    TrainConfig cfg;
+    cfg.epochs = 40;
+    auto stats = mlp.fit(data, cfg);
+    EXPECT_LT(stats.train_accuracy, 0.7);
+}
+
+TEST(Mlp, ParamAndFlopCounts)
+{
+    Mlp mlp({12, 512, 1}, 9);
+    EXPECT_EQ(mlp.paramCount(), 12u * 512 + 512 + 512 + 1);
+    EXPECT_EQ(mlp.flopsPerInference(), 2u * (12 * 512 + 512));
+    EXPECT_EQ(mlp.depth(), 2u);
+    EXPECT_EQ(mlp.inputDim(), 12u);
+}
+
+TEST(Mlp, PredictIsSigmoidOfLogit)
+{
+    Mlp mlp({3, 8, 1}, 10);
+    tensor::Vec x = {0.5f, -1.0f, 2.0f};
+    EXPECT_NEAR(mlp.predict(x), tensor::sigmoid(mlp.forwardLogit(x)),
+                1e-6f);
+}
+
+TEST(Mlp, AccuracyOnHeldOut)
+{
+    Mlp mlp({2, 16, 1}, 11);
+    auto data = separable(600, 12);
+    auto [train, test] = data.split(0.8);
+    TrainConfig cfg;
+    cfg.epochs = 30;
+    mlp.fit(train, cfg);
+    EXPECT_GT(mlp.accuracy(test), 0.92);
+}
+
+TEST(Svm, LearnsSeparableData)
+{
+    LinearSvm svm(2);
+    auto data = separable(400, 13);
+    svm.fit(data);
+    EXPECT_GT(svm.accuracy(data), 0.93);
+}
+
+TEST(Svm, FailsOnXor)
+{
+    LinearSvm svm(2);
+    auto data = xorData(400, 14);
+    svm.fit(data);
+    EXPECT_LT(svm.accuracy(data), 0.72);
+}
+
+TEST(Svm, MarginSignMatchesPrediction)
+{
+    LinearSvm svm(2);
+    auto data = separable(200, 15);
+    svm.fit(data);
+    tensor::Vec far_pos = {1.0f, 1.0f};
+    tensor::Vec far_neg = {-1.0f, -1.0f};
+    EXPECT_GT(svm.margin(far_pos), 0.0f);
+    EXPECT_LT(svm.margin(far_neg), 0.0f);
+}

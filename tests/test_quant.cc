@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Quantization tests: Q4/Q8 round-trip error bounds, quantized GEMV
+ * accuracy, storage footprint, parameterized shape sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/kernels.hh"
+#include "tensor/quant.hh"
+#include "util/rng.hh"
+
+using namespace specee;
+using namespace specee::tensor;
+
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed, float scale = 1.0f)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = static_cast<float>(rng.normal(0.0, scale));
+    return m;
+}
+
+/** Max |error| allowed per element for a group with range `range`. */
+float
+q4Bound(const Matrix &m, size_t row, size_t col)
+{
+    const size_t g0 = (col / kQ4GroupSize) * kQ4GroupSize;
+    const size_t g1 = std::min(g0 + kQ4GroupSize, m.cols());
+    float lo = m.at(row, g0), hi = lo;
+    for (size_t c = g0; c < g1; ++c) {
+        lo = std::min(lo, m.at(row, c));
+        hi = std::max(hi, m.at(row, c));
+    }
+    return (hi - lo) / 15.0f * 0.5f + 1e-6f;
+}
+
+} // namespace
+
+TEST(Q4, RoundTripWithinGroupQuantBound)
+{
+    auto m = randomMatrix(8, 64, 1);
+    auto q = Q4Matrix::quantize(m);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t c = 0; c < m.cols(); ++c) {
+            EXPECT_LE(std::fabs(q.at(r, c) - m.at(r, c)),
+                      q4Bound(m, r, c))
+                << "(" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(Q4, DequantizeMatchesElementAccess)
+{
+    auto m = randomMatrix(4, 96, 2);
+    auto q = Q4Matrix::quantize(m);
+    auto d = q.dequantize();
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            EXPECT_FLOAT_EQ(d.at(r, c), q.at(r, c));
+}
+
+TEST(Q4, GemvCloseToDense)
+{
+    auto m = randomMatrix(32, 128, 3, 0.05f);
+    auto q = Q4Matrix::quantize(m);
+    Vec x(128);
+    Rng rng(4);
+    for (auto &v : x)
+        v = static_cast<float>(rng.normal());
+    Vec yd(32), yq(32);
+    gemv(m, x, yd);
+    q.gemv(x, yq);
+    for (size_t i = 0; i < 32; ++i)
+        EXPECT_NEAR(yq[i], yd[i], 0.15f) << i;
+}
+
+TEST(Q4, GemvRowsMatchesGemv)
+{
+    auto m = randomMatrix(16, 64, 5);
+    auto q = Q4Matrix::quantize(m);
+    Vec x(64, 0.5f);
+    Vec full(16);
+    q.gemv(x, full);
+    std::vector<int> rows = {0, 7, 15};
+    Vec sliced(3);
+    q.gemvRows(rows, x, sliced);
+    for (size_t i = 0; i < rows.size(); ++i)
+        EXPECT_FLOAT_EQ(sliced[i], full[static_cast<size_t>(rows[i])]);
+}
+
+TEST(Q4, StorageIsRoughly4Point5BitsPerWeight)
+{
+    auto m = randomMatrix(64, 512, 6);
+    auto q = Q4Matrix::quantize(m);
+    const double bits =
+        q.byteSize() * 8.0 / static_cast<double>(m.size());
+    EXPECT_NEAR(bits, 4.0 + 2.0 * 32.0 / kQ4GroupSize, 1.0);
+    EXPECT_LT(static_cast<double>(q.byteSize()),
+              0.2 * static_cast<double>(m.byteSize()));
+}
+
+TEST(Q4, RaggedColumnsPadCleanly)
+{
+    auto m = randomMatrix(3, 40, 7); // not a multiple of 32
+    auto q = Q4Matrix::quantize(m);
+    EXPECT_EQ(q.cols(), 40u);
+    for (size_t c = 0; c < 40; ++c)
+        EXPECT_LE(std::fabs(q.at(1, c) - m.at(1, c)), q4Bound(m, 1, c));
+}
+
+TEST(Q4, ConstantGroupIsExact)
+{
+    Matrix m(1, 32, 0.25f);
+    auto q = Q4Matrix::quantize(m);
+    for (size_t c = 0; c < 32; ++c)
+        EXPECT_NEAR(q.at(0, c), 0.25f, 1e-6f);
+}
+
+TEST(Q8, RoundTripTight)
+{
+    auto m = randomMatrix(8, 100, 8);
+    auto q = Q8Matrix::quantize(m);
+    auto d = q.dequantize();
+    for (size_t r = 0; r < m.rows(); ++r) {
+        float mx = 0;
+        for (size_t c = 0; c < m.cols(); ++c)
+            mx = std::max(mx, std::fabs(m.at(r, c)));
+        for (size_t c = 0; c < m.cols(); ++c)
+            EXPECT_LE(std::fabs(d.at(r, c) - m.at(r, c)),
+                      mx / 127.0f + 1e-6f);
+    }
+}
+
+TEST(Q8, GemvCloseToDense)
+{
+    auto m = randomMatrix(24, 80, 9, 0.1f);
+    auto q = Q8Matrix::quantize(m);
+    Vec x(80);
+    Rng rng(10);
+    for (auto &v : x)
+        v = static_cast<float>(rng.normal());
+    Vec yd(24), yq(24);
+    gemv(m, x, yd);
+    q.gemv(x, yq);
+    for (size_t i = 0; i < 24; ++i)
+        EXPECT_NEAR(yq[i], yd[i], 0.05f);
+}
+
+TEST(Q8, SmallerThanQ4IsFalse)
+{
+    auto m = randomMatrix(16, 256, 11);
+    auto q8 = Q8Matrix::quantize(m);
+    auto q4 = Q4Matrix::quantize(m);
+    EXPECT_GT(q8.byteSize(), q4.byteSize());
+}
+
+// --- parameterized sweep ---------------------------------------------------
+
+class QuantShapes : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(QuantShapes, Q4GemvErrorScalesWithMagnitude)
+{
+    const auto [rows, cols] = GetParam();
+    auto m = randomMatrix(static_cast<size_t>(rows),
+                          static_cast<size_t>(cols), 12, 0.02f);
+    auto q = Q4Matrix::quantize(m);
+    Vec x(static_cast<size_t>(cols), 1.0f);
+    Vec yd(static_cast<size_t>(rows)), yq(static_cast<size_t>(rows));
+    gemv(m, x, yd);
+    q.gemv(x, yq);
+    // Error per output element is bounded by cols * per-element bound;
+    // with sd 0.02 the group ranges are ~0.1 -> bound ~ cols * 0.004.
+    const float bound = static_cast<float>(cols) * 0.005f;
+    for (size_t i = 0; i < yd.size(); ++i)
+        EXPECT_NEAR(yq[i], yd[i], bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QuantShapes,
+    ::testing::Values(std::pair{1, 32}, std::pair{4, 33},
+                      std::pair{16, 31}, std::pair{8, 256},
+                      std::pair{64, 129}));

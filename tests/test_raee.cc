@@ -1,0 +1,123 @@
+/**
+ * @file
+ * RAEE baseline tests: index semantics, kNN retrieval, probability
+ * superposition, and engine integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/raee.hh"
+#include "test_util.hh"
+#include "workload/evaluator.hh"
+
+using namespace specee;
+using namespace specee::core;
+
+namespace {
+
+tensor::Vec
+unitVec(int dim, int hot)
+{
+    tensor::Vec v(static_cast<size_t>(dim), 0.0f);
+    v[static_cast<size_t>(hot)] = 1.0f;
+    return v;
+}
+
+} // namespace
+
+TEST(Raee, EmptyIndexFallsBackToLastLayer)
+{
+    RaeeIndex idx(8, 32);
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.predictExitLayer(unitVec(8, 0)), 31);
+}
+
+TEST(Raee, ExactNeighbourWins)
+{
+    RaeeIndex idx(8, 32);
+    idx.add(unitVec(8, 0), 5);
+    idx.add(unitVec(8, 1), 20);
+    idx.add(unitVec(8, 2), 27);
+    EXPECT_EQ(idx.predictExitLayer(unitVec(8, 0), 1), 5);
+    EXPECT_EQ(idx.predictExitLayer(unitVec(8, 1), 1), 20);
+}
+
+TEST(Raee, SuperpositionWeighsSimilarNeighbours)
+{
+    RaeeIndex idx(4, 32);
+    // Two close entries voting 10, one orthogonal voting 25.
+    tensor::Vec a = {1.0f, 0.1f, 0.0f, 0.0f};
+    tensor::Vec b = {1.0f, -0.1f, 0.0f, 0.0f};
+    idx.add(a, 10);
+    idx.add(b, 10);
+    idx.add(unitVec(4, 2), 25);
+    tensor::Vec q = {1.0f, 0.0f, 0.0f, 0.0f};
+    EXPECT_EQ(idx.predictExitLayer(q, 3), 10);
+}
+
+TEST(Raee, NormalizationMakesScaleIrrelevant)
+{
+    RaeeIndex idx(4, 16);
+    tensor::Vec big = {10.0f, 0.0f, 0.0f, 0.0f};
+    idx.add(big, 7);
+    tensor::Vec small_q = {0.001f, 0.0f, 0.0f, 0.0f};
+    EXPECT_EQ(idx.predictExitLayer(small_q, 1), 7);
+}
+
+TEST(Raee, ByteSizeGrowsLinearly)
+{
+    RaeeIndex idx(16, 8);
+    const size_t before = idx.byteSize();
+    idx.add(unitVec(16, 0), 3);
+    idx.add(unitVec(16, 1), 4);
+    EXPECT_EQ(idx.byteSize() - before,
+              2 * (16 * sizeof(float) + sizeof(int)));
+}
+
+TEST(Raee, RejectsBadInputs)
+{
+    RaeeIndex idx(8, 16);
+    EXPECT_DEATH(idx.add(unitVec(4, 0), 3), "dim mismatch");
+    EXPECT_DEATH(idx.add(unitVec(8, 0), 16), "out of range");
+}
+
+TEST(Raee, EngineIntegrationExitsEarly)
+{
+    auto &pipe = testutil::tinyPipeline();
+    auto w = pipe.makeWorkload("MT-Bench", testutil::smallGen(3, 24));
+    auto hf = pipe.makeEngine(engines::EngineConfig::huggingFace(),
+                              hw::HardwareSpec::a100())
+                  ->run(w, 8);
+    auto raee = pipe.makeEngine(engines::EngineConfig::raeeBaseline(),
+                                hw::HardwareSpec::a100())
+                    ->run(w, 8);
+    EXPECT_LT(raee.stats.avg_forward_layers,
+              hf.stats.avg_forward_layers);
+    EXPECT_GT(raee.stats.exits, 0);
+    // No verification: retrieval mispredictions emit wrong tokens.
+    auto ev = workload::Evaluator::evaluate(w, raee.emissions,
+                                            pipe.corpus());
+    EXPECT_LT(ev.token_match_rate, 1.0);
+    EXPECT_GT(ev.token_match_rate, 0.4);
+}
+
+TEST(Raee, HeavierPredictionThanSpecEE)
+{
+    auto &pipe = testutil::tinyPipeline();
+    auto w = pipe.makeWorkload("MT-Bench", testutil::smallGen(3, 24));
+    auto raee = pipe.makeEngine(engines::EngineConfig::raeeBaseline(),
+                                hw::HardwareSpec::a100())
+                    ->run(w, 8);
+    auto ee = pipe.makeEngine(
+                      engines::EngineConfig::huggingFace().withSpecEE(),
+                      hw::HardwareSpec::a100())
+                  ->run(w, 8);
+    // Table 1: RAEE's retrieval (database scan) outweighs SpecEE's
+    // sliced-head + MLP prediction.
+    const double raee_pred =
+        raee.stats.oplog.totals(hw::OpClass::Predictor).time_s;
+    const double ee_pred =
+        ee.stats.oplog.totals(hw::OpClass::Predictor).time_s +
+        ee.stats.oplog.totals(hw::OpClass::LmHeadSliced).time_s;
+    EXPECT_GT(raee_pred, ee_pred);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Two-level heuristic scheduling tests (§5.3): offline hot-layer
+ * selection from the skewed histogram, online circular queue with
+ * +/-radius neighbourhood counters, and their union semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/offline_scheduler.hh"
+#include "core/online_scheduler.hh"
+#include "util/rng.hh"
+
+using namespace specee;
+using namespace specee::core;
+
+// --- offline -----------------------------------------------------------------
+
+TEST(Offline, HistogramAccumulates)
+{
+    OfflineScheduler off(8);
+    off.recordExit(3);
+    off.recordExit(3);
+    off.recordExit(5);
+    off.recordNoExit();
+    EXPECT_EQ(off.totalExits(), 3);
+    EXPECT_EQ(off.histogram()[3], 2);
+    auto p = off.exitProbabilities();
+    EXPECT_NEAR(p[3], 2.0 / 3.0, 1e-9);
+}
+
+TEST(Offline, HotLayersCoverRequestedMass)
+{
+    OfflineScheduler off(10);
+    // Layer 4: 60%, layer 7: 30%, layer 1: 10%.
+    for (int i = 0; i < 60; ++i)
+        off.recordExit(4);
+    for (int i = 0; i < 30; ++i)
+        off.recordExit(7);
+    for (int i = 0; i < 10; ++i)
+        off.recordExit(1);
+    EXPECT_EQ(off.hotLayers(0.55), (std::vector<int>{4}));
+    EXPECT_EQ(off.hotLayers(0.85), (std::vector<int>{4, 7}));
+    EXPECT_EQ(off.hotLayers(0.95), (std::vector<int>{1, 4, 7}));
+}
+
+TEST(Offline, TopKSortedByLayerId)
+{
+    OfflineScheduler off(10);
+    for (int i = 0; i < 5; ++i)
+        off.recordExit(9);
+    for (int i = 0; i < 4; ++i)
+        off.recordExit(2);
+    for (int i = 0; i < 3; ++i)
+        off.recordExit(6);
+    EXPECT_EQ(off.topK(2), (std::vector<int>{2, 9}));
+    EXPECT_EQ(off.topK(99), (std::vector<int>{2, 6, 9}));
+}
+
+TEST(Offline, BottomMassReflectsSkew)
+{
+    OfflineScheduler skewed(10);
+    for (int i = 0; i < 90; ++i)
+        skewed.recordExit(5);
+    for (int l = 0; l < 10; ++l)
+        skewed.recordExit(l); // 1 each
+    // Bottom half (5 least-frequent layers) holds ~5/100.
+    EXPECT_LT(skewed.bottomMass(0.5), 0.10);
+
+    OfflineScheduler uniform(10);
+    for (int l = 0; l < 10; ++l)
+        for (int i = 0; i < 10; ++i)
+            uniform.recordExit(l);
+    EXPECT_NEAR(uniform.bottomMass(0.5), 0.5, 1e-9);
+}
+
+TEST(Offline, EmptyHistogramIsSafe)
+{
+    OfflineScheduler off(5);
+    EXPECT_TRUE(off.hotLayers(0.9).empty());
+    EXPECT_EQ(off.bottomMass(0.5), 0.0);
+}
+
+// --- online ------------------------------------------------------------------
+
+TEST(Online, NeighbourhoodActivation)
+{
+    OnlineScheduler on(32, 5, 2);
+    EXPECT_EQ(on.activeCount(), 0);
+    on.recordExit(10);
+    for (int l = 8; l <= 12; ++l)
+        EXPECT_TRUE(on.isActive(l)) << l;
+    EXPECT_FALSE(on.isActive(7));
+    EXPECT_FALSE(on.isActive(13));
+    EXPECT_EQ(on.activeCount(), 5);
+}
+
+TEST(Online, WindowEvictsOldest)
+{
+    OnlineScheduler on(32, 2, 0); // window 2, exact-layer radius
+    on.recordExit(5);
+    on.recordExit(9);
+    EXPECT_TRUE(on.isActive(5));
+    EXPECT_TRUE(on.isActive(9));
+    on.recordExit(20); // evicts 5
+    EXPECT_FALSE(on.isActive(5));
+    EXPECT_TRUE(on.isActive(9));
+    EXPECT_TRUE(on.isActive(20));
+    EXPECT_EQ(on.filled(), 2);
+}
+
+TEST(Online, OverlappingNeighbourhoodsRefcount)
+{
+    OnlineScheduler on(32, 3, 2);
+    on.recordExit(10);
+    on.recordExit(11); // overlaps 9-12
+    on.recordExit(30);
+    // Evict 10: 11's neighbourhood must keep 9-13 alive.
+    on.recordExit(30); // window 3 -> evicts 10
+    EXPECT_TRUE(on.isActive(9));
+    EXPECT_TRUE(on.isActive(12));
+    EXPECT_TRUE(on.isActive(13));
+    EXPECT_FALSE(on.isActive(8));
+}
+
+TEST(Online, ClampsAtBoundaries)
+{
+    OnlineScheduler on(32, 5, 2);
+    on.recordExit(0);
+    EXPECT_TRUE(on.isActive(0));
+    EXPECT_TRUE(on.isActive(2));
+    EXPECT_EQ(on.activeCount(), 3); // 0,1,2 only
+    on.recordExit(31);
+    EXPECT_TRUE(on.isActive(29));
+    EXPECT_EQ(on.activeCount(), 6);
+}
+
+TEST(Online, ActiveSetSizeNearPaperTenPointTwo)
+{
+    // §5.2: the union of the last 5 exits' +/-2 neighbourhoods spans
+    // ~10.2 layers on average under the context-similar process.
+    OnlineScheduler on(32, 5, 2);
+    Rng rng(1);
+    double total = 0;
+    int samples = 0;
+    int cur = 20;
+    for (int i = 0; i < 2000; ++i) {
+        // Context-similar walk around layer 20.
+        cur = std::clamp(cur + rng.uniformInt(-3, 3), 0, 31);
+        on.recordExit(cur);
+        if (i > 10) {
+            total += on.activeCount();
+            ++samples;
+        }
+    }
+    const double avg = total / samples;
+    EXPECT_GT(avg, 6.0);
+    EXPECT_LT(avg, 14.0);
+}
+
+TEST(Online, ResetClearsEverything)
+{
+    OnlineScheduler on(32, 5, 2);
+    on.recordExit(10);
+    on.recordExit(20);
+    on.reset();
+    EXPECT_EQ(on.activeCount(), 0);
+    EXPECT_EQ(on.filled(), 0);
+    EXPECT_TRUE(on.activeSet().empty());
+}
+
+TEST(Online, ActiveSetIsSortedAscending)
+{
+    OnlineScheduler on(32, 5, 1);
+    on.recordExit(20);
+    on.recordExit(5);
+    auto set = on.activeSet();
+    EXPECT_EQ(set, (std::vector<int>{4, 5, 6, 19, 20, 21}));
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Serialization tests: MLP and predictor-bank save/load round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/predictor.hh"
+#include "nn/mlp.hh"
+
+using namespace specee;
+
+namespace {
+
+nn::Dataset
+toyData(uint64_t seed)
+{
+    nn::Dataset d(4);
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<float> f(4);
+        for (auto &x : f)
+            x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        d.add(f, f[0] + f[1] > 0.0f ? 1.0f : 0.0f);
+    }
+    return d;
+}
+
+std::string
+tempPath(const char *stem)
+{
+    return std::string(::testing::TempDir()) + stem;
+}
+
+} // namespace
+
+TEST(Serialization, MlpRoundTripPreservesOutputs)
+{
+    nn::Mlp mlp({4, 16, 1}, 5);
+    auto data = toyData(1);
+    nn::TrainConfig cfg;
+    cfg.epochs = 10;
+    mlp.fit(data, cfg);
+
+    std::stringstream ss;
+    mlp.save(ss);
+    auto loaded = nn::Mlp::load(ss);
+
+    EXPECT_EQ(loaded.depth(), mlp.depth());
+    EXPECT_EQ(loaded.inputDim(), mlp.inputDim());
+    EXPECT_EQ(loaded.paramCount(), mlp.paramCount());
+    for (size_t i = 0; i < data.size(); ++i) {
+        EXPECT_FLOAT_EQ(loaded.predict(data.features(i)),
+                        mlp.predict(data.features(i)));
+    }
+}
+
+TEST(Serialization, MlpRejectsGarbage)
+{
+    std::stringstream ss;
+    ss << "not an mlp at all";
+    EXPECT_DEATH(nn::Mlp::load(ss), "magic");
+}
+
+TEST(Serialization, MlpRejectsTruncation)
+{
+    nn::Mlp mlp({4, 8, 1}, 6);
+    std::stringstream ss;
+    mlp.save(ss);
+    std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_DEATH(nn::Mlp::load(cut), "truncated");
+}
+
+TEST(Serialization, PredictorBankRoundTrip)
+{
+    core::ExitPredictor bank(7, 12, 32, 2, 9);
+    const std::string path = tempPath("bank.bin");
+    bank.save(path);
+    auto loaded = core::ExitPredictor::load(path);
+
+    EXPECT_EQ(loaded.nExitLayers(), bank.nExitLayers());
+    EXPECT_EQ(loaded.featDim(), bank.featDim());
+    EXPECT_EQ(loaded.totalParams(), bank.totalParams());
+    tensor::Vec f(12, 0.3f);
+    for (int l = 0; l < bank.nExitLayers(); ++l)
+        EXPECT_FLOAT_EQ(loaded.score(l, f), bank.score(l, f));
+    std::remove(path.c_str());
+}
+
+TEST(Serialization, PredictorBankMissingFileFatals)
+{
+    EXPECT_EXIT(core::ExitPredictor::load("/nonexistent/x.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Speculative-decoding engine tests: EAGLE baseline acceptance,
+ * SpecEE+EAGLE (T3 hyper-token mapping), complexity counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "workload/evaluator.hh"
+
+using namespace specee;
+using engines::EngineConfig;
+
+namespace {
+
+const workload::Workload &
+sumWorkload()
+{
+    static const workload::Workload w = testutil::tinyPipeline().makeWorkload(
+        "SUM", testutil::smallGen(4, 36, 123));
+    return w;
+}
+
+engines::RunResult
+runConfig(const EngineConfig &cfg)
+{
+    auto engine = testutil::tinyPipeline().makeEngine(
+        cfg, hw::HardwareSpec::a100());
+    return engine->run(sumWorkload(), 21);
+}
+
+} // namespace
+
+TEST(SpecEngine, EagleCommitsMultipleTokensPerPass)
+{
+    auto r = runConfig(EngineConfig::eagle());
+    EXPECT_GT(r.stats.passes, 0);
+    EXPECT_GT(r.stats.avg_commit_per_pass, 1.5);
+    EXPECT_LE(r.stats.avg_commit_per_pass,
+              1.0 + EngineConfig{}.tree.depth());
+}
+
+TEST(SpecEngine, EagleMatchesDenseEmissions)
+{
+    auto dense = runConfig(EngineConfig::huggingFace());
+    auto eagle = runConfig(EngineConfig::eagle());
+    // EAGLE verification is lossless: emitted tokens must equal the
+    // dense emissions (both emit the scripted targets).
+    ASSERT_EQ(dense.emissions.size(), eagle.emissions.size());
+    for (size_t i = 0; i < dense.emissions.size(); ++i) {
+        ASSERT_EQ(dense.emissions[i].tokens.size(),
+                  eagle.emissions[i].tokens.size());
+        EXPECT_EQ(dense.emissions[i].tokens, eagle.emissions[i].tokens);
+    }
+}
+
+TEST(SpecEngine, EagleBeatsAutoregressiveThroughput)
+{
+    auto hf = runConfig(EngineConfig::huggingFace());
+    auto eagle = runConfig(EngineConfig::eagle());
+    EXPECT_GT(eagle.stats.tokens_per_s, 1.5 * hf.stats.tokens_per_s);
+}
+
+TEST(SpecEngine, SpecEEPlusEagleAddsEarlyExit)
+{
+    auto eagle = runConfig(EngineConfig::eagle());
+    auto both = runConfig(EngineConfig::eagle().withSpecEE());
+    // T3: hyper-token early exit shortens the verification passes.
+    EXPECT_LT(both.stats.avg_forward_layers,
+              eagle.stats.avg_forward_layers - 0.5);
+    // At 8 layers the saved traffic barely covers the predictor and
+    // KV-fill overheads, so only near-parity is required here; the
+    // 32-layer throughput win is asserted in test_integration.cc.
+    EXPECT_GT(both.stats.tokens_per_s, 0.8 * eagle.stats.tokens_per_s);
+    // Quality stays near-dense.
+    auto ev = workload::Evaluator::evaluate(
+        sumWorkload(), both.emissions, testutil::tinyPipeline().corpus());
+    EXPECT_GT(ev.token_match_rate, 0.93);
+}
+
+TEST(SpecEngine, MappingComplexityCountersAreLinearVsExponential)
+{
+    auto both = runConfig(EngineConfig::eagle().withSpecEE());
+    EXPECT_GT(both.stats.map_complexity_independent, 0);
+    EXPECT_GT(both.stats.map_complexity_merged, 0);
+    // The merged mapping must be strictly cheaper (Fig. 13 / §6).
+    EXPECT_LT(both.stats.map_complexity_merged,
+              both.stats.map_complexity_independent);
+}
+
+TEST(SpecEngine, CommitCountMatchesScriptedSteps)
+{
+    auto r = runConfig(EngineConfig::eagle());
+    const auto &w = sumWorkload();
+    for (size_t i = 0; i < w.instances.size(); ++i) {
+        EXPECT_EQ(r.emissions[i].tokens.size(),
+                  w.instances[i].steps.size());
+    }
+}
+
+TEST(SpecEngine, DeterministicAcrossRuns)
+{
+    auto a = runConfig(EngineConfig::eagle().withSpecEE());
+    auto b = runConfig(EngineConfig::eagle().withSpecEE());
+    for (size_t i = 0; i < a.emissions.size(); ++i)
+        EXPECT_EQ(a.emissions[i].tokens, b.emissions[i].tokens);
+}

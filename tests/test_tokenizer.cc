@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tokenizer tests: decode/encode round trips, option tokens.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/tokenizer.hh"
+
+using namespace specee;
+using namespace specee::model;
+
+TEST(Tokenizer, SpecialTokens)
+{
+    Tokenizer tok(512);
+    EXPECT_EQ(tok.decode(0), "<s>");
+    EXPECT_EQ(tok.decode(1), "</s>");
+    EXPECT_EQ(tok.encode("<s>"), 0);
+    EXPECT_EQ(tok.encode("</s>"), 1);
+}
+
+TEST(Tokenizer, OptionTokens)
+{
+    Tokenizer tok(512);
+    for (int i = 0; i < kMaxOptions; ++i) {
+        const int t = Tokenizer::optionToken(i);
+        EXPECT_EQ(Tokenizer::optionIndex(t), i);
+        const std::string s = tok.decode(t);
+        EXPECT_EQ(s.size(), 3u);
+        EXPECT_EQ(s[1], 'A' + i);
+        EXPECT_EQ(tok.encode(s), t);
+    }
+    EXPECT_EQ(Tokenizer::optionIndex(0), -1);
+    EXPECT_EQ(Tokenizer::optionIndex(kOptionTokenBase + kMaxOptions), -1);
+}
+
+TEST(Tokenizer, WordTableRoundTrip)
+{
+    Tokenizer tok(512);
+    const int first_word = kOptionTokenBase + kMaxOptions;
+    EXPECT_EQ(tok.decode(first_word), "the");
+    EXPECT_EQ(tok.encode("the"), first_word);
+}
+
+TEST(Tokenizer, TailTokensRoundTrip)
+{
+    Tokenizer tok(4096);
+    EXPECT_EQ(tok.decode(4000), "tok4000");
+    EXPECT_EQ(tok.encode("tok4000"), 4000);
+}
+
+TEST(Tokenizer, SequenceDecode)
+{
+    Tokenizer tok(512);
+    std::vector<int> seq = {0, tok.encode("the"), tok.encode("of")};
+    EXPECT_EQ(tok.decode(seq), "<s> the of");
+}
+
+TEST(Tokenizer, OutOfRangeDies)
+{
+    Tokenizer tok(512);
+    EXPECT_DEATH(tok.decode(512), "out of range");
+    EXPECT_DEATH(tok.decode(-1), "out of range");
+}

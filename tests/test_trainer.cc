@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Predictor training pipeline tests (§7.4.4): label collection,
+ * per-layer dataset shapes, MLP/SVM training quality, and the
+ * training-data-ratio behaviour behind Fig. 18.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/predictor_trainer.hh"
+#include "model/draft_model.hh"
+#include "oracle/profiles.hh"
+#include "test_util.hh"
+
+using namespace specee;
+
+namespace {
+
+struct Collected
+{
+    core::ProfileData data;
+    model::ModelConfig cfg;
+};
+
+const Collected &
+collected()
+{
+    static const Collected c = [] {
+        Collected out{.data = {}, .cfg = model::ModelConfig::tiny()};
+        oracle::SyntheticCorpus corpus(out.cfg.sim.vocab, 0xc0de ^ 42);
+        workload::WorkloadGen gen(corpus);
+        workload::GenOptions gopts;
+        gopts.n_instances = 6;
+        gopts.gen_len = 36;
+        gopts.seed = 0x7e57;
+        auto w = gen.generate(oracle::profileByName("MT-Bench"), out.cfg,
+                              gopts);
+        model::TargetModel tm(out.cfg, {});
+        model::DraftModel dlm(out.cfg, corpus, 0.9);
+        out.data = core::PredictorTrainer::collect(w, tm, dlm, 0x5eed);
+        return out;
+    }();
+    return c;
+}
+
+} // namespace
+
+TEST(Trainer, CollectShapes)
+{
+    const auto &c = collected();
+    const int n_exit = c.cfg.n_layers - 1;
+    ASSERT_EQ(static_cast<int>(c.data.specee.size()), n_exit);
+    ASSERT_EQ(static_cast<int>(c.data.adainfer.size()), n_exit);
+    const size_t per_layer = c.data.specee.front().size();
+    EXPECT_EQ(per_layer, 6u * 36u);
+    for (const auto &d : c.data.specee) {
+        EXPECT_EQ(d.size(), per_layer);
+        EXPECT_EQ(d.dim(), 12u);
+    }
+    for (const auto &d : c.data.adainfer)
+        EXPECT_EQ(d.dim(), 3u);
+}
+
+TEST(Trainer, LabelsBecomeMorePositiveWithDepth)
+{
+    const auto &c = collected();
+    // Early layers are mostly pre-convergence (label 0); late layers
+    // mostly post-convergence (label 1).
+    const double first = c.data.specee.front().positiveRate();
+    const double last = c.data.specee.back().positiveRate();
+    EXPECT_LT(first, 0.35);
+    EXPECT_GT(last, 0.6);
+    EXPECT_GT(last - first, 0.3);
+}
+
+TEST(Trainer, OracleExitHistogramMatchesSampleCount)
+{
+    const auto &c = collected();
+    long total = 0;
+    for (long h : c.data.oracle_exit_hist)
+        total += h;
+    // Hard tokens never reach label-true before the last layer, so
+    // the histogram holds slightly fewer entries than tokens.
+    EXPECT_GT(total, 0);
+    EXPECT_LE(total, static_cast<long>(c.data.specee.front().size()));
+}
+
+TEST(Trainer, MlpBankLearnsExitDecision)
+{
+    const auto &c = collected();
+    core::ExitPredictor bank(c.cfg.n_layers - 1, 12, 64, 2, 1);
+    core::TrainerOptions topts;
+    topts.train.epochs = 25;
+    auto rep = core::PredictorTrainer::train(bank, c.data, topts);
+    // Fig. 8 reports ~93% predictor accuracy; the tiny model should
+    // comfortably exceed chance and approach that band.
+    EXPECT_GT(rep.mean_test_accuracy, 0.85);
+    EXPECT_GT(rep.mean_train_accuracy, 0.85);
+    EXPECT_EQ(rep.per_layer_test_accuracy.size(),
+              static_cast<size_t>(c.cfg.n_layers - 1));
+}
+
+TEST(Trainer, SvmBankLearnsButIsWorseCalibrated)
+{
+    const auto &c = collected();
+    std::vector<nn::LinearSvm> bank;
+    core::TrainerOptions topts;
+    auto rep = core::PredictorTrainer::trainAdaInfer(bank, c.data, topts);
+    ASSERT_EQ(static_cast<int>(bank.size()), c.cfg.n_layers - 1);
+    EXPECT_GT(rep.mean_test_accuracy, 0.6);
+}
+
+TEST(Trainer, DataRatioDegradesGracefully)
+{
+    const auto &c = collected();
+    core::TrainerOptions full, tiny_ratio;
+    full.train.epochs = 20;
+    tiny_ratio.train.epochs = 20;
+    tiny_ratio.data_ratio = 0.05;
+
+    core::ExitPredictor bank_full(c.cfg.n_layers - 1, 12, 64, 2, 1);
+    core::ExitPredictor bank_tiny(c.cfg.n_layers - 1, 12, 64, 2, 1);
+    auto rep_full = core::PredictorTrainer::train(bank_full, c.data, full);
+    auto rep_tiny =
+        core::PredictorTrainer::train(bank_tiny, c.data, tiny_ratio);
+    EXPECT_LT(rep_tiny.samples_used, rep_full.samples_used);
+    // Fig. 18: a few percent of the data already performs well.
+    EXPECT_GT(rep_tiny.mean_test_accuracy, 0.6);
+}
+
+TEST(Trainer, PipelineBundlesEverything)
+{
+    const auto &pipe = testutil::tinyPipeline();
+    EXPECT_GT(pipe.trainReport().mean_test_accuracy, 0.8);
+    EXPECT_FALSE(pipe.offlineHotLayers().empty());
+    EXPECT_FALSE(pipe.adaInferBank().empty());
+    EXPECT_EQ(pipe.predictors().nExitLayers(),
+              pipe.modelConfig().n_layers - 1);
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the test suite: a lazily-built tiny pipeline so
+ * expensive training happens once per test binary.
+ */
+
+#ifndef SPECEE_TESTS_TEST_UTIL_HH
+#define SPECEE_TESTS_TEST_UTIL_HH
+
+#include "engines/pipeline.hh"
+
+namespace specee::testutil {
+
+/** Options for the shared tiny pipeline (8 layers, vocab 512). */
+inline engines::PipelineOptions
+tinyPipelineOptions()
+{
+    engines::PipelineOptions o;
+    o.model = "tiny";
+    o.train_instances = 6;
+    o.train_gen_len = 36;
+    o.mlp_hidden = 64;
+    o.train_cfg.epochs = 25;
+    o.seed = 42;
+    return o;
+}
+
+/** Shared tiny pipeline, built on first use. */
+inline const engines::Pipeline &
+tinyPipeline()
+{
+    static const engines::Pipeline pipe(tinyPipelineOptions());
+    return pipe;
+}
+
+/** Standard small workload options for engine tests. */
+inline workload::GenOptions
+smallGen(int instances = 4, int gen_len = 32, uint64_t seed = 99)
+{
+    workload::GenOptions g;
+    g.n_instances = instances;
+    g.gen_len = gen_len;
+    g.seed = seed;
+    return g;
+}
+
+} // namespace specee::testutil
+
+#endif // SPECEE_TESTS_TEST_UTIL_HH

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Workload generation and evaluation tests: dataset profiles, script
+ * construction, accuracy calibration, perplexity scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/tokenizer.hh"
+#include "oracle/profiles.hh"
+#include "workload/datasets.hh"
+#include "workload/evaluator.hh"
+
+using namespace specee;
+using namespace specee::workload;
+
+namespace {
+
+struct Fixture
+{
+    model::ModelConfig cfg = model::ModelConfig::tiny();
+    oracle::SyntheticCorpus corpus{cfg.sim.vocab, 99};
+    WorkloadGen gen{corpus};
+};
+
+} // namespace
+
+TEST(Profiles, AllNinePresent)
+{
+    EXPECT_EQ(oracle::allProfiles().size(), 9u);
+    EXPECT_EQ(oracle::throughputDatasets().size(), 8u);
+    EXPECT_EQ(oracle::accuracyDatasets().size(), 7u);
+    for (const auto &name : oracle::throughputDatasets())
+        EXPECT_NO_FATAL_FAILURE(oracle::profileByName(name));
+    EXPECT_DEATH(oracle::profileByName("ImageNet"), "unknown");
+}
+
+TEST(Profiles, CalibrationRowsCoverModels)
+{
+    for (const auto &p : oracle::allProfiles()) {
+        for (const char *m : {"llama2-7b", "llama2-13b", "llama2-70b"}) {
+            const auto &cal = p.calFor(m);
+            EXPECT_GT(cal.avg_layers, 0.0) << p.name << " " << m;
+        }
+        if (p.gradedByAccuracy()) {
+            EXPECT_GT(p.calFor("llama2-7b").dense_accuracy, 0.0);
+        } else {
+            EXPECT_GT(p.calFor("llama2-7b").dense_ppl, 0.0);
+        }
+    }
+}
+
+TEST(Workload, ShapesFollowOptions)
+{
+    Fixture f;
+    GenOptions g;
+    g.n_instances = 5;
+    g.gen_len = 17;
+    auto w = f.gen.generate(oracle::profileByName("MT-Bench"), f.cfg, g);
+    EXPECT_EQ(w.instances.size(), 5u);
+    for (const auto &inst : w.instances) {
+        EXPECT_EQ(inst.prompt.size(),
+                  static_cast<size_t>(kSimPromptLen));
+        EXPECT_EQ(inst.steps.size(), 17u);
+        EXPECT_EQ(inst.answer_step, -1);
+    }
+    EXPECT_EQ(w.totalSteps(), 5 * 17);
+    EXPECT_EQ(w.true_prompt_len,
+              oracle::profileByName("MT-Bench").prompt_len);
+}
+
+TEST(Workload, GenLenCappedByProfile)
+{
+    Fixture f;
+    GenOptions g;
+    g.gen_len = 10000;
+    auto w = f.gen.generate(oracle::profileByName("SST2"), f.cfg, g);
+    EXPECT_EQ(static_cast<int>(w.instances[0].steps.size()),
+              oracle::profileByName("SST2").gen_len);
+}
+
+TEST(Workload, ScriptsAreWellFormed)
+{
+    Fixture f;
+    GenOptions g;
+    g.n_instances = 4;
+    g.gen_len = 30;
+    auto w = f.gen.generate(oracle::profileByName("SUM"), f.cfg, g);
+    for (const auto &inst : w.instances) {
+        for (const auto &s : inst.steps) {
+            EXPECT_GE(s.target, 0);
+            EXPECT_LT(s.target, f.cfg.sim.vocab);
+            EXPECT_NE(s.target, s.distractor);
+            EXPECT_GE(s.conv_layer, 0);
+            EXPECT_LE(s.conv_layer, f.cfg.n_layers);
+        }
+    }
+}
+
+TEST(Workload, GradedTasksCalibrateAccuracy)
+{
+    Fixture f;
+    GenOptions g;
+    g.n_instances = 400;
+    g.gen_len = 2;
+    g.accuracy_override = 70.0;
+    auto w = f.gen.generate(oracle::profileByName("CommonsenseQA"),
+                            f.cfg, g);
+    int correct = 0;
+    for (const auto &inst : w.instances) {
+        ASSERT_EQ(inst.answer_step, 0);
+        ASSERT_GE(inst.correct_token, 0);
+        if (inst.steps[0].target == inst.correct_token)
+            ++correct;
+        // Answer tokens must be option tokens.
+        EXPECT_GE(model::Tokenizer::optionIndex(inst.steps[0].target), 0);
+    }
+    EXPECT_NEAR(correct / 400.0, 0.70, 0.06);
+}
+
+TEST(Workload, QuantizedCalibrationDiffers)
+{
+    Fixture f;
+    GenOptions g;
+    g.n_instances = 2;
+    g.seed = 5;
+    auto fp = f.gen.generate(oracle::profileByName("GSM8K"), f.cfg, g);
+    auto q4 = f.gen.generate(oracle::profileByName("GSM8K"), f.cfg, g,
+                             /*quantized_cal=*/true);
+    // Same shapes; the accuracy Bernoulli differs only through the
+    // calibration column, so the workloads remain comparable.
+    EXPECT_EQ(fp.instances.size(), q4.instances.size());
+}
+
+TEST(Workload, ConvergenceParamsTrackCalibration)
+{
+    Fixture f;
+    GenOptions g;
+    auto p_mt = f.gen.convergenceParams(
+        oracle::profileByName("MT-Bench"), f.cfg, g);
+    EXPECT_EQ(p_mt.n_layers, f.cfg.n_layers);
+    EXPECT_GT(p_mt.mean_layer, 0.0);
+    g.mean_layers_override = 5.0;
+    auto p_short = f.gen.convergenceParams(
+        oracle::profileByName("MT-Bench"), f.cfg, g);
+    EXPECT_LT(p_short.mean_layer, p_mt.mean_layer);
+}
+
+TEST(Evaluator, PerfectEmissionsScorePerfectly)
+{
+    Fixture f;
+    GenOptions g;
+    g.n_instances = 6;
+    g.gen_len = 12;
+    g.accuracy_override = 100.0;
+    auto w = f.gen.generate(oracle::profileByName("MMLU"), f.cfg, g);
+    std::vector<Emission> ems;
+    for (const auto &inst : w.instances) {
+        Emission e;
+        for (const auto &s : inst.steps) {
+            e.tokens.push_back(s.target);
+            e.exit_layers.push_back(f.cfg.n_layers);
+        }
+        ems.push_back(e);
+    }
+    auto r = Evaluator::evaluate(w, ems, f.corpus);
+    EXPECT_DOUBLE_EQ(r.accuracy_pct, 100.0);
+    EXPECT_DOUBLE_EQ(r.token_match_rate, 1.0);
+    EXPECT_DOUBLE_EQ(r.avg_forward_layers, f.cfg.n_layers);
+}
+
+TEST(Evaluator, WrongAnswersLowerAccuracy)
+{
+    Fixture f;
+    GenOptions g;
+    g.n_instances = 10;
+    g.gen_len = 4;
+    g.accuracy_override = 100.0;
+    auto w = f.gen.generate(oracle::profileByName("SST2"), f.cfg, g);
+    std::vector<Emission> ems;
+    for (const auto &inst : w.instances) {
+        Emission e;
+        for (size_t t = 0; t < inst.steps.size(); ++t) {
+            int tok = inst.steps[t].target;
+            if (t == static_cast<size_t>(inst.answer_step))
+                tok = inst.steps[t].distractor; // flip the answer
+            e.tokens.push_back(tok);
+            e.exit_layers.push_back(4);
+        }
+        ems.push_back(e);
+    }
+    auto r = Evaluator::evaluate(w, ems, f.corpus);
+    EXPECT_LT(r.accuracy_pct, 100.0);
+    EXPECT_LT(r.token_match_rate, 1.0);
+}
+
+TEST(Evaluator, PplRisesWithDistractorEmissions)
+{
+    Fixture f;
+    GenOptions g;
+    g.n_instances = 8;
+    g.gen_len = 24;
+    auto w = f.gen.generate(oracle::profileByName("SUM"), f.cfg, g);
+    std::vector<Emission> clean, noisy;
+    Rng rng(4);
+    for (const auto &inst : w.instances) {
+        Emission c, n;
+        for (size_t t = 0; t < inst.steps.size(); ++t) {
+            c.tokens.push_back(inst.steps[t].target);
+            c.exit_layers.push_back(8);
+            // 20% of emissions replaced by the (lower-probability)
+            // distractor.
+            n.tokens.push_back(rng.bernoulli(0.2)
+                                   ? inst.steps[t].distractor
+                                   : inst.steps[t].target);
+            n.exit_layers.push_back(8);
+        }
+        clean.push_back(c);
+        noisy.push_back(n);
+    }
+    auto rc = Evaluator::evaluate(w, clean, f.corpus);
+    auto rn = Evaluator::evaluate(w, noisy, f.corpus);
+    EXPECT_GT(rc.ppl, 1.0);
+    EXPECT_GT(rn.ppl, rc.ppl);
+}
+
+TEST(Evaluator, MismatchedEmissionCountDies)
+{
+    Fixture f;
+    GenOptions g;
+    g.n_instances = 2;
+    auto w = f.gen.generate(oracle::profileByName("SUM"), f.cfg, g);
+    std::vector<Emission> ems(1);
+    EXPECT_DEATH(Evaluator::evaluate(w, ems, f.corpus), "mismatch");
+}
