@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal serving-API walkthrough: train one pipeline, stand up a
+ * multi-worker server with continuous batching, submit a Poisson
+ * request stream, and read the fleet metrics.
+ *
+ *   $ ./cloud_server [model]     (default llama2-7b)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "metrics/table.hh"
+#include "serve/server.hh"
+
+using namespace specee;
+
+int
+main(int argc, char **argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "llama2-7b";
+    std::printf("Training %s pipeline (one-time, offline)...\n",
+                model.c_str());
+    engines::Pipeline pipe({.model = model});
+
+    // A serving node: 2 workers, SpecEE on the HF stack, decode
+    // batches of up to 8 requests with continuous batching.
+    serve::ServerOptions sopts;
+    sopts.engine = engines::EngineConfig::huggingFace().withSpecEE();
+    sopts.spec = hw::HardwareSpec::a100();
+    sopts.workers = 2;
+    sopts.sched.max_batch = 8;
+    serve::Server server(pipe, sopts);
+
+    // 12 requests, chat/summarization/QA mix, Poisson arrivals at
+    // 8 requests/s.
+    serve::StreamOptions so;
+    so.n_requests = 12;
+    so.gen_len = 24;
+    so.rate_rps = 8.0;
+    server.submit(serve::synthesizeStream(so));
+
+    auto report = server.drain();
+
+    metrics::Table t("Per-request timeline (" + sopts.engine.name +
+                     " @ " + sopts.spec.name + ")");
+    t.header({"id", "dataset", "arrival", "admit", "finish", "latency",
+              "tokens"});
+    for (const auto &o : report.outcomes) {
+        t.row({std::to_string(o.request.id), o.request.dataset,
+               metrics::Table::num(o.request.arrival_s, 2),
+               metrics::Table::num(o.admit_s, 2),
+               metrics::Table::num(o.finish_s, 2),
+               metrics::Table::num(o.latency_s, 2),
+               std::to_string(o.result.stats.tokens)});
+    }
+    t.print();
+
+    const auto &f = report.fleet;
+    std::printf("\nfleet: %ld requests, %ld tokens in %.2f s -> %.1f "
+                "tok/s aggregate\n",
+                f.requests, f.tokens, f.makespan_s, f.tokens_per_s);
+    std::printf("latency p50 %.2f s, p99 %.2f s; mean queue wait %.2f "
+                "s; batch occupancy %.1f\n",
+                f.p50_latency_s, f.p99_latency_s, f.mean_queue_s,
+                f.mean_batch_occupancy);
+    std::printf("energy %.1f J (%.2f J/token), avg power %.0f W\n",
+                f.energy_j, f.energy_per_token_j, f.avg_power_w);
+    return 0;
+}

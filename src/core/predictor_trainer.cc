@@ -35,8 +35,12 @@ PredictorTrainer::collect(const workload::Workload &w,
     FeatureExtractor fx(cfg.num_spec_tokens);
     tensor::Vec full_logits(static_cast<size_t>(cfg.sim.vocab));
 
-    for (const auto &inst : w.instances) {
-        tm.reset();
+    for (size_t ii = 0; ii < w.instances.size(); ++ii) {
+        const auto &inst = w.instances[ii];
+        // Independent noise substream per profiled instance (fork()
+        // leaves the speculation rng stream untouched), so collected
+        // features cover the noise diversity served requests see.
+        tm.reset(rng.fork(0x7e5e + ii).next());
         tm.prefill(inst.prompt);
         int prev = inst.prompt.back();
         for (const auto &script : inst.steps) {

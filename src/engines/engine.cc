@@ -416,48 +416,51 @@ Engine::decodeToken(int input_token, const model::TokenScript &script,
 
 void
 Engine::runAutoregressive(const workload::Workload &w,
+                          const workload::Instance &inst,
+                          size_t instance_idx,
                           const model::DraftModel &dlm, RunResult &out,
                           Rng &rng)
 {
     core::FeatureExtractor fx(mcfg_.num_spec_tokens);
-    for (const auto &inst : w.instances) {
-        tm_->reset();
-        std::vector<int> prefix(inst.prompt.begin(),
-                                inst.prompt.end() - 1);
-        tm_->prefill(prefix);
-        core::OnlineScheduler online(nExitLayers(), ecfg_.online_window,
-                                     ecfg_.online_radius);
+    // fork() keeps the decode rng stream untouched (draft draws stay
+    // comparable across engine configs); the instance index makes the
+    // noise substreams distinct even for engines whose decode never
+    // advances the parent rng.
+    tm_->reset(rng.fork(0x7e5e + instance_idx).next());
+    std::vector<int> prefix(inst.prompt.begin(), inst.prompt.end() - 1);
+    tm_->prefill(prefix);
+    core::OnlineScheduler online(nExitLayers(), ecfg_.online_window,
+                                 ecfg_.online_radius);
 
-        workload::Emission em;
-        int input = inst.prompt.back();
-        for (size_t t = 0; t < inst.steps.size(); ++t) {
-            const int logical_pos =
-                w.true_prompt_len + static_cast<int>(t);
-            auto o = decodeToken(input, inst.steps[t], dlm, fx,
-                                 ecfg_.online_sched ? &online : nullptr,
-                                 &out.stats.oplog, logical_pos, rng,
-                                 out.stats);
-            em.tokens.push_back(o.token);
-            em.exit_layers.push_back(o.layers_used);
-            out.stats.avg_forward_layers += o.layers_used;
-            ++out.stats.tokens;
-            input = o.token;
-        }
-        out.emissions.push_back(std::move(em));
+    workload::Emission em;
+    int input = inst.prompt.back();
+    for (size_t t = 0; t < inst.steps.size(); ++t) {
+        const int logical_pos = w.true_prompt_len + static_cast<int>(t);
+        auto o = decodeToken(input, inst.steps[t], dlm, fx,
+                             ecfg_.online_sched ? &online : nullptr,
+                             &out.stats.oplog, logical_pos, rng,
+                             out.stats);
+        em.tokens.push_back(o.token);
+        em.exit_layers.push_back(o.layers_used);
+        out.stats.avg_forward_layers += o.layers_used;
+        ++out.stats.tokens;
+        input = o.token;
     }
+    out.emissions.push_back(std::move(em));
 }
 
-void
+long
 Engine::runSpeculative(const workload::Workload &w,
-                       const model::DraftModel &dlm, RunResult &out,
-                       Rng &rng)
+                       const workload::Instance &inst,
+                       size_t instance_idx, const model::DraftModel &dlm,
+                       RunResult &out, Rng &rng)
 {
     core::FeatureExtractor fx(mcfg_.num_spec_tokens);
     const bool ee = ecfg_.early_exit && preds_ != nullptr;
     long total_committed = 0;
 
-    for (const auto &inst : w.instances) {
-        tm_->reset();
+    {
+        tm_->reset(rng.fork(0x7e5e + instance_idx).next());
         std::vector<int> prefix(inst.prompt.begin(),
                                 inst.prompt.end() - 1);
         tm_->prefill(prefix);
@@ -594,11 +597,7 @@ Engine::runSpeculative(const workload::Workload &w,
         }
         out.emissions.push_back(std::move(em));
     }
-    if (out.stats.passes > 0) {
-        out.stats.avg_commit_per_pass =
-            static_cast<double>(total_committed) /
-            static_cast<double>(out.stats.passes);
-    }
+    return total_committed;
 }
 
 RunResult
@@ -630,10 +629,19 @@ Engine::run(const workload::Workload &w, uint64_t seed)
                                     0);
 
     Rng rng(seed ^ mcfg_.weight_seed);
-    if (ecfg_.spec_decode)
-        runSpeculative(w, dlm, out, rng);
-    else
-        runAutoregressive(w, dlm, out, rng);
+    long total_committed = 0;
+    for (size_t i = 0; i < w.instances.size(); ++i) {
+        const auto &inst = w.instances[i];
+        if (ecfg_.spec_decode)
+            total_committed += runSpeculative(w, inst, i, dlm, out, rng);
+        else
+            runAutoregressive(w, inst, i, dlm, out, rng);
+    }
+    if (out.stats.passes > 0) {
+        out.stats.avg_commit_per_pass =
+            static_cast<double>(total_committed) /
+            static_cast<double>(out.stats.passes);
+    }
 
     RunStats &st = out.stats;
     if (st.tokens > 0) {
@@ -665,6 +673,13 @@ Engine::run(const workload::Workload &w, uint64_t seed)
              : static_cast<int>(w.instances.front().steps.size()));
     st.peak_mem_gb = hw::MemoryTracker::toGiB(mem.totalBytes(max_tokens));
     return out;
+}
+
+RunResult
+Engine::runOne(const workload::Workload &w, size_t instance,
+               uint64_t seed)
+{
+    return run(w.slice(instance), seed);
 }
 
 } // namespace specee::engines

@@ -96,6 +96,16 @@ class Engine
     /** Execute a workload; deterministic under `seed`. */
     RunResult run(const workload::Workload &w, uint64_t seed = 1);
 
+    /**
+     * Per-request entry point for the serving layer: run exactly one
+     * instance of `w` under its own rng stream. Re-entrant — every
+     * call starts from a fresh model/KV state, so a scheduler can
+     * interleave requests freely on one engine and the result depends
+     * only on (instance, seed), never on what ran before.
+     */
+    RunResult runOne(const workload::Workload &w, size_t instance,
+                     uint64_t seed = 1);
+
     const EngineConfig &config() const { return ecfg_; }
     const model::ModelConfig &modelConfig() const { return mcfg_; }
     const hw::HardwareSpec &platform() const { return hwspec_; }
@@ -134,12 +144,17 @@ class Engine
                              hw::OpLog *log, int logical_pos, Rng &rng,
                              RunStats &stats);
 
+    /** Decode one instance autoregressively (fresh model state). */
     void runAutoregressive(const workload::Workload &w,
+                           const workload::Instance &inst,
+                           size_t instance_idx,
                            const model::DraftModel &dlm, RunResult &out,
                            Rng &rng);
-    void runSpeculative(const workload::Workload &w,
-                        const model::DraftModel &dlm, RunResult &out,
-                        Rng &rng);
+    /** Decode one instance speculatively; returns committed tokens. */
+    long runSpeculative(const workload::Workload &w,
+                        const workload::Instance &inst,
+                        size_t instance_idx, const model::DraftModel &dlm,
+                        RunResult &out, Rng &rng);
 
     // --- cost emission at true dimensions -------------------------------
     double layerWeightBytes(bool ffn_sparse) const;

@@ -55,6 +55,20 @@ maxOf(const std::vector<double> &v)
     return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
 }
 
+double
+percentile(std::vector<double> v, double p)
+{
+    specee_assert(p >= 0.0 && p <= 100.0, "percentile %f out of range", p);
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
 std::vector<double>
 normalize(const std::vector<long> &hist)
 {

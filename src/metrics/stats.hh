@@ -24,6 +24,12 @@ double stdev(const std::vector<double> &v);
 double minOf(const std::vector<double> &v);
 double maxOf(const std::vector<double> &v);
 
+/**
+ * p-th percentile (linear interpolation between order statistics);
+ * 0 on empty input. @pre 0 <= p <= 100
+ */
+double percentile(std::vector<double> v, double p);
+
 /** Normalize a histogram of counts to probabilities. */
 std::vector<double> normalize(const std::vector<long> &hist);
 

@@ -45,12 +45,16 @@ TargetModel::TargetModel(const ModelConfig &cfg,
 }
 
 void
-TargetModel::reset()
+TargetModel::reset(uint64_t noise_stream)
 {
     kv_->clear();
     pos_ = 0;
     layer_ = 0;
     inToken_ = false;
+    // Reseed the steering-noise stream so a sequence's decode depends
+    // only on (noise_seed, noise_stream), never on what the model ran
+    // before — per-request execution must be re-entrant for serving.
+    noiseRng_ = Rng(opts_.noise_seed ^ noise_stream);
 }
 
 void

@@ -91,8 +91,14 @@ class TargetModel
     const LmHead &lmHead() const { return lmHead_; }
     int nLayers() const { return cfg_.n_layers; }
 
-    /** Clear KV and position state for a new sequence. */
-    void reset();
+    /**
+     * Clear KV, position and steering-noise state for a new
+     * sequence. `noise_stream` selects an independent noise
+     * substream (e.g. per instance), so the decode of a sequence is
+     * a pure function of (options, noise_stream, scripts) — the
+     * re-entrancy the serving layer relies on.
+     */
+    void reset(uint64_t noise_stream = 0);
 
     /** Next absolute position to be written. */
     int position() const { return pos_; }

@@ -29,14 +29,21 @@ float
 Mlp::forwardLogit(tensor::CSpan x) const
 {
     specee_assert(!layers_.empty(), "forward on empty MLP");
+    // Inference scratch is thread-local: one trained bank is shared
+    // read-only by every serving worker, so predict() must not touch
+    // the shared act_ buffers (those are for training only). resize()
+    // without zeroing is safe — Linear::forward overwrites out fully.
+    static thread_local tensor::Vec ping, pong;
     tensor::CSpan cur = x;
     for (size_t i = 0; i < layers_.size(); ++i) {
-        layers_[i].forward(cur, act_[i]);
+        tensor::Vec &out = i % 2 == 0 ? ping : pong;
+        out.resize(layers_[i].outDim());
+        layers_[i].forward(cur, out);
         if (i + 1 < layers_.size())
-            tensor::relu(act_[i]);
-        cur = act_[i];
+            tensor::relu(out);
+        cur = out;
     }
-    return act_.back()[0];
+    return cur[0];
 }
 
 float

@@ -96,8 +96,9 @@ class Mlp
 
   private:
     std::vector<Linear> layers_;
-    // Scratch activations (mutable so predict() stays const).
-    mutable std::vector<tensor::Vec> act_;
+    // Scratch activations for training; inference uses stack-local
+    // buffers so a shared trained bank is safe to query concurrently.
+    std::vector<tensor::Vec> act_;
     std::vector<tensor::Vec> dact_;
 };
 

@@ -1,0 +1,203 @@
+#include "serve/batch_scheduler.hh"
+
+#include <algorithm>
+
+#include "metrics/stats.hh"
+#include "util/logging.hh"
+
+namespace specee::serve {
+
+namespace {
+
+/** Weight-bound classes: read once per iteration, batch-amortized. */
+constexpr bool
+isSharedClass(hw::OpClass cls)
+{
+    switch (cls) {
+    case hw::OpClass::DecoderLayer:
+    case hw::OpClass::KvFill:
+    case hw::OpClass::LmHeadFull:
+    case hw::OpClass::Draft:
+    case hw::OpClass::Sync:
+    case hw::OpClass::Overhead:
+        return true;
+    default:
+        return false;
+    }
+}
+
+} // namespace
+
+StepProfile
+buildStepProfile(const engines::RunResult &result)
+{
+    // Per-step forward depth: the emission records layers executed
+    // per token, which is what the shared weight read scales with.
+    std::vector<int> layers;
+    for (const auto &em : result.emissions)
+        layers.insert(layers.end(), em.exit_layers.begin(),
+                      em.exit_layers.end());
+    specee_assert(!layers.empty(), "run produced no tokens");
+
+    double shared_t = 0.0, private_t = 0.0;
+    double shared_e = 0.0, private_e = 0.0;
+    for (int c = 0; c < hw::kNumOpClasses; ++c) {
+        const auto cls = static_cast<hw::OpClass>(c);
+        const auto &tot = result.stats.oplog.totals(cls);
+        if (isSharedClass(cls)) {
+            shared_t += tot.time_s;
+            shared_e += tot.energy_j;
+        } else {
+            private_t += tot.time_s;
+            private_e += tot.energy_j;
+        }
+    }
+
+    long layer_sum = 0;
+    for (int l : layers)
+        layer_sum += l;
+    specee_assert(layer_sum > 0, "run executed no layers");
+
+    const auto n = static_cast<double>(layers.size());
+    StepProfile p;
+    p.shared_s.reserve(layers.size());
+    p.private_s.reserve(layers.size());
+    p.shared_j.reserve(layers.size());
+    p.private_j.reserve(layers.size());
+    for (int l : layers) {
+        const double w =
+            static_cast<double>(l) / static_cast<double>(layer_sum);
+        p.shared_s.push_back(shared_t * w);
+        p.shared_j.push_back(shared_e * w);
+        p.private_s.push_back(private_t / n);
+        p.private_j.push_back(private_e / n);
+    }
+    return p;
+}
+
+BatchScheduler::BatchScheduler(const SchedulerOptions &opts) : opts_(opts)
+{
+    specee_assert(opts.max_batch >= 1, "max_batch must be >= 1, got %d",
+                  opts.max_batch);
+}
+
+FleetStats
+BatchScheduler::schedule(std::vector<PendingRun> runs,
+                         std::vector<RequestOutcome> &outcomes) const
+{
+    outcomes.clear();
+    FleetStats fleet;
+    if (runs.empty())
+        return fleet;
+
+    // Admission order never depends on which worker finished first.
+    std::sort(runs.begin(), runs.end(),
+              [](const PendingRun &a, const PendingRun &b) {
+                  if (a.request.arrival_s != b.request.arrival_s)
+                      return a.request.arrival_s < b.request.arrival_s;
+                  return a.request.id < b.request.id;
+              });
+
+    struct Active
+    {
+        size_t run;
+        size_t step = 0;
+        size_t outcome; ///< index into `outcomes`
+    };
+
+    const size_t n = runs.size();
+    const auto slots = static_cast<size_t>(opts_.max_batch);
+    outcomes.resize(n);
+
+    const double t0 = runs.front().request.arrival_s;
+    double clock = t0;
+    double occupancy = 0.0;
+    size_t next = 0;
+    std::vector<Active> active;
+    active.reserve(slots);
+
+    while (next < n || !active.empty()) {
+        // Iteration boundary: admit FIFO into free decode slots.
+        while (next < n && active.size() < slots &&
+               runs[next].request.arrival_s <= clock) {
+            const size_t oi = next;
+            outcomes[oi].request = runs[next].request;
+            outcomes[oi].result = std::move(runs[next].result);
+            outcomes[oi].admit_s = clock;
+            outcomes[oi].queue_s = clock - runs[next].request.arrival_s;
+            active.push_back({next, 0, oi});
+            ++next;
+        }
+        if (active.empty()) {
+            clock = runs[next].request.arrival_s;
+            continue;
+        }
+
+        // One decode iteration: every active request advances one
+        // token. Shared weight traffic is read once (max over the
+        // batch); per-request traffic accumulates.
+        double shared_t = 0.0, private_t = 0.0;
+        double shared_e = 0.0, private_e = 0.0;
+        for (const auto &a : active) {
+            const auto &p = runs[a.run].profile;
+            shared_t = std::max(shared_t, p.shared_s[a.step]);
+            shared_e = std::max(shared_e, p.shared_j[a.step]);
+            private_t += p.private_s[a.step];
+            private_e += p.private_j[a.step];
+        }
+        clock += shared_t + private_t;
+        fleet.energy_j += shared_e + private_e;
+        fleet.tokens += static_cast<long>(active.size());
+        occupancy += static_cast<double>(active.size());
+        ++fleet.iterations;
+
+        // Retire finished requests; survivors keep their FIFO order.
+        size_t keep = 0;
+        for (size_t i = 0; i < active.size(); ++i) {
+            Active a = active[i];
+            ++a.step;
+            if (a.step >= runs[a.run].profile.steps()) {
+                outcomes[a.outcome].finish_s = clock;
+                outcomes[a.outcome].latency_s =
+                    clock - outcomes[a.outcome].request.arrival_s;
+            } else {
+                active[keep++] = a;
+            }
+        }
+        active.resize(keep);
+    }
+
+    fleet.requests = static_cast<long>(n);
+    fleet.makespan_s = clock - t0;
+    fleet.tokens_per_s =
+        fleet.makespan_s > 0.0
+            ? static_cast<double>(fleet.tokens) / fleet.makespan_s
+            : 0.0;
+
+    std::vector<double> latencies, queues;
+    latencies.reserve(n);
+    queues.reserve(n);
+    for (const auto &o : outcomes) {
+        latencies.push_back(o.latency_s);
+        queues.push_back(o.queue_s);
+        fleet.oplog.merge(o.result.stats.oplog);
+    }
+    fleet.mean_latency_s = metrics::mean(latencies);
+    fleet.p50_latency_s = metrics::percentile(latencies, 50.0);
+    fleet.p99_latency_s = metrics::percentile(latencies, 99.0);
+    fleet.mean_queue_s = metrics::mean(queues);
+    fleet.energy_per_token_j =
+        fleet.tokens > 0
+            ? fleet.energy_j / static_cast<double>(fleet.tokens)
+            : 0.0;
+    fleet.avg_power_w = fleet.makespan_s > 0.0
+                            ? fleet.energy_j / fleet.makespan_s
+                            : 0.0;
+    fleet.mean_batch_occupancy =
+        fleet.iterations > 0
+            ? occupancy / static_cast<double>(fleet.iterations)
+            : 0.0;
+    return fleet;
+}
+
+} // namespace specee::serve

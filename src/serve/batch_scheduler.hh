@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Continuous-batching scheduler for the serving layer.
+ *
+ * The functional simulator decodes each request independently (the
+ * emitted tokens do not depend on batching — §6.3: SpecEE is
+ * orthogonal to the serving stack), so serving splits into two
+ * phases: workers produce per-request RunResults in parallel, then
+ * the scheduler deterministically replays a continuous-batching
+ * timeline over them. At every iteration boundary finished requests
+ * retire and queued requests are admitted FIFO into free decode
+ * slots (vllm-style continuous batching).
+ *
+ * Iteration cost follows the roofline split of the cost model:
+ * weight-bound operator classes (decoder layers, LM head, draft
+ * model) are read once per iteration and amortize across the batch
+ * — their time is the max over active requests — while per-request
+ * traffic (KV reads, predictor MLPs, sliced heads) accumulates.
+ * With max_batch = 1 the timeline degenerates exactly to sequential
+ * one-request-at-a-time serving.
+ */
+
+#ifndef SPECEE_SERVE_BATCH_SCHEDULER_HH
+#define SPECEE_SERVE_BATCH_SCHEDULER_HH
+
+#include <vector>
+
+#include "hw/cost_model.hh"
+#include "serve/request.hh"
+
+namespace specee::serve {
+
+/** Scheduler knobs. */
+struct SchedulerOptions
+{
+    /** Decode-batch slots; 1 reproduces sequential serving. */
+    int max_batch = 8;
+};
+
+/**
+ * Per-step cost decomposition of one completed request: shared
+ * (weight-bound, batch-amortized) and private (per-request) time and
+ * energy per decode step.
+ */
+struct StepProfile
+{
+    std::vector<double> shared_s;
+    std::vector<double> private_s;
+    std::vector<double> shared_j;
+    std::vector<double> private_j;
+
+    size_t steps() const { return shared_s.size(); }
+};
+
+/** A completed functional run awaiting timeline placement. */
+struct PendingRun
+{
+    Request request;
+    engines::RunResult result;
+    StepProfile profile;
+};
+
+/** Fleet-level serving metrics over one drained request stream. */
+struct FleetStats
+{
+    long requests = 0;
+    long tokens = 0;
+    long iterations = 0;
+
+    double makespan_s = 0.0; ///< first arrival -> last finish
+    double tokens_per_s = 0.0;
+
+    double mean_latency_s = 0.0;
+    double p50_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+    double mean_queue_s = 0.0;
+
+    double energy_j = 0.0;
+    double energy_per_token_j = 0.0;
+    double avg_power_w = 0.0;
+
+    /** Mean decode-batch occupancy over iterations. */
+    double mean_batch_occupancy = 0.0;
+
+    /**
+     * Merged per-request operator census (flop/byte counts and
+     * sequential-equivalent time); fleet time comes from the batched
+     * timeline above, not from this log.
+     */
+    hw::OpLog oplog;
+};
+
+/** Split a run's operator log into a per-step cost profile. */
+StepProfile buildStepProfile(const engines::RunResult &result);
+
+/** Deterministic continuous-batching timeline simulator. */
+class BatchScheduler
+{
+  public:
+    explicit BatchScheduler(const SchedulerOptions &opts);
+
+    /**
+     * Replay `runs` through the batched timeline. Outcomes are
+     * returned in admission (FIFO by arrival, ties by id) order.
+     */
+    FleetStats schedule(std::vector<PendingRun> runs,
+                        std::vector<RequestOutcome> &outcomes) const;
+
+    const SchedulerOptions &options() const { return opts_; }
+
+  private:
+    SchedulerOptions opts_;
+};
+
+} // namespace specee::serve
+
+#endif // SPECEE_SERVE_BATCH_SCHEDULER_HH

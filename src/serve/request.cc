@@ -1,0 +1,43 @@
+#include "serve/request.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace specee::serve {
+
+std::vector<Request>
+synthesizeStream(const StreamOptions &opts)
+{
+    specee_assert(!opts.datasets.empty(), "stream needs a dataset mix");
+    specee_assert(opts.n_requests > 0, "stream needs requests");
+    specee_assert(opts.gen_len > 0, "stream needs gen_len > 0, got %d",
+                  opts.gen_len);
+
+    Rng rng(opts.seed);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<size_t>(opts.n_requests));
+    double clock = 0.0;
+    for (int i = 0; i < opts.n_requests; ++i) {
+        Request r;
+        r.id = static_cast<uint64_t>(i);
+        r.dataset =
+            opts.datasets[static_cast<size_t>(i) % opts.datasets.size()];
+        r.gen.n_instances = 1;
+        r.gen.gen_len = opts.gen_len;
+        // Independent prompt per request: the workload generator is
+        // seeded per request, not per stream.
+        r.gen.seed = rng.next();
+        r.seed = rng.next();
+        if (opts.rate_rps > 0.0) {
+            // Poisson arrivals: exponential inter-arrival gaps.
+            clock += -std::log(1.0 - rng.uniform()) / opts.rate_rps;
+            r.arrival_s = clock;
+        }
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+} // namespace specee::serve

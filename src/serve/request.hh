@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Serving requests: the unit of work the cloud server schedules.
+ *
+ * A Request names a dataset profile, per-request generation options
+ * and a simulated arrival time; the RequestOutcome pairs the engine's
+ * functional result with the timeline the BatchScheduler assigned to
+ * it (admission, finish, latency). synthesizeStream() builds the
+ * Poisson request mixes the offered-load sweeps use (§7.2.1).
+ */
+
+#ifndef SPECEE_SERVE_REQUEST_HH
+#define SPECEE_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engines/engine.hh"
+#include "workload/datasets.hh"
+
+namespace specee::serve {
+
+/** One generation request submitted to the server. */
+struct Request
+{
+    uint64_t id = 0;
+    std::string dataset = "MT-Bench";
+
+    /** Per-request generation options (n_instances is forced to 1). */
+    workload::GenOptions gen;
+
+    double arrival_s = 0.0; ///< simulated arrival time
+    uint64_t seed = 1;      ///< per-request decode seed
+};
+
+/** Functional result + serving timeline of one completed request. */
+struct RequestOutcome
+{
+    Request request;
+    engines::RunResult result;
+
+    double admit_s = 0.0;   ///< joined a decode batch
+    double finish_s = 0.0;  ///< last token emitted
+    double latency_s = 0.0; ///< finish - arrival
+    double queue_s = 0.0;   ///< admit - arrival
+};
+
+/** Options for synthesizing a request stream. */
+struct StreamOptions
+{
+    /** Request mix, cycled round-robin (the paper's cloud mix). */
+    std::vector<std::string> datasets = {"MT-Bench", "SUM", "QA"};
+
+    int n_requests = 16;
+    int gen_len = 24;
+
+    /**
+     * Offered load (requests/s) of a Poisson arrival process;
+     * <= 0 means every request arrives at t = 0.
+     */
+    double rate_rps = 0.0;
+
+    uint64_t seed = 0x5e21e;
+};
+
+/**
+ * Deterministic request stream: round-robin dataset mix, Poisson
+ * arrivals at `rate_rps`, independent per-request prompt and decode
+ * seeds. Requests are returned in arrival order.
+ */
+std::vector<Request> synthesizeStream(const StreamOptions &opts);
+
+} // namespace specee::serve
+
+#endif // SPECEE_SERVE_REQUEST_HH

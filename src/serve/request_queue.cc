@@ -1,0 +1,65 @@
+#include "serve/request_queue.hh"
+
+#include "util/logging.hh"
+
+namespace specee::serve {
+
+void
+RequestQueue::push(Request r)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        specee_assert(!closed_, "push on a closed request queue");
+        q_.push_back(std::move(r));
+    }
+    cv_.notify_one();
+}
+
+bool
+RequestQueue::pop(Request &out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !q_.empty() || closed_; });
+    if (q_.empty())
+        return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+}
+
+bool
+RequestQueue::tryPop(Request &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty())
+        return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+} // namespace specee::serve

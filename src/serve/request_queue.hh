@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Thread-safe FIFO request queue feeding the serving workers.
+ *
+ * Admission order is strictly first-in-first-out: workers drain the
+ * queue in submission order, and the BatchScheduler later re-sorts by
+ * (arrival, id) so fleet results never depend on which worker picked
+ * up which request.
+ */
+
+#ifndef SPECEE_SERVE_REQUEST_QUEUE_HH
+#define SPECEE_SERVE_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "serve/request.hh"
+
+namespace specee::serve {
+
+/** Multi-producer multi-consumer FIFO of pending requests. */
+class RequestQueue
+{
+  public:
+    /** Enqueue one request. @pre queue not closed */
+    void push(Request r);
+
+    /**
+     * Dequeue the oldest request, blocking until one is available or
+     * the queue is closed. Returns false when closed and drained.
+     */
+    bool pop(Request &out);
+
+    /** Non-blocking dequeue; false when currently empty. */
+    bool tryPop(Request &out);
+
+    /** Wake all blocked consumers; no further pushes accepted. */
+    void close();
+
+    size_t size() const;
+    bool closed() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> q_;
+    bool closed_ = false;
+};
+
+} // namespace specee::serve
+
+#endif // SPECEE_SERVE_REQUEST_QUEUE_HH

@@ -1,0 +1,77 @@
+#include "serve/server.hh"
+
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace specee::serve {
+
+Server::Server(const engines::Pipeline &pipe, const ServerOptions &opts)
+    : pipe_(pipe), opts_(opts)
+{
+    specee_assert(opts.workers >= 1, "server needs >= 1 worker, got %d",
+                  opts.workers);
+    engines_.reserve(static_cast<size_t>(opts.workers));
+    for (int i = 0; i < opts.workers; ++i)
+        engines_.push_back(pipe_.makeEngine(opts_.engine, opts_.spec));
+}
+
+void
+Server::submit(Request r)
+{
+    specee_assert(r.gen.gen_len > 0,
+                  "request %llu needs gen_len > 0, got %d",
+                  static_cast<unsigned long long>(r.id), r.gen.gen_len);
+    r.gen.n_instances = 1; // one generation per request
+    queue_.push(std::move(r));
+}
+
+void
+Server::submit(std::vector<Request> rs)
+{
+    for (auto &r : rs)
+        submit(std::move(r));
+}
+
+ServeReport
+Server::drain()
+{
+    std::vector<PendingRun> runs;
+    std::mutex mu;
+
+    auto workerFn = [this, &runs, &mu](engines::Engine &engine) {
+        Request r;
+        while (queue_.tryPop(r)) {
+            const auto w = pipe_.makeWorkload(r.dataset, r.gen,
+                                              opts_.engine.quantized);
+            auto result = engine.runOne(w, 0, r.seed);
+            PendingRun run;
+            run.profile = buildStepProfile(result);
+            run.request = std::move(r);
+            run.result = std::move(result);
+            std::lock_guard<std::mutex> lock(mu);
+            runs.push_back(std::move(run));
+        }
+    };
+
+    const size_t n_workers =
+        std::min(engines_.size(), std::max<size_t>(1, queue_.size()));
+    if (n_workers <= 1) {
+        workerFn(*engines_.front());
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_workers);
+        for (size_t i = 0; i < n_workers; ++i)
+            pool.emplace_back(workerFn, std::ref(*engines_[i]));
+        for (auto &t : pool)
+            t.join();
+    }
+
+    ServeReport report;
+    BatchScheduler sched(opts_.sched);
+    report.fleet = sched.schedule(std::move(runs), report.outcomes);
+    return report;
+}
+
+} // namespace specee::serve

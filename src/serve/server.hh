@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multi-request serving node (§7.2.1 cloud scenario at fleet scale).
+ *
+ * A Server owns a pool of worker threads, each with its own Engine
+ * built from one shared trained Pipeline (predictor bank, AdaInfer
+ * SVMs, RAEE index and corpus are immutable after training and safe
+ * to share). Workers drain the RequestQueue in FIFO order and run
+ * each request through the re-entrant per-request engine entry
+ * point; the BatchScheduler then lays the completed runs onto a
+ * continuous-batching timeline and reduces them to fleet throughput,
+ * latency percentiles and energy.
+ *
+ *   serve::Server server(pipe, {.engine = cfg.withSpecEE()});
+ *   server.submit(serve::synthesizeStream({.rate_rps = 8.0}));
+ *   auto report = server.drain();
+ *   // report.fleet.tokens_per_s, report.fleet.p99_latency_s, ...
+ *
+ * Results are bit-deterministic for a fixed request stream no matter
+ * how many workers run: every request decodes under its own seed and
+ * the timeline is replayed in (arrival, id) order.
+ */
+
+#ifndef SPECEE_SERVE_SERVER_HH
+#define SPECEE_SERVE_SERVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "engines/pipeline.hh"
+#include "serve/batch_scheduler.hh"
+#include "serve/request_queue.hh"
+
+namespace specee::serve {
+
+/** Server construction options. */
+struct ServerOptions
+{
+    /** Engine configuration every worker runs. */
+    engines::EngineConfig engine;
+
+    hw::HardwareSpec spec = hw::HardwareSpec::a100();
+
+    /** Worker threads (each owns one Engine). */
+    int workers = 2;
+
+    SchedulerOptions sched;
+};
+
+/** Everything a drained request stream produced. */
+struct ServeReport
+{
+    /** Per-request outcomes in admission order. */
+    std::vector<RequestOutcome> outcomes;
+
+    FleetStats fleet;
+};
+
+/** Multi-threaded serving node over one trained pipeline. */
+class Server
+{
+  public:
+    Server(const engines::Pipeline &pipe, const ServerOptions &opts);
+
+    void submit(Request r);
+    void submit(std::vector<Request> rs);
+
+    /** Requests submitted but not yet drained. */
+    size_t pending() const { return queue_.size(); }
+
+    /**
+     * Serve every queued request to completion and reduce the fleet
+     * metrics. Deterministic for a fixed stream regardless of the
+     * worker count.
+     */
+    ServeReport drain();
+
+    const ServerOptions &options() const { return opts_; }
+
+  private:
+    const engines::Pipeline &pipe_;
+    ServerOptions opts_;
+    RequestQueue queue_;
+    std::vector<std::unique_ptr<engines::Engine>> engines_;
+};
+
+} // namespace specee::serve
+
+#endif // SPECEE_SERVE_SERVER_HH

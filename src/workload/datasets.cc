@@ -16,6 +16,21 @@ Workload::totalSteps() const
     return n;
 }
 
+Workload
+Workload::slice(size_t instance) const
+{
+    specee_assert(instance < instances.size(),
+                  "instance %zu out of range (%zu available)", instance,
+                  instances.size());
+    Workload one;
+    one.dataset = dataset;
+    one.model_key = model_key;
+    one.kind = kind;
+    one.true_prompt_len = true_prompt_len;
+    one.instances.push_back(instances[instance]);
+    return one;
+}
+
 WorkloadGen::WorkloadGen(const oracle::SyntheticCorpus &corpus)
     : corpus_(corpus)
 {

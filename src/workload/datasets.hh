@@ -50,6 +50,12 @@ struct Workload
 
     /** Total scripted generation steps. */
     int totalSteps() const;
+
+    /**
+     * Single-instance view for per-request serving: same dataset /
+     * calibration metadata, exactly one instance.
+     */
+    Workload slice(size_t instance) const;
 };
 
 /** Options for workload generation. */

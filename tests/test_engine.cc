@@ -134,8 +134,9 @@ TEST(Engine, FixedPredictorLayersOverrideScheduling)
     auto r = runConfig(cfg);
     // Exits can only happen at the fixed layers.
     for (size_t l = 0; l < r.stats.exit_histogram.size(); ++l) {
-        if (l != 2 && l != 4)
+        if (l != 2 && l != 4) {
             EXPECT_EQ(r.stats.exit_histogram[l], 0) << "layer " << l;
+        }
     }
 }
 

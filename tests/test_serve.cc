@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Serving-layer tests: FIFO queue semantics, deterministic fleet
+ * results regardless of worker count, FIFO admission fairness,
+ * fleet-vs-per-request stats consistency, and the batched-serving
+ * speedup over sequential one-request-at-a-time execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/server.hh"
+#include "test_util.hh"
+
+using namespace specee;
+
+namespace {
+
+std::vector<serve::Request>
+makeStream(int n, double rate_rps, int gen_len = 12)
+{
+    serve::StreamOptions so;
+    so.datasets = {"MT-Bench", "SUM", "QA"};
+    so.n_requests = n;
+    so.gen_len = gen_len;
+    so.rate_rps = rate_rps;
+    so.seed = 0xbeef;
+    return serve::synthesizeStream(so);
+}
+
+serve::ServerOptions
+serverOpts(int workers, int max_batch)
+{
+    serve::ServerOptions o;
+    o.engine = engines::EngineConfig::huggingFace().withSpecEE();
+    o.spec = hw::HardwareSpec::a100();
+    o.workers = workers;
+    o.sched.max_batch = max_batch;
+    return o;
+}
+
+} // namespace
+
+TEST(RequestQueue, FifoOrderAndClose)
+{
+    serve::RequestQueue q;
+    for (uint64_t i = 0; i < 5; ++i) {
+        serve::Request r;
+        r.id = i;
+        q.push(std::move(r));
+    }
+    EXPECT_EQ(q.size(), 5u);
+
+    serve::Request out;
+    for (uint64_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(q.tryPop(out));
+        EXPECT_EQ(out.id, i);
+    }
+    EXPECT_FALSE(q.tryPop(out));
+
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.pop(out)); // closed + empty: no block, no item
+}
+
+TEST(RequestStream, PoissonArrivalsAreOrderedAndDeterministic)
+{
+    auto a = makeStream(16, 4.0);
+    auto b = makeStream(16, 4.0);
+    ASSERT_EQ(a.size(), 16u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+        }
+    }
+}
+
+TEST(Server, DeterministicAcrossWorkerCounts)
+{
+    const auto &pipe = testutil::tinyPipeline();
+    auto stream = makeStream(8, 6.0);
+
+    serve::Server one(pipe, serverOpts(1, 4));
+    one.submit(stream);
+    auto r1 = one.drain();
+
+    serve::Server three(pipe, serverOpts(3, 4));
+    three.submit(stream);
+    auto r3 = three.drain();
+
+    ASSERT_EQ(r1.outcomes.size(), r3.outcomes.size());
+    for (size_t i = 0; i < r1.outcomes.size(); ++i) {
+        const auto &a = r1.outcomes[i];
+        const auto &b = r3.outcomes[i];
+        EXPECT_EQ(a.request.id, b.request.id);
+        ASSERT_EQ(a.result.emissions.size(), 1u);
+        EXPECT_EQ(a.result.emissions[0].tokens,
+                  b.result.emissions[0].tokens);
+        EXPECT_DOUBLE_EQ(a.admit_s, b.admit_s);
+        EXPECT_DOUBLE_EQ(a.finish_s, b.finish_s);
+    }
+    EXPECT_EQ(r1.fleet.tokens, r3.fleet.tokens);
+    EXPECT_DOUBLE_EQ(r1.fleet.makespan_s, r3.fleet.makespan_s);
+    EXPECT_DOUBLE_EQ(r1.fleet.energy_j, r3.fleet.energy_j);
+    EXPECT_DOUBLE_EQ(r1.fleet.p99_latency_s, r3.fleet.p99_latency_s);
+}
+
+TEST(Server, FifoAdmissionFairness)
+{
+    const auto &pipe = testutil::tinyPipeline();
+    auto stream = makeStream(6, 0.0); // all arrive at t = 0
+
+    serve::Server server(pipe, serverOpts(2, 2));
+    server.submit(stream);
+    auto rep = server.drain();
+
+    ASSERT_EQ(rep.outcomes.size(), 6u);
+    // Outcomes come back in admission order; with equal arrivals the
+    // tie-break is submission (id) order, and admission times never
+    // go backwards: nobody overtakes the queue.
+    for (size_t i = 0; i < rep.outcomes.size(); ++i) {
+        const auto &o = rep.outcomes[i];
+        EXPECT_EQ(o.request.id, static_cast<uint64_t>(i));
+        EXPECT_GE(o.queue_s, 0.0);
+        if (i > 0) {
+            EXPECT_GE(o.admit_s, rep.outcomes[i - 1].admit_s);
+        }
+    }
+    // Exactly max_batch requests are admitted at the start.
+    EXPECT_DOUBLE_EQ(rep.outcomes[0].admit_s, 0.0);
+    EXPECT_DOUBLE_EQ(rep.outcomes[1].admit_s, 0.0);
+    EXPECT_GT(rep.outcomes[2].admit_s, 0.0);
+}
+
+TEST(Server, FleetStatsMatchPerRequestStats)
+{
+    const auto &pipe = testutil::tinyPipeline();
+    auto stream = makeStream(5, 0.0);
+
+    // Sequential serving: no amortization, so the fleet timeline must
+    // reduce exactly to the sum of the independent runs.
+    serve::Server server(pipe, serverOpts(2, 1));
+    server.submit(stream);
+    auto rep = server.drain();
+
+    long tokens = 0;
+    double time_s = 0.0, energy_j = 0.0, flops = 0.0;
+    for (const auto &o : rep.outcomes) {
+        tokens += o.result.stats.tokens;
+        time_s += o.result.stats.modeled_time_s;
+        const auto grand = o.result.stats.oplog.grand();
+        energy_j += grand.energy_j;
+        flops += grand.flops;
+    }
+    EXPECT_EQ(rep.fleet.tokens, tokens);
+    EXPECT_NEAR(rep.fleet.makespan_s, time_s, 1e-9 * time_s);
+    EXPECT_NEAR(rep.fleet.energy_j, energy_j, 1e-9 * energy_j);
+    EXPECT_NEAR(rep.fleet.oplog.grand().flops, flops, 1e-6 * flops);
+    EXPECT_EQ(rep.fleet.requests, 5);
+    EXPECT_DOUBLE_EQ(rep.fleet.mean_batch_occupancy, 1.0);
+    // Sequential latency: each request waits for all predecessors.
+    EXPECT_GE(rep.fleet.p99_latency_s, rep.fleet.p50_latency_s);
+}
+
+TEST(Server, BatchedServingBeatsSequential)
+{
+    const auto &pipe = testutil::tinyPipeline();
+    auto stream = makeStream(8, 0.0);
+
+    serve::Server seq(pipe, serverOpts(2, 1));
+    seq.submit(stream);
+    auto rs = seq.drain();
+
+    serve::Server batched(pipe, serverOpts(2, 4));
+    batched.submit(stream);
+    auto rb = batched.drain();
+
+    // Same functional tokens either way...
+    EXPECT_EQ(rs.fleet.tokens, rb.fleet.tokens);
+    // ...but continuous batching amortizes the weight reads.
+    EXPECT_GT(rb.fleet.tokens_per_s, rs.fleet.tokens_per_s);
+    EXPECT_LT(rb.fleet.makespan_s, rs.fleet.makespan_s);
+    EXPECT_GT(rb.fleet.mean_batch_occupancy, 1.5);
+    // Amortized weight reads also cut fleet energy.
+    EXPECT_LT(rb.fleet.energy_j, rs.fleet.energy_j);
+}
+
+TEST(Engine, RunOneIsReentrant)
+{
+    const auto &pipe = testutil::tinyPipeline();
+    auto w = pipe.makeWorkload("MT-Bench", testutil::smallGen(3, 16));
+    auto engine = pipe.makeEngine(
+        engines::EngineConfig::huggingFace().withSpecEE(),
+        hw::HardwareSpec::a100());
+
+    auto a = engine->runOne(w, 1, 77);
+    auto full = engine->run(w, 123); // unrelated work in between
+    auto b = engine->runOne(w, 1, 77);
+
+    ASSERT_EQ(a.emissions.size(), 1u);
+    ASSERT_EQ(b.emissions.size(), 1u);
+    EXPECT_EQ(a.emissions[0].tokens, b.emissions[0].tokens);
+    EXPECT_EQ(a.emissions[0].exit_layers, b.emissions[0].exit_layers);
+    EXPECT_DOUBLE_EQ(a.stats.modeled_time_s, b.stats.modeled_time_s);
+    EXPECT_EQ(full.emissions.size(), 3u);
+}
