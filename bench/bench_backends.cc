@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Weight-backend sweep: fp32 vs q8 vs q4 serving throughput and
+ * energy under bench_serving's request mix (chat/sum/QA, Poisson
+ * arrivals) on one A100 node.
+ *
+ * Quantization compounds with continuous batching the same way
+ * SpecEE does: the batch-amortized shared read is the weight stream,
+ * and a compressed backend shrinks exactly that stream, so the gain
+ * survives (and grows with) batching. The harness asserts the
+ * quantized-serving acceptance bar: q8 >= 1.3x fp32 fleet tokens/s
+ * at max_batch >= 4.
+ *
+ *   $ ./bench_backends [model]     (default llama2-7b)
+ */
+
+#include "bench_common.hh"
+#include "serve/server.hh"
+#include "tensor/simd.hh"
+
+using namespace specee;
+using namespace specee::benchutil;
+using engines::EngineConfig;
+using tensor::WeightBackend;
+
+int
+main(int argc, char **argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "llama2-7b";
+    auto &pipe = pipeline(model);
+    const auto spec = hw::HardwareSpec::a100();
+
+    const WeightBackend backends[] = {WeightBackend::Fp32,
+                                      WeightBackend::Q8,
+                                      WeightBackend::Q4};
+    const int batches[] = {1, 4, 8};
+
+    // bench_serving's request mix, but closed-loop (every request
+    // queued at t = 0): a backend sweep must be service-limited, or
+    // every backend saturates at the offered-load ceiling
+    // (rate * gen_len tok/s) and the amortized weight stream never
+    // becomes the bottleneck regardless of how much it shrinks.
+    serve::StreamOptions so;
+    so.n_requests = 12;
+    so.gen_len = 16;
+    so.rate_rps = 0.0;
+    so.seed = 0xba5e;
+    const auto stream = serve::synthesizeStream(so);
+
+    metrics::Table t("Weight-backend sweep: " + model + " @ " +
+                     spec.name + " (12 queued requests, " +
+                     "chat/sum/QA mix, simd=" +
+                     std::string(tensor::simd::levelName(
+                         tensor::simd::activeLevel())) +
+                     ")");
+    t.header({"backend", "max_batch", "tok/s", "vs fp32", "J/tok",
+              "p50 lat (s)", "p99 lat (s)"});
+
+    // fleet tokens/s per (backend, batch); fp32 column is the base.
+    double base_tps[3] = {0.0, 0.0, 0.0};
+    bool meets_bar = true;
+    double q8_speedup_b4 = 0.0;
+    for (const WeightBackend b : backends) {
+        for (size_t bi = 0; bi < 3; ++bi) {
+            serve::ServerOptions sopts;
+            sopts.engine =
+                EngineConfig::huggingFace().withWeightBackend(b);
+            sopts.spec = spec;
+            sopts.workers = 2;
+            sopts.sched.max_batch = batches[bi];
+
+            serve::Server server(pipe, sopts);
+            server.submit(stream);
+            const auto rep = server.drain();
+
+            if (b == WeightBackend::Fp32)
+                base_tps[bi] = rep.fleet.tokens_per_s;
+            const double vs = rep.fleet.tokens_per_s / base_tps[bi];
+            if (b == WeightBackend::Q8 && batches[bi] >= 4) {
+                if (batches[bi] == 4)
+                    q8_speedup_b4 = vs;
+                meets_bar = meets_bar && vs >= 1.3;
+            }
+            t.row({tensor::weightBackendName(b),
+                   metrics::Table::num(batches[bi], 0),
+                   metrics::Table::num(rep.fleet.tokens_per_s, 1),
+                   mult(vs),
+                   metrics::Table::num(rep.fleet.energy_per_token_j, 3),
+                   metrics::Table::num(rep.fleet.p50_latency_s, 2),
+                   metrics::Table::num(rep.fleet.p99_latency_s, 2)});
+        }
+    }
+    t.print();
+
+    std::printf("\nq8 vs fp32 at max_batch=4: %s — acceptance bar "
+                "(>= 1.30x at max_batch >= 4): %s\n",
+                mult(q8_speedup_b4).c_str(),
+                meets_bar ? "MET" : "MISSED");
+    std::printf("The decode batch waits on one shared weight read per "
+                "iteration; a quantized\nbackend shrinks that exact "
+                "stream, so compression and batching multiply.\n");
+    return meets_bar ? 0 : 1;
+}

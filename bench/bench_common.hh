@@ -67,7 +67,7 @@ runOn(const std::string &model, const engines::EngineConfig &cfg,
       const workload::GenOptions &gen, uint64_t seed = 7)
 {
     auto &pipe = pipeline(model);
-    auto w = pipe.makeWorkload(dataset, gen, cfg.quantized);
+    auto w = pipe.makeWorkload(dataset, gen, cfg.q4Calibrated());
     auto engine = pipe.makeEngine(cfg, spec);
     return engine->run(w, seed);
 }

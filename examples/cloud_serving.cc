@@ -54,7 +54,7 @@ main(int argc, char **argv)
         std::vector<double> tps;
         double layers = 0, power = 0, joules = 0, mem = 0, match = 0;
         for (const auto &ds : request_mix) {
-            auto w = pipe.makeWorkload(ds, gen, cfg.quantized);
+            auto w = pipe.makeWorkload(ds, gen, cfg.q4Calibrated());
             auto engine = pipe.makeEngine(cfg, spec);
             auto r = engine->run(w, 42);
             auto ev = workload::Evaluator::evaluate(w, r.emissions,

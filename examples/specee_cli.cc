@@ -160,7 +160,7 @@ cmdCompare(const std::string &model, const std::string &dataset)
         EngineConfig::eagle().withSpecEE(),
     };
     for (const auto &cfg : configs) {
-        auto w = pipe.makeWorkload(dataset, gen, cfg.quantized);
+        auto w = pipe.makeWorkload(dataset, gen, cfg.q4Calibrated());
         auto engine = pipe.makeEngine(cfg, spec);
         auto r = engine->run(w, 11);
         auto ev = workload::Evaluator::evaluate(w, r.emissions,

@@ -23,19 +23,33 @@ Engine::Engine(const EngineConfig &ecfg, const model::ModelConfig &mcfg,
                const oracle::SyntheticCorpus &corpus)
     : ecfg_(ecfg), mcfg_(mcfg), hwspec_(spec), corpus_(corpus)
 {
+    specee_assert(!ecfg.quantized ||
+                  ecfg.weight_backend == tensor::WeightBackend::Fp32,
+                  "legacy `quantized` and `weight_backend` are "
+                  "mutually exclusive");
     model::TargetModelOptions opts;
     opts.quantized = ecfg.quantized;
+    opts.weight_backend = ecfg.weight_backend;
     opts.paged_kv = ecfg.paged_kv;
     opts.sparse_ffn = ecfg.sparse_ffn;
     opts.ffn_active_frac = ecfg.ffn_active_frac;
     opts.noise_seed = mcfg.weight_seed ^ 0xa0153;
     tm_ = std::make_unique<model::TargetModel>(mcfg, opts);
 
+    // Legacy AWQ mode compresses only the projection charges (dense
+    // head, fp16-priced draft), scaled engine-side; the whole-model
+    // backend knob instead compresses every weight charge inside the
+    // cost model.
+    legacyQuantFactor_ = ecfg.quantized ? kQ4Factor : 1.0;
+    backendCompression_ =
+        ecfg.quantized ? 1.0
+                       : tensor::weightCompression(ecfg.weight_backend);
+
     // Device/host weight split (PC scenario): weights that do not fit
     // in usable VRAM are served from host memory.
     devWeightFrac_ = 1.0;
     if (ecfg.allow_offload && spec.host_bw_gbs > 0.0) {
-        const double quant = ecfg.quantized ? kQ4Factor : 1.0;
+        const double quant = legacyQuantFactor_ * backendCompression_;
         const double weight_gb =
             mcfg.truthWeightBytes() * quant / 1e9;
         // Reserve room for KV cache and activations. The draft model
@@ -54,7 +68,8 @@ Engine::Engine(const EngineConfig &ecfg, const model::ModelConfig &mcfg,
         }
     }
     cost_ = std::make_unique<hw::CostModel>(spec, ecfg.bw_efficiency,
-                                            devWeightFrac_);
+                                            devWeightFrac_,
+                                            backendCompression_);
 }
 
 void
@@ -121,11 +136,12 @@ Engine::predictorActive(int layer,
 double
 Engine::layerWeightBytes(bool ffn_sparse) const
 {
+    // fp16-equivalent traffic; the legacy AWQ factor is applied at the
+    // charge sites and the backend compression inside hw::CostModel.
     const double h = mcfg_.truth.hidden;
     const double f = mcfg_.truth.ffn;
-    const double quant = ecfg_.quantized ? kQ4Factor : 1.0;
-    const double attn = 4.0 * h * h * kFp16 * quant;
-    double ffn = 3.0 * h * f * kFp16 * quant;
+    const double attn = 4.0 * h * h * kFp16;
+    double ffn = 3.0 * h * f * kFp16;
     if (ffn_sparse)
         ffn *= ecfg_.ffn_active_frac;
     return attn + ffn;
@@ -138,7 +154,8 @@ Engine::chargeLayers(hw::OpLog &log, int n_layers, int batch,
     if (n_layers <= 0)
         return;
     const double h = mcfg_.truth.hidden;
-    const double wbytes = layerWeightBytes(ecfg_.sparse_ffn) * n_layers;
+    const double wbytes =
+        layerWeightBytes(ecfg_.sparse_ffn) * legacyQuantFactor_ * n_layers;
     const double params = layerWeightBytes(false) / kFp16;
     const double flops = 2.0 * params * n_layers * batch;
     // Each layer is ~10 fused kernels on a modern runtime.
@@ -166,8 +183,8 @@ Engine::chargeKvFill(hw::OpLog &log, int n_layers, int batch) const
     if (n_layers <= 0)
         return;
     const double h = mcfg_.truth.hidden;
-    const double quant = ecfg_.quantized ? kQ4Factor : 1.0;
-    const double wbytes = 2.0 * h * h * kFp16 * quant * n_layers;
+    const double wbytes =
+        2.0 * h * h * kFp16 * legacyQuantFactor_ * n_layers;
     cost_->account(log, hw::OpClass::KvFill,
                    2.0 * 2.0 * h * h * n_layers * batch, wbytes,
                    2.0 * h * kFp16 * batch * n_layers, 2 * n_layers);
@@ -183,7 +200,9 @@ Engine::chargeKvFill(hw::OpLog &log, int n_layers, int batch) const
 void
 Engine::chargeLmHeadFull(hw::OpLog &log, int batch) const
 {
-    const double bytes = mcfg_.truthLmHeadBytes(); // head kept fp16
+    // fp16 head in the legacy AWQ mode; compressed by the cost model
+    // when a whole-model weight backend is configured.
+    const double bytes = mcfg_.truthLmHeadBytes();
     const double flops =
         2.0 * mcfg_.truth.hidden * mcfg_.truth.vocab * batch;
     cost_->account(log, hw::OpClass::LmHeadFull, flops, bytes, 0.0, 1);
@@ -193,8 +212,11 @@ void
 Engine::chargeLmHeadSliced(hw::OpLog &log, int groups, int k,
                            int layer_events) const
 {
-    const double bytes =
-        static_cast<double>(mcfg_.truth.hidden) * k * kFp16 * groups;
+    // Sliced rows are per-request (non-amortizable) traffic, so they
+    // are charged as activation bytes — compressed here rather than
+    // by the cost model's weight term.
+    const double bytes = static_cast<double>(mcfg_.truth.hidden) * k *
+                         kFp16 * groups * headCompression();
     const double flops = 2.0 * mcfg_.truth.hidden * k * groups;
     // Feature extraction is a short kernel pipeline (sliced GEMV,
     // softmax, delta) issued once per activated layer regardless of
@@ -213,9 +235,12 @@ Engine::chargePredictor(hw::OpLog &log, int batch, int layer_events) const
     // Two linear layers + activations + threshold: ~8 launches per
     // activated layer. Together with feature extraction this prices a
     // predictor invocation at ~90us on A100, matching §7.4.4's
-    // 0.9 ms/token over ~10 active predictors.
+    // 0.9 ms/token over ~10 active predictors. Predictor MLPs stay
+    // fp32 and device-resident regardless of the weight backend, so
+    // their parameter reads are charged as activation traffic (no
+    // backend compression, no offload split).
     cost_->account(log, hw::OpClass::Predictor, 2.0 * params * batch,
-                   params * 4.0, 64.0 * batch, 8 * layer_events);
+                   0.0, params * 4.0 + 64.0 * batch, 8 * layer_events);
     // Hybrid runtimes stall their GPU graph per host-side check.
     if (hwspec_.predictor_stall_us > 0.0) {
         cost_->accountFixed(log, hw::OpClass::Predictor,
@@ -229,9 +254,11 @@ Engine::chargeDraft(hw::OpLog &log, int forwards) const
 {
     // §5.1: one draft forward costs about one decoder layer; the DLM
     // reuses the resident embedding/LM head, so we charge 1.2x a
-    // layer's weight traffic per forward.
-    const double bytes = layerWeightBytes(false) /
-                         (ecfg_.quantized ? kQ4Factor : 1.0) * 1.2;
+    // layer's weight traffic per forward. The DLM ships fp16 in the
+    // legacy AWQ mode but follows the whole-model weight backend
+    // (cost-model compression) when one is configured.
+    const double bytes =
+        layerWeightBytes(false) * model::DraftModel::layerEquivalents();
     const double flops = bytes; // memory-bound either way
     for (int i = 0; i < forwards; ++i) {
         cost_->account(log, hw::OpClass::Draft, flops, bytes, 0.0, 12);
@@ -241,8 +268,20 @@ Engine::chargeDraft(hw::OpLog &log, int forwards) const
 void
 Engine::chargeEmbed(hw::OpLog &log, int n) const
 {
-    const double bytes = static_cast<double>(mcfg_.truth.hidden) * kFp16 * n;
-    cost_->account(log, hw::OpClass::Embed, 0.0, 0.0, bytes, 1);
+    // Embedding rows are weight-table reads (batch-amortizable in the
+    // serving layer and compressed under a quantized backend).
+    const double bytes =
+        static_cast<double>(mcfg_.truth.hidden) * kFp16 * n;
+    cost_->account(log, hw::OpClass::Embed, 0.0, bytes, 0.0, 1);
+}
+
+double
+Engine::headCompression() const
+{
+    // The legacy AWQ mode keeps the tied embedding / LM head fp16
+    // (backendCompression_ is 1.0 there); a whole-model backend
+    // compresses it like everything else.
+    return backendCompression_;
 }
 
 void
@@ -664,8 +703,14 @@ Engine::run(const workload::Workload &w, uint64_t seed)
         ecfg_.early_exit && preds_ != nullptr ? preds_->nExitLayers() : 0;
     const size_t pred_params =
         preds_ != nullptr ? preds_->paramsPerPredictor() : 0;
-    hw::MemoryTracker mem(mcfg_, ecfg_.quantized, with_dlm, n_preds,
-                          pred_params);
+    // Legacy AWQ: Q4 target weights, fp16 DLM (matches chargeDraft);
+    // whole-model backend: the DLM ships in the same backend.
+    hw::MemoryTracker mem =
+        ecfg_.quantized
+            ? hw::MemoryTracker(mcfg_, /*quantized=*/true, with_dlm,
+                                n_preds, pred_params)
+            : hw::MemoryTracker(mcfg_, ecfg_.weight_backend, with_dlm,
+                                n_preds, pred_params);
     const int max_tokens =
         w.true_prompt_len +
         (w.instances.empty()

@@ -157,7 +157,10 @@ class Engine
                         RunResult &out, Rng &rng);
 
     // --- cost emission at true dimensions -------------------------------
+    /** fp16-equivalent weight traffic of one decoder layer. */
     double layerWeightBytes(bool ffn_sparse) const;
+    /** Head/embedding compression factor (legacy AWQ keeps fp16). */
+    double headCompression() const;
     void chargeLayers(hw::OpLog &log, int n_layers, int batch,
                       int logical_pos) const;
     void chargeKvFill(hw::OpLog &log, int n_layers, int batch) const;
@@ -181,6 +184,10 @@ class Engine
     std::vector<bool> offlineHotMask_;
     bool haveOfflineSet_ = false;
     double devWeightFrac_ = 1.0;
+    /** Engine-side Q4 factor of the legacy AWQ mode (else 1.0). */
+    double legacyQuantFactor_ = 1.0;
+    /** Whole-model backend compression (1.0 in legacy AWQ mode). */
+    double backendCompression_ = 1.0;
     std::unique_ptr<hw::CostModel> cost_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.hh"
+
 namespace specee::engines {
 
 int
@@ -126,6 +128,18 @@ EngineConfig::withSpecEE(bool with_t2) const
         c.bw_efficiency = std::min(0.95, bw_efficiency * 1.06);
         c.fixed_overhead_s = fixed_overhead_s * 0.6;
     }
+    return c;
+}
+
+EngineConfig
+EngineConfig::withWeightBackend(tensor::WeightBackend backend) const
+{
+    specee_assert(!quantized,
+                  "weight_backend and the legacy `quantized` flag are "
+                  "mutually exclusive");
+    EngineConfig c = *this;
+    c.weight_backend = backend;
+    c.name = name + "[" + tensor::weightBackendName(backend) + "]";
     return c;
 }
 

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "tensor/weight_store.hh"
+
 namespace specee::engines {
 
 /** Token-tree shape for speculative decoding. */
@@ -47,7 +49,19 @@ struct EngineConfig
     // --- baseline switches -----------------------------------------------
     bool adainfer = false;   ///< AdaInfer full-vocab SVM early exit
     bool raee = false;       ///< RAEE retrieval-based early exit
-    bool quantized = false;  ///< Q4 weights (AWQ / llama.cpp Q4)
+    /**
+     * Legacy AWQ mode: Q4 projections, dense tied head, draft model
+     * and head priced fp16. Mutually exclusive with a non-fp32
+     * `weight_backend`; prefer the backend knob for new scenarios.
+     */
+    bool quantized = false;
+    /**
+     * Whole-model weight backend: projections, tied embedding / LM
+     * head and the draft model all load as fp32 (served fp16), q8 or
+     * q4, and every weight-bound operator is priced at the
+     * compressed traffic — the quantized-serving scenario.
+     */
+    tensor::WeightBackend weight_backend = tensor::WeightBackend::Fp32;
     bool paged_kv = false;   ///< vllm PagedAttention KV manager
     bool sparse_ffn = false; ///< PowerInfer activation sparsity
 
@@ -98,6 +112,24 @@ struct EngineConfig
 
     /** Derive the +SpecEE+EAGLE variant (adds T3 on top). */
     EngineConfig withSpecDecode() const;
+
+    /**
+     * Derive a variant serving the whole model from `backend`
+     * weights (suffixes the name, e.g. "HuggingFace[q8]"). Requires
+     * the legacy `quantized` flag to be off.
+     */
+    EngineConfig withWeightBackend(tensor::WeightBackend backend) const;
+
+    /**
+     * True when workloads should use the AWQ accuracy-calibration
+     * column: 4-bit weights, whether legacy AWQ or the q4 backend
+     * (q8 is functionally near-lossless and keeps the dense column).
+     */
+    bool q4Calibrated() const
+    {
+        return quantized ||
+               weight_backend == tensor::WeightBackend::Q4;
+    }
 };
 
 } // namespace specee::engines

@@ -66,19 +66,28 @@ OpLog::clear()
 }
 
 CostModel::CostModel(const HardwareSpec &spec, double bw_efficiency,
-                     double device_weight_frac)
-    : spec_(spec), bwEff_(bw_efficiency), devFrac_(device_weight_frac)
+                     double device_weight_frac, double weight_compression)
+    : spec_(spec), bwEff_(bw_efficiency), devFrac_(device_weight_frac),
+      wComp_(weight_compression)
 {
     specee_assert(bw_efficiency > 0.0 && bw_efficiency <= 1.0,
                   "bad bandwidth efficiency %f", bw_efficiency);
     specee_assert(device_weight_frac >= 0.0 && device_weight_frac <= 1.0,
                   "bad device weight fraction %f", device_weight_frac);
+    specee_assert(weight_compression > 0.0 && weight_compression <= 1.0,
+                  "bad weight compression %f", weight_compression);
 }
 
 double
 CostModel::account(OpLog &log, OpClass cls, double flops,
                    double weight_bytes, double act_bytes, int kernels) const
 {
+    // Weight traffic is what the serving backend actually streams:
+    // quantized backends read compressed bytes (and dequantize in
+    // registers — the flops term is unchanged and still never
+    // dominates single-batch decode).
+    weight_bytes *= wComp_;
+
     const double dev_bw = spec_.mem_bw_gbs * 1e9 * bwEff_;
     const double dev_fl = spec_.compute_tflops * 1e12 * bwEff_;
 

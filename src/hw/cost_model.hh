@@ -68,9 +68,17 @@ class CostModel
      *                       achieves (calibration, DESIGN.md §5)
      * @param device_weight_frac fraction of weight bytes resident on
      *                       the device (1.0 = no offload)
+     * @param weight_compression factor applied to every operator's
+     *                       weight traffic before pricing and
+     *                       logging: bits-per-weight of the serving
+     *                       backend / 16 (1.0 = fp16, 0.5 = q8,
+     *                       ~0.28 = q4). Callers that mix precisions
+     *                       (the legacy AWQ fp16-head mode) keep this
+     *                       at 1.0 and pre-scale per charge instead.
      */
     CostModel(const HardwareSpec &spec, double bw_efficiency = 1.0,
-              double device_weight_frac = 1.0);
+              double device_weight_frac = 1.0,
+              double weight_compression = 1.0);
 
     const HardwareSpec &spec() const { return spec_; }
 
@@ -90,11 +98,13 @@ class CostModel
 
     double bwEfficiency() const { return bwEff_; }
     double deviceWeightFrac() const { return devFrac_; }
+    double weightCompression() const { return wComp_; }
 
   private:
     HardwareSpec spec_;
     double bwEff_;
     double devFrac_;
+    double wComp_;
 };
 
 } // namespace specee::hw

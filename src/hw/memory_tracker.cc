@@ -2,18 +2,14 @@
 
 namespace specee::hw {
 
-namespace {
-// Q4 group quantization stores 4-bit weights plus per-group scale and
-// minimum: 4 + 64/32 x 8 bits / 32 values ~= 4.5 bits per weight.
-constexpr double kQ4BitsPerWeight = 4.5;
-constexpr double kFp16BitsPerWeight = 16.0;
-} // namespace
-
-MemoryTracker::MemoryTracker(const model::ModelConfig &cfg, bool quantized,
+MemoryTracker::MemoryTracker(const model::ModelConfig &cfg,
+                             tensor::WeightBackend backend,
+                             tensor::WeightBackend draft_backend,
                              bool with_draft_model, int n_predictors,
                              size_t predictor_params)
     : cfg_(cfg),
-      quantized_(quantized),
+      backend_(backend),
+      draftBackend_(draft_backend),
       withDraft_(with_draft_model),
       nPredictors_(n_predictors),
       predictorParams_(predictor_params)
@@ -23,10 +19,7 @@ MemoryTracker::MemoryTracker(const model::ModelConfig &cfg, bool quantized,
 double
 MemoryTracker::weightBytes() const
 {
-    const double fp16 = cfg_.truthWeightBytes();
-    if (!quantized_)
-        return fp16;
-    return fp16 * (kQ4BitsPerWeight / kFp16BitsPerWeight);
+    return cfg_.truthWeightBytes() * tensor::weightCompression(backend_);
 }
 
 double
@@ -34,8 +27,9 @@ MemoryTracker::draftModelBytes() const
 {
     if (!withDraft_)
         return 0.0;
-    // EAGLE DLM = one decoder layer + embedding + LM head (fp16).
-    return cfg_.truthLayerBytes() + 2.0 * cfg_.truthLmHeadBytes();
+    // EAGLE DLM = one decoder layer + embedding + LM head.
+    return (cfg_.truthLayerBytes() + 2.0 * cfg_.truthLmHeadBytes()) *
+           tensor::weightCompression(draftBackend_);
 }
 
 double

@@ -2,15 +2,17 @@
  * @file
  * Device-memory footprint model at true model dimensions (Fig. 17).
  *
- * Tracks the components the paper plots: model weights (fp16 or Q4),
- * growing KV cache, the EAGLE-style draft model (~0.9 GB for 7B,
- * ~1.4 GB for 13B, §7.4.2), and the exit predictors (~416 KB).
+ * Tracks the components the paper plots: model weights (fp16, Q8 or
+ * Q4 depending on the weight backend), growing KV cache, the
+ * EAGLE-style draft model (~0.9 GB for 7B, ~1.4 GB for 13B, §7.4.2),
+ * and the exit predictors (~416 KB).
  */
 
 #ifndef SPECEE_HW_MEMORY_TRACKER_HH
 #define SPECEE_HW_MEMORY_TRACKER_HH
 
 #include "model/config.hh"
+#include "tensor/weight_store.hh"
 
 namespace specee::hw {
 
@@ -20,19 +22,51 @@ class MemoryTracker
   public:
     /**
      * @param cfg              model configuration (true dims used)
-     * @param quantized        weights stored Q4 instead of fp16
+     * @param backend          target-weight storage backend (fp32 is
+     *                         shipped fp16 on device; q8/q4 at their
+     *                         packed bits-per-weight incl. scales)
+     * @param draft_backend    draft-model storage backend (the
+     *                         whole-model knob deploys the DLM in the
+     *                         target's backend; the legacy AWQ mode
+     *                         keeps it fp16)
      * @param with_draft_model engine carries the DLM (SpecEE/EAGLE)
      * @param n_predictors     exit predictors deployed (0 if none)
      * @param predictor_params parameters per predictor MLP
      */
-    MemoryTracker(const model::ModelConfig &cfg, bool quantized,
+    MemoryTracker(const model::ModelConfig &cfg,
+                  tensor::WeightBackend backend,
+                  tensor::WeightBackend draft_backend,
                   bool with_draft_model, int n_predictors,
                   size_t predictor_params);
 
-    /** Weight bytes (fp16, or Q4 at 4.5 bits/weight incl. scales). */
+    /** Whole-model backend: the DLM ships in the same backend. */
+    MemoryTracker(const model::ModelConfig &cfg,
+                  tensor::WeightBackend backend, bool with_draft_model,
+                  int n_predictors, size_t predictor_params)
+        : MemoryTracker(cfg, backend, backend, with_draft_model,
+                        n_predictors, predictor_params)
+    {
+    }
+
+    /** Legacy AWQ flag: Q4 weights when set; the DLM stays fp16. */
+    MemoryTracker(const model::ModelConfig &cfg, bool quantized,
+                  bool with_draft_model, int n_predictors,
+                  size_t predictor_params)
+        : MemoryTracker(cfg,
+                        quantized ? tensor::WeightBackend::Q4
+                                  : tensor::WeightBackend::Fp32,
+                        tensor::WeightBackend::Fp32, with_draft_model,
+                        n_predictors, predictor_params)
+    {
+    }
+
+    /** Weight bytes at the backend's modeled bits-per-weight. */
     double weightBytes() const;
 
-    /** Draft-model bytes: one decoder layer + embedding + LM head. */
+    /**
+     * Draft-model bytes: one decoder layer + embedding + LM head,
+     * stored in the same backend as the target model.
+     */
     double draftModelBytes() const;
 
     /** All predictor parameters, fp32. */
@@ -49,7 +83,8 @@ class MemoryTracker
 
   private:
     model::ModelConfig cfg_;
-    bool quantized_;
+    tensor::WeightBackend backend_;
+    tensor::WeightBackend draftBackend_;
     bool withDraft_;
     int nPredictors_;
     size_t predictorParams_;

@@ -1,6 +1,10 @@
 /**
  * @file
  * Multi-head causal self-attention with RoPE over a KvStore.
+ *
+ * The q/k/v/o projections run on whatever tensor::WeightStore backend
+ * the LayerWeights were built with (fp32, q8 or q4) — this block is
+ * backend-agnostic by construction.
  */
 
 #ifndef SPECEE_MODEL_ATTENTION_HH

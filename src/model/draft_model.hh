@@ -41,6 +41,15 @@ class DraftModel
     double hitRate() const { return hitRate_; }
 
     /**
+     * Cost of one draft forward in target-decoder-layer equivalents
+     * (§5.1: one decoder layer, plus ~20% for reusing the resident
+     * embedding/LM head). The DLM is deployed in the same weight
+     * backend as the target model, so hw pricing and the memory
+     * tracker scale these bytes by the backend's compression.
+     */
+    static double layerEquivalents() { return 1.2; }
+
+    /**
      * Propose k speculative tokens for the position following
      * `prev_token`, whose scripted true next token is `true_target`.
      * Tokens are distinct; the target, when present, lands mostly in

@@ -8,6 +8,10 @@
  * touched rows. (Functionally we compute all gate scores to select
  * the top set; PowerInfer predicts them — the selected set is what
  * matters for the output and the cost.)
+ *
+ * Both paths are WeightStore-backend-agnostic: the dense GEMVs and
+ * the sparse rowDot / addScaledColumn accesses dequantize on the fly
+ * under q8/q4 weights.
  */
 
 #ifndef SPECEE_MODEL_FFN_HH

@@ -5,7 +5,7 @@
 
 namespace specee::model {
 
-LmHead::LmHead(const tensor::Matrix &embedding, const tensor::Vec &rms_final)
+LmHead::LmHead(const WeightMat &embedding, const tensor::Vec &rms_final)
     : embedding_(embedding),
       rmsFinal_(rms_final),
       scratch_(embedding.cols())
@@ -25,7 +25,7 @@ LmHead::full(tensor::CSpan hidden_state, tensor::Span logits) const
 {
     specee_assert(logits.size() == embedding_.rows(), "full logits size");
     normalize(hidden_state);
-    tensor::gemv(embedding_, scratch_, logits);
+    embedding_.gemv(scratch_, logits);
 }
 
 void
@@ -34,7 +34,7 @@ LmHead::sliced(tensor::CSpan hidden_state, const std::vector<int> &tokens,
 {
     specee_assert(out.size() == tokens.size(), "sliced logits size");
     normalize(hidden_state);
-    tensor::gemvRows(embedding_, tokens, scratch_, out);
+    embedding_.gemvRows(tokens, scratch_, out);
 }
 
 void
@@ -47,7 +47,7 @@ LmHead::grouped(const std::vector<tensor::CSpan> &hiddens,
     for (size_t g = 0; g < groups.size(); ++g) {
         out[g].assign(groups[g].size(), 0.0f);
         normalize(hiddens[g]);
-        tensor::gemvRows(embedding_, groups[g], scratch_, out[g]);
+        embedding_.gemvRows(groups[g], scratch_, out[g]);
     }
 }
 

@@ -16,19 +16,24 @@
 
 #include <vector>
 
+#include "model/weights.hh"
 #include "tensor/matrix.hh"
 
 namespace specee::model {
 
-/** LM head tied to the embedding matrix (vocab x hidden). */
+/**
+ * LM head tied to the embedding store (vocab x hidden). The store's
+ * backend decides whether full/sliced logits run on dense fp32 rows
+ * or dequantize-on-the-fly quantized rows.
+ */
 class LmHead
 {
   public:
     /**
-     * @param embedding  tied embedding matrix (vocab x hidden)
+     * @param embedding  tied embedding store (vocab x hidden)
      * @param rms_final  final RMSNorm weight (hidden)
      */
-    LmHead(const tensor::Matrix &embedding, const tensor::Vec &rms_final);
+    LmHead(const WeightMat &embedding, const tensor::Vec &rms_final);
 
     int vocab() const { return static_cast<int>(embedding_.rows()); }
     int hidden() const { return static_cast<int>(embedding_.cols()); }
@@ -58,7 +63,7 @@ class LmHead
     /** Apply the final RMSNorm into scratch_. */
     void normalize(tensor::CSpan hidden_state) const;
 
-    const tensor::Matrix &embedding_;
+    const WeightMat &embedding_;
     const tensor::Vec &rmsFinal_;
     mutable tensor::Vec scratch_;
 };

@@ -19,19 +19,41 @@ unitize(tensor::Span v)
         tensor::scaleInplace(v, 1.0f / n);
 }
 
+/** Projection backend: legacy AWQ flag maps to Q4-projections-only. */
+tensor::WeightBackend
+projBackendFor(const TargetModelOptions &opts)
+{
+    if (opts.quantized) {
+        specee_assert(opts.weight_backend == tensor::WeightBackend::Fp32,
+                      "legacy `quantized` and `weight_backend` are "
+                      "mutually exclusive");
+        return tensor::WeightBackend::Q4;
+    }
+    return opts.weight_backend;
+}
+
+/** Head backend: the legacy AWQ mode keeps the tied head dense. */
+tensor::WeightBackend
+headBackendFor(const TargetModelOptions &opts)
+{
+    return opts.quantized ? tensor::WeightBackend::Fp32
+                          : opts.weight_backend;
+}
+
 } // namespace
 
 TargetModel::TargetModel(const ModelConfig &cfg,
                          const TargetModelOptions &opts)
     : cfg_(cfg),
       opts_(opts),
-      weights_(cfg, opts.quantized),
+      weights_(cfg, projBackendFor(opts), headBackendFor(opts)),
       lmHead_(weights_.embedding(), weights_.rmsFinal()),
       layerBlock_(cfg),
       noiseRng_(opts.noise_seed),
       hidden_(static_cast<size_t>(cfg.sim.hidden)),
       dirTarget_(static_cast<size_t>(cfg.sim.hidden)),
-      dirDistractor_(static_cast<size_t>(cfg.sim.hidden))
+      dirDistractor_(static_cast<size_t>(cfg.sim.hidden)),
+      erow_(static_cast<size_t>(cfg.sim.hidden))
 {
     if (opts.paged_kv) {
         const int blocks =
@@ -64,8 +86,7 @@ TargetModel::prefill(const std::vector<int> &tokens)
     for (int tok : tokens) {
         specee_assert(tok >= 0 && tok < cfg_.sim.vocab,
                       "prompt token %d out of range", tok);
-        tensor::CSpan e = weights_.embedding().row(static_cast<size_t>(tok));
-        hidden_.assign(e.begin(), e.end());
+        weights_.embedding().copyRow(static_cast<size_t>(tok), hidden_);
         for (int l = 0; l < cfg_.n_layers; ++l)
             layerBlock_.fillKv(weights_.layer(l), l, hidden_, pos_, *kv_);
         ++pos_;
@@ -87,25 +108,23 @@ TargetModel::beginToken(int input_token, const TokenScript &script)
     inToken_ = true;
 
     // Residual stream starts at the input embedding.
-    tensor::CSpan e =
-        weights_.embedding().row(static_cast<size_t>(input_token));
-    hidden_.assign(e.begin(), e.end());
+    weights_.embedding().copyRow(static_cast<size_t>(input_token),
+                                 hidden_);
 
     // Per-token noisy target direction: dir = unit(E[target] + nu*z).
-    tensor::CSpan et =
-        weights_.embedding().row(static_cast<size_t>(script.target));
+    weights_.embedding().copyRow(static_cast<size_t>(script.target),
+                                 erow_);
     const float nu = opts_.steer.target_noise;
     const float per_dim =
         nu / std::sqrt(static_cast<float>(cfg_.sim.hidden));
     for (size_t i = 0; i < dirTarget_.size(); ++i) {
-        dirTarget_[i] =
-            et[i] + static_cast<float>(noiseRng_.normal(0.0, per_dim));
+        dirTarget_[i] = erow_[i] +
+                        static_cast<float>(noiseRng_.normal(0.0, per_dim));
     }
     unitize(dirTarget_);
 
-    tensor::CSpan ed =
-        weights_.embedding().row(static_cast<size_t>(script.distractor));
-    dirDistractor_.assign(ed.begin(), ed.end());
+    weights_.embedding().copyRow(static_cast<size_t>(script.distractor),
+                                 dirDistractor_);
 
     const float j = opts_.steer.distractor_jitter;
     distractorScale_ =

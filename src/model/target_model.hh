@@ -70,7 +70,16 @@ struct SteerParams
 /** Options controlling the functional compute paths. */
 struct TargetModelOptions
 {
-    bool quantized = false;   ///< Q4 weights (AWQ / llama.cpp engines)
+    /**
+     * Legacy AWQ / llama.cpp mode: Q4 projections, dense tied head.
+     * Mutually exclusive with a non-fp32 `weight_backend`.
+     */
+    bool quantized = false;
+    /**
+     * Whole-model weight backend (projections AND tied embedding /
+     * LM head) — the EngineConfig::weight_backend knob.
+     */
+    tensor::WeightBackend weight_backend = tensor::WeightBackend::Fp32;
     bool paged_kv = false;    ///< use the paged KV cache (vllm engine)
     bool sparse_ffn = false;  ///< PowerInfer-style sparse FFN
     float ffn_active_frac = 0.3f;
@@ -173,6 +182,7 @@ class TargetModel
     tensor::Vec hidden_;
     tensor::Vec dirTarget_;
     tensor::Vec dirDistractor_;
+    tensor::Vec erow_; ///< embedding-row scratch (backend dequantize)
     float distractorScale_ = 1.0f; ///< per-token strength multiplier
 };
 

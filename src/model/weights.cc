@@ -8,87 +8,80 @@
 
 namespace specee::model {
 
-WeightMat::WeightMat(tensor::Matrix dense, bool quantize)
+WeightMat::WeightMat(tensor::Matrix dense, tensor::WeightBackend backend)
+    : store_(tensor::makeWeightStore(std::move(dense), backend))
 {
-    if (quantize) {
-        isQuant_ = true;
-        q4_ = tensor::Q4Matrix::quantize(dense);
-    } else {
-        dense_ = std::move(dense);
-    }
+}
+
+const tensor::WeightStore &
+WeightMat::store() const
+{
+    specee_assert(store_ != nullptr, "access to an unbuilt WeightMat");
+    return *store_;
 }
 
 void
 WeightMat::gemv(tensor::CSpan x, tensor::Span y) const
 {
-    if (isQuant_)
-        q4_.gemv(x, y);
-    else
-        tensor::gemv(dense_, x, y);
+    store().gemv(x, y);
 }
 
 void
 WeightMat::gemvRows(const std::vector<int> &rows, tensor::CSpan x,
                     tensor::Span y) const
 {
-    if (isQuant_)
-        q4_.gemvRows(rows, x, y);
-    else
-        tensor::gemvRows(dense_, rows, x, y);
+    store().gemvRows(rows, x, y);
+}
+
+void
+WeightMat::copyRow(size_t r, tensor::Span out) const
+{
+    store().copyRow(r, out);
 }
 
 tensor::Vec
 WeightMat::denseRow(size_t r) const
 {
     tensor::Vec out(cols());
-    if (isQuant_) {
-        for (size_t c = 0; c < cols(); ++c)
-            out[c] = q4_.at(r, c);
-    } else {
-        tensor::CSpan row = dense_.row(r);
-        out.assign(row.begin(), row.end());
-    }
+    store().copyRow(r, out);
     return out;
 }
 
 float
 WeightMat::rowDot(size_t r, tensor::CSpan x) const
 {
-    specee_assert(x.size() == cols(), "rowDot size mismatch");
-    if (isQuant_) {
-        float acc = 0.0f;
-        for (size_t c = 0; c < cols(); ++c)
-            acc += q4_.at(r, c) * x[c];
-        return acc;
-    }
-    return tensor::dot(dense_.row(r), x);
+    return store().rowDot(r, x);
 }
 
 void
 WeightMat::addScaledColumn(size_t c, float scale, tensor::Span out) const
 {
-    specee_assert(out.size() == rows(), "addScaledColumn size mismatch");
-    if (isQuant_) {
-        for (size_t r = 0; r < rows(); ++r)
-            out[r] += scale * q4_.at(r, c);
-        return;
-    }
-    const size_t stride = dense_.cols();
-    const float *base = dense_.data() + c;
-    for (size_t r = 0; r < rows(); ++r)
-        out[r] += scale * base[r * stride];
+    store().addScaledColumn(c, scale, out);
 }
 
 size_t
 WeightMat::rows() const
 {
-    return isQuant_ ? q4_.rows() : dense_.rows();
+    return store_ != nullptr ? store_->rows() : 0;
 }
 
 size_t
 WeightMat::cols() const
 {
-    return isQuant_ ? q4_.cols() : dense_.cols();
+    return store_ != nullptr ? store_->cols() : 0;
+}
+
+size_t
+WeightMat::byteSize() const
+{
+    return store_ != nullptr ? store_->byteSize() : 0;
+}
+
+tensor::WeightBackend
+WeightMat::backend() const
+{
+    return store_ != nullptr ? store_->backend()
+                             : tensor::WeightBackend::Fp32;
 }
 
 namespace {
@@ -104,8 +97,10 @@ randomMatrix(size_t rows, size_t cols, float sd, Rng &rng)
 
 } // namespace
 
-Weights::Weights(const ModelConfig &cfg, bool quantize)
-    : quantized_(quantize)
+Weights::Weights(const ModelConfig &cfg,
+                 tensor::WeightBackend proj_backend,
+                 tensor::WeightBackend head_backend)
+    : projBackend_(proj_backend), headBackend_(head_backend)
 {
     Rng rng(cfg.weight_seed);
     const size_t h = static_cast<size_t>(cfg.sim.hidden);
@@ -115,13 +110,14 @@ Weights::Weights(const ModelConfig &cfg, bool quantize)
     // Embedding rows normalized to unit L2 norm: the tied LM head then
     // produces logits whose scale is controlled purely by the hidden
     // norm, which the convergence steering relies on.
-    embedding_ = randomMatrix(v, h, 1.0f, rng);
+    tensor::Matrix emb = randomMatrix(v, h, 1.0f, rng);
     for (size_t r = 0; r < v; ++r) {
-        tensor::Span row = embedding_.row(r);
+        tensor::Span row = emb.row(r);
         float n = tensor::norm2(row);
         if (n > 0.0f)
             tensor::scaleInplace(row, 1.0f / n);
     }
+    embedding_ = WeightMat(std::move(emb), head_backend);
 
     // Projection scale keeps layer outputs O(1) per dim before the
     // per-layer renormalization in TargetModel.
@@ -129,16 +125,16 @@ Weights::Weights(const ModelConfig &cfg, bool quantize)
     layers_.reserve(static_cast<size_t>(cfg.n_layers));
     for (int l = 0; l < cfg.n_layers; ++l) {
         LayerWeights lw;
-        lw.wq = WeightMat(randomMatrix(h, h, ps, rng), quantize);
-        lw.wk = WeightMat(randomMatrix(h, h, ps, rng), quantize);
-        lw.wv = WeightMat(randomMatrix(h, h, ps, rng), quantize);
-        lw.wo = WeightMat(randomMatrix(h, h, ps, rng), quantize);
-        lw.w_gate = WeightMat(randomMatrix(f, h, ps, rng), quantize);
-        lw.w_up = WeightMat(randomMatrix(f, h, ps, rng), quantize);
+        lw.wq = WeightMat(randomMatrix(h, h, ps, rng), proj_backend);
+        lw.wk = WeightMat(randomMatrix(h, h, ps, rng), proj_backend);
+        lw.wv = WeightMat(randomMatrix(h, h, ps, rng), proj_backend);
+        lw.wo = WeightMat(randomMatrix(h, h, ps, rng), proj_backend);
+        lw.w_gate = WeightMat(randomMatrix(f, h, ps, rng), proj_backend);
+        lw.w_up = WeightMat(randomMatrix(f, h, ps, rng), proj_backend);
         lw.w_down = WeightMat(
             randomMatrix(h, f, 1.0f / std::sqrt(static_cast<float>(f)),
                          rng),
-            quantize);
+            proj_backend);
         lw.rms_attn.assign(h, 1.0f);
         lw.rms_ffn.assign(h, 1.0f);
         layers_.push_back(std::move(lw));

@@ -7,10 +7,7 @@
 
 namespace specee::serve {
 
-namespace {
-
-/** Weight-bound classes: read once per iteration, batch-amortized. */
-constexpr bool
+bool
 isSharedClass(hw::OpClass cls)
 {
     switch (cls) {
@@ -18,6 +15,13 @@ isSharedClass(hw::OpClass cls)
     case hw::OpClass::KvFill:
     case hw::OpClass::LmHeadFull:
     case hw::OpClass::Draft:
+    // The embedding table is a weight read too: the batch issues ONE
+    // gather kernel per iteration, so the launch-dominated Embed
+    // charge (the bytes are ~hidden*2 per request, noise next to the
+    // launch overhead) amortizes like the other weight-bound
+    // classes. Charging it per-request overcounted batched runs by
+    // one kernel launch per extra active request.
+    case hw::OpClass::Embed:
     case hw::OpClass::Sync:
     case hw::OpClass::Overhead:
         return true;
@@ -25,8 +29,6 @@ isSharedClass(hw::OpClass cls)
         return false;
     }
 }
-
-} // namespace
 
 StepProfile
 buildStepProfile(const engines::RunResult &result)

@@ -90,6 +90,15 @@ struct FleetStats
     hw::OpLog oplog;
 };
 
+/**
+ * True for operator classes whose traffic is read once per decode
+ * iteration and amortizes across the batch (weight-bound: decoder
+ * layers, KV fill, full LM head, draft model, embedding table) as
+ * opposed to per-request private traffic (KV reads, predictors,
+ * sliced heads).
+ */
+bool isSharedClass(hw::OpClass cls);
+
 /** Split a run's operator log into a per-step cost profile. */
 StepProfile buildStepProfile(const engines::RunResult &result);
 

@@ -43,8 +43,8 @@ Server::drain()
     auto workerFn = [this, &runs, &mu](engines::Engine &engine) {
         Request r;
         while (queue_.tryPop(r)) {
-            const auto w = pipe_.makeWorkload(r.dataset, r.gen,
-                                              opts_.engine.quantized);
+            const auto w = pipe_.makeWorkload(
+                r.dataset, r.gen, opts_.engine.q4Calibrated());
             auto result = engine.runOne(w, 0, r.seed);
             PendingRun run;
             run.profile = buildStepProfile(result);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd.hh"
 #include "util/logging.hh"
 
 namespace specee::tensor {
@@ -14,13 +15,8 @@ gemv(const Matrix &w, CSpan x, Span y)
                   "gemv shape mismatch: W %zux%zu, x %zu, y %zu",
                   w.rows(), w.cols(), x.size(), y.size());
     const size_t n = w.cols();
-    for (size_t r = 0; r < w.rows(); ++r) {
-        const float *row = w.data() + r * n;
-        float acc = 0.0f;
-        for (size_t c = 0; c < n; ++c)
-            acc += row[c] * x[c];
-        y[r] = acc;
-    }
+    for (size_t r = 0; r < w.rows(); ++r)
+        y[r] = simd::dotF32(w.data() + r * n, x.data(), n);
 }
 
 void
@@ -50,11 +46,8 @@ gemvRows(const Matrix &w, const std::vector<int> &rows, CSpan x, Span y)
         specee_assert(rows[i] >= 0 &&
                       static_cast<size_t>(rows[i]) < w.rows(),
                       "gemvRows row %d out of range", rows[i]);
-        const float *row = w.data() + static_cast<size_t>(rows[i]) * n;
-        float acc = 0.0f;
-        for (size_t c = 0; c < n; ++c)
-            acc += row[c] * x[c];
-        y[i] = acc;
+        y[i] = simd::dotF32(w.data() + static_cast<size_t>(rows[i]) * n,
+                            x.data(), n);
     }
 }
 
@@ -62,6 +55,10 @@ void
 gemm(const Matrix &a, const Matrix &b, Matrix &out)
 {
     specee_assert(a.cols() == b.rows(), "gemm shape mismatch");
+    // out.resize() would clobber an operand's storage mid-read if the
+    // caller aliased it; there is no temp-buffer path, so reject.
+    specee_assert(&out != &a && &out != &b,
+                  "gemm output must not alias an operand");
     out.resize(a.rows(), b.cols());
     for (size_t i = 0; i < a.rows(); ++i) {
         for (size_t k = 0; k < a.cols(); ++k) {
@@ -80,10 +77,7 @@ float
 dot(CSpan a, CSpan b)
 {
     specee_assert(a.size() == b.size(), "dot size mismatch");
-    float acc = 0.0f;
-    for (size_t i = 0; i < a.size(); ++i)
-        acc += a[i] * b[i];
-    return acc;
+    return simd::dotF32(a.data(), b.data(), a.size());
 }
 
 void
@@ -99,6 +93,14 @@ softmax(Span x, size_t n)
     float mx = x[0];
     for (size_t i = 1; i < n; ++i)
         mx = std::max(mx, x[i]);
+    // Degenerate input (every logit -inf, e.g. a fully-masked row):
+    // x[i] - mx would be NaN and the sum 0, so return uniform — the
+    // maximum-entropy distribution the limit converges to.
+    if (std::isinf(mx) && mx < 0.0f) {
+        std::fill(x.begin(), x.begin() + static_cast<long>(n),
+                  1.0f / static_cast<float>(n));
+        return;
+    }
     float sum = 0.0f;
     for (size_t i = 0; i < n; ++i) {
         x[i] = std::exp(x[i] - mx);
@@ -128,9 +130,14 @@ topk(CSpan x, size_t k)
     std::vector<std::pair<int, float>> idx(x.size());
     for (size_t i = 0; i < x.size(); ++i)
         idx[i] = {static_cast<int>(i), x[i]};
-    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
-                      [](const auto &a, const auto &b) {
-                          return a.second > b.second;
+    // Ties broken by index: std::partial_sort orders equal values
+    // unspecified, which made draft-token selection differ across
+    // stdlib implementations.
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k),
+                      idx.end(), [](const auto &a, const auto &b) {
+                          if (a.second != b.second)
+                              return a.second > b.second;
+                          return a.first < b.first;
                       });
     idx.resize(k);
     return idx;

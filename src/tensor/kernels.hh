@@ -1,10 +1,12 @@
 /**
  * @file
- * Scalar math kernels used by the functional LLM simulator.
+ * Math kernels used by the functional LLM simulator.
  *
- * These are correctness-first reference kernels (auto-vectorized by
- * the compiler at -O2); paper-figure latencies are produced by the
- * analytic hw::CostModel, not by timing these loops.
+ * Correctness-first kernels whose hot inner products (gemv/gemvRows/
+ * dot) route through the runtime-dispatched SIMD loops in
+ * tensor/simd.hh (AVX2 when the CPU has it, scalar otherwise);
+ * paper-figure latencies are produced by the analytic hw::CostModel,
+ * not by timing these loops.
  */
 
 #ifndef SPECEE_TENSOR_KERNELS_HH
@@ -32,13 +34,20 @@ void gemvT(const Matrix &w, CSpan x, Span y);
 void gemvRows(const Matrix &w, const std::vector<int> &rows, CSpan x,
               Span y);
 
-/** out = A B with A (m x k), B (k x n), out (m x n). */
+/**
+ * out = A B with A (m x k), B (k x n), out (m x n).
+ * @pre `out` must not alias `a` or `b` (asserted): out is resized and
+ * written in place, which would clobber an aliased operand.
+ */
 void gemm(const Matrix &a, const Matrix &b, Matrix &out);
 
 /** Dot product (sizes must match). */
 float dot(CSpan a, CSpan b);
 
-/** In-place numerically-stable softmax. */
+/**
+ * In-place numerically-stable softmax. A fully -inf input (fully
+ * masked row) yields the uniform distribution instead of NaN.
+ */
 void softmax(Span x);
 
 /** Softmax restricted to the first n entries of x. */
@@ -47,7 +56,11 @@ void softmax(Span x, size_t n);
 /** Index of the maximum element. @pre x non-empty */
 size_t argmax(CSpan x);
 
-/** Top-k (index, value) pairs in descending value order. */
+/**
+ * Top-k (index, value) pairs in descending value order. Equal values
+ * are ordered by ascending index, so the result is identical across
+ * stdlib implementations (draft-token selection depends on it).
+ */
 std::vector<std::pair<int, float>> topk(CSpan x, size_t k);
 
 /** RMSNorm: out = x / rms(x) * weight. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd.hh"
 #include "util/logging.hh"
 
 namespace specee::tensor {
@@ -77,24 +78,18 @@ Q4Matrix::dequantize() const
 float
 Q4Matrix::rowDot(size_t r, CSpan x) const
 {
+    specee_assert(r < rows_ && x.size() == cols_,
+                  "Q4 rowDot shape mismatch");
     float acc = 0.0f;
     for (size_t g = 0; g < groupsPerRow_; ++g) {
         const size_t c0 = g * kQ4GroupSize;
         const size_t c1 = std::min(c0 + kQ4GroupSize, cols_);
         const size_t gi = r * groupsPerRow_ + g;
-        const float scale = scale_[gi];
-        const float mn = minv_[gi];
         const uint8_t *src = packed_.data() + gi * (kQ4GroupSize / 2);
         float dot_q = 0.0f;
         float sum_x = 0.0f;
-        for (size_t c = c0; c < c1; ++c) {
-            const size_t off = c - c0;
-            uint8_t qi = (off % 2 == 0) ? (src[off / 2] & 0x0f)
-                                        : (src[off / 2] >> 4);
-            dot_q += static_cast<float>(qi) * x[c];
-            sum_x += x[c];
-        }
-        acc += scale * dot_q + mn * sum_x;
+        simd::q4GroupDot(src, x.data() + c0, c1 - c0, dot_q, sum_x);
+        acc += scale_[gi] * dot_q + minv_[gi] * sum_x;
     }
     return acc;
 }
@@ -161,17 +156,40 @@ Q8Matrix::dequantize() const
     return m;
 }
 
+float
+Q8Matrix::at(size_t r, size_t c) const
+{
+    specee_assert(r < rows_ && c < cols_, "Q8Matrix::at out of range");
+    return scale_[r] * static_cast<float>(q_[r * cols_ + c]);
+}
+
+float
+Q8Matrix::rowDot(size_t r, CSpan x) const
+{
+    specee_assert(r < rows_ && x.size() == cols_,
+                  "Q8 rowDot shape mismatch");
+    return scale_[r] * simd::dotQ8(q_.data() + r * cols_, x.data(), cols_);
+}
+
 void
 Q8Matrix::gemv(CSpan x, Span y) const
 {
     specee_assert(x.size() == cols_ && y.size() == rows_,
                   "Q8 gemv shape mismatch");
-    for (size_t r = 0; r < rows_; ++r) {
-        const int8_t *row = q_.data() + r * cols_;
-        float acc = 0.0f;
-        for (size_t c = 0; c < cols_; ++c)
-            acc += static_cast<float>(row[c]) * x[c];
-        y[r] = acc * scale_[r];
+    for (size_t r = 0; r < rows_; ++r)
+        y[r] = rowDot(r, x);
+}
+
+void
+Q8Matrix::gemvRows(const std::vector<int> &rows, CSpan x, Span y) const
+{
+    specee_assert(x.size() == cols_ && y.size() == rows.size(),
+                  "Q8 gemvRows shape mismatch");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        specee_assert(rows[i] >= 0 &&
+                      static_cast<size_t>(rows[i]) < rows_,
+                      "Q8 gemvRows row out of range");
+        y[i] = rowDot(static_cast<size_t>(rows[i]), x);
     }
 }
 

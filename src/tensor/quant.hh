@@ -49,6 +49,9 @@ class Q4Matrix
     /** Sliced GEMV over selected rows (speculative LM head on Q4). */
     void gemvRows(const std::vector<int> &rows, CSpan x, Span y) const;
 
+    /** Dot of (dequantized) row r with x. */
+    float rowDot(size_t r, CSpan x) const;
+
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
 
@@ -56,8 +59,6 @@ class Q4Matrix
     size_t byteSize() const;
 
   private:
-    float rowDot(size_t r, CSpan x) const;
-
     size_t rows_ = 0;
     size_t cols_ = 0;
     size_t groupsPerRow_ = 0;
@@ -76,7 +77,17 @@ class Q8Matrix
 
     static Q8Matrix quantize(const Matrix &m);
     Matrix dequantize() const;
+
+    /** Dequantized single element (for tests / sparse access). */
+    float at(size_t r, size_t c) const;
+
     void gemv(CSpan x, Span y) const;
+
+    /** Sliced GEMV over selected rows (speculative LM head on Q8). */
+    void gemvRows(const std::vector<int> &rows, CSpan x, Span y) const;
+
+    /** Dot of (dequantized) row r with x. */
+    float rowDot(size_t r, CSpan x) const;
 
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }

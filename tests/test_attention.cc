@@ -197,8 +197,27 @@ TEST(Weights, EmbeddingRowsAreUnitNorm)
     auto c = cfg();
     Weights w(c, false);
     for (int t = 0; t < c.sim.vocab; t += 37) {
-        EXPECT_NEAR(tensor::norm2(w.embedding().row(
+        EXPECT_NEAR(tensor::norm2(w.embedding().denseRow(
                         static_cast<size_t>(t))),
                     1.0f, 1e-4f);
     }
+}
+
+TEST(Weights, WholeModelBackendQuantizesHeadToo)
+{
+    auto c = cfg();
+    Weights fp(c, tensor::WeightBackend::Fp32,
+               tensor::WeightBackend::Fp32);
+    Weights q8(c, tensor::WeightBackend::Q8, tensor::WeightBackend::Q8);
+    EXPECT_EQ(q8.embedding().backend(), tensor::WeightBackend::Q8);
+    EXPECT_TRUE(q8.quantized());
+    // Quantized embedding rows stay close to the dense unit-norm rows.
+    auto dense_row = fp.embedding().denseRow(11);
+    auto q8_row = q8.embedding().denseRow(11);
+    for (size_t i = 0; i < dense_row.size(); ++i)
+        EXPECT_NEAR(q8_row[i], dense_row[i], 0.02f);
+    // The legacy AWQ mode keeps the head dense.
+    Weights awq(c, true);
+    EXPECT_EQ(awq.embedding().backend(), tensor::WeightBackend::Fp32);
+    EXPECT_EQ(awq.layer(0).wq.backend(), tensor::WeightBackend::Q4);
 }

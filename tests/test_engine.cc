@@ -118,6 +118,73 @@ TEST(Engine, QuantizedEngineRunsAndIsFasterPerToken)
     EXPECT_GT(q4.stats.tokens_per_s, fp16.stats.tokens_per_s);
 }
 
+TEST(Engine, Fp32BackendIsBitIdenticalToDefault)
+{
+    // The WeightStore abstraction must be a zero-cost veneer for the
+    // fp32 backend: selecting it explicitly changes nothing, neither
+    // functionally nor in the modeled costs.
+    auto base = runConfig(EngineConfig::huggingFace().withSpecEE());
+    auto fp32 = runConfig(EngineConfig::huggingFace()
+                              .withSpecEE()
+                              .withWeightBackend(
+                                  tensor::WeightBackend::Fp32));
+    ASSERT_EQ(base.emissions.size(), fp32.emissions.size());
+    for (size_t i = 0; i < base.emissions.size(); ++i) {
+        EXPECT_EQ(base.emissions[i].tokens, fp32.emissions[i].tokens);
+        EXPECT_EQ(base.emissions[i].exit_layers,
+                  fp32.emissions[i].exit_layers);
+    }
+    EXPECT_DOUBLE_EQ(base.stats.modeled_time_s,
+                     fp32.stats.modeled_time_s);
+    EXPECT_DOUBLE_EQ(base.stats.energy_per_token_j,
+                     fp32.stats.energy_per_token_j);
+    EXPECT_DOUBLE_EQ(base.stats.peak_mem_gb, fp32.stats.peak_mem_gb);
+}
+
+TEST(Engine, WeightBackendsCompressTimeEnergyAndMemory)
+{
+    auto fp32 = runConfig(EngineConfig::huggingFace());
+    auto q8 = runConfig(EngineConfig::huggingFace().withWeightBackend(
+        tensor::WeightBackend::Q8));
+    auto q4 = runConfig(EngineConfig::huggingFace().withWeightBackend(
+        tensor::WeightBackend::Q4));
+
+    // The dense engine still emits the scripted targets under q8
+    // (near-lossless functionally).
+    for (size_t i = 0; i < fp32.emissions.size(); ++i)
+        EXPECT_EQ(q8.emissions[i].tokens, fp32.emissions[i].tokens);
+
+    // Monotone speed/energy/memory ordering with compression.
+    EXPECT_GT(q8.stats.tokens_per_s, fp32.stats.tokens_per_s);
+    EXPECT_GT(q4.stats.tokens_per_s, q8.stats.tokens_per_s);
+    EXPECT_LT(q8.stats.energy_per_token_j,
+              fp32.stats.energy_per_token_j);
+    EXPECT_LT(q8.stats.peak_mem_gb, fp32.stats.peak_mem_gb);
+    EXPECT_LT(q4.stats.peak_mem_gb, q8.stats.peak_mem_gb);
+
+    // Weight traffic per decoder layer halves under q8.
+    const double b_fp32 =
+        fp32.stats.oplog.totals(hw::OpClass::DecoderLayer).bytes;
+    const double b_q8 =
+        q8.stats.oplog.totals(hw::OpClass::DecoderLayer).bytes;
+    EXPECT_NEAR(b_q8 / b_fp32, 0.5, 0.03);
+}
+
+TEST(Engine, WeightBackendCompoundsWithSpecEE)
+{
+    // The paper's lever (fewer layers) and quantization (fewer bytes
+    // per layer) multiply: q8+SpecEE beats both single-lever engines.
+    auto ee = runConfig(EngineConfig::huggingFace().withSpecEE());
+    auto q8 = runConfig(EngineConfig::huggingFace().withWeightBackend(
+        tensor::WeightBackend::Q8));
+    auto q8_ee = runConfig(EngineConfig::huggingFace()
+                               .withWeightBackend(
+                                   tensor::WeightBackend::Q8)
+                               .withSpecEE());
+    EXPECT_GT(q8_ee.stats.tokens_per_s, ee.stats.tokens_per_s);
+    EXPECT_GT(q8_ee.stats.tokens_per_s, q8.stats.tokens_per_s);
+}
+
 TEST(Engine, PagedAndContiguousKvAgreeFunctionally)
 {
     auto hf = runConfig(EngineConfig::huggingFace());

@@ -153,6 +153,36 @@ TEST(Q8, GemvCloseToDense)
         EXPECT_NEAR(yq[i], yd[i], 0.05f);
 }
 
+TEST(Q8, GemvRowsAndRowDotMatchGemv)
+{
+    auto m = randomMatrix(20, 72, 13);
+    auto q = Q8Matrix::quantize(m);
+    Vec x(72);
+    Rng rng(14);
+    for (auto &v : x)
+        v = static_cast<float>(rng.normal());
+    Vec full(20);
+    q.gemv(x, full);
+    std::vector<int> rows = {19, 0, 8, 3};
+    Vec sliced(rows.size());
+    q.gemvRows(rows, x, sliced);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_FLOAT_EQ(sliced[i], full[static_cast<size_t>(rows[i])]);
+        EXPECT_FLOAT_EQ(q.rowDot(static_cast<size_t>(rows[i]), x),
+                        full[static_cast<size_t>(rows[i])]);
+    }
+}
+
+TEST(Q8, AtMatchesDequantize)
+{
+    auto m = randomMatrix(6, 50, 15);
+    auto q = Q8Matrix::quantize(m);
+    auto d = q.dequantize();
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            EXPECT_FLOAT_EQ(q.at(r, c), d.at(r, c));
+}
+
 TEST(Q8, SmallerThanQ4IsFalse)
 {
     auto m = randomMatrix(16, 256, 11);

@@ -186,6 +186,48 @@ TEST(Server, BatchedServingBeatsSequential)
     EXPECT_LT(rb.fleet.energy_j, rs.fleet.energy_j);
 }
 
+TEST(BatchScheduler, EmbedIsBatchAmortized)
+{
+    // The embedding lookup is a weight-table read: one batched gather
+    // per iteration, amortized like the other weight-bound classes.
+    // Charging it per-request overcounted batched traffic.
+    EXPECT_TRUE(serve::isSharedClass(hw::OpClass::Embed));
+    EXPECT_TRUE(serve::isSharedClass(hw::OpClass::DecoderLayer));
+    EXPECT_TRUE(serve::isSharedClass(hw::OpClass::LmHeadFull));
+    EXPECT_TRUE(serve::isSharedClass(hw::OpClass::Draft));
+    // Per-request traffic stays private.
+    EXPECT_FALSE(serve::isSharedClass(hw::OpClass::KvRead));
+    EXPECT_FALSE(serve::isSharedClass(hw::OpClass::Predictor));
+    EXPECT_FALSE(serve::isSharedClass(hw::OpClass::LmHeadSliced));
+}
+
+TEST(Server, Q8BackendSpeedsUpBatchedServing)
+{
+    // The quantized-serving scenario: a q8 model halves the shared
+    // weight stream every decode iteration waits on, so batched
+    // fleet throughput must rise by well over the private-traffic
+    // dilution (the acceptance bar is 1.3x at max_batch >= 4).
+    const auto &pipe = testutil::tinyPipeline();
+    auto stream = makeStream(8, 0.0);
+
+    auto opts = serverOpts(2, 4);
+    opts.engine = engines::EngineConfig::huggingFace();
+    serve::Server fp32(pipe, opts);
+    fp32.submit(stream);
+    auto r_fp32 = fp32.drain();
+
+    opts.engine = engines::EngineConfig::huggingFace().withWeightBackend(
+        tensor::WeightBackend::Q8);
+    serve::Server q8(pipe, opts);
+    q8.submit(stream);
+    auto r_q8 = q8.drain();
+
+    EXPECT_EQ(r_q8.fleet.tokens, r_fp32.fleet.tokens);
+    EXPECT_GT(r_q8.fleet.tokens_per_s, 1.3 * r_fp32.fleet.tokens_per_s);
+    EXPECT_LT(r_q8.fleet.energy_per_token_j,
+              r_fp32.fleet.energy_per_token_j);
+}
+
 TEST(Engine, RunOneIsReentrant)
 {
     const auto &pipe = testutil::tinyPipeline();

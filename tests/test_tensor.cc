@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/kernels.hh"
 #include "util/rng.hh"
@@ -159,6 +160,67 @@ TEST(Kernels, TopkClampsK)
     Vec x = {1.0f, 2.0f};
     auto top = topk(x, 10);
     EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(Kernels, TopkBreaksTiesByIndex)
+{
+    // Regression: std::partial_sort orders equal keys in an
+    // unspecified order, so draft-token selection differed across
+    // stdlib implementations. Ties must resolve to ascending index.
+    Vec x = {2.0f, 5.0f, 5.0f, 1.0f, 5.0f, 2.0f};
+    auto top = topk(x, 5);
+    ASSERT_EQ(top.size(), 5u);
+    EXPECT_EQ(top[0].first, 1);
+    EXPECT_EQ(top[1].first, 2);
+    EXPECT_EQ(top[2].first, 4);
+    EXPECT_EQ(top[3].first, 0); // the 2.0 tie: index 0 before 5
+    EXPECT_EQ(top[4].first, 5);
+
+    // The cut at k must honor the same order: with k = 2 inside the
+    // 5.0-tie group, the lowest-index duplicates win.
+    auto top2 = topk(x, 2);
+    EXPECT_EQ(top2[0].first, 1);
+    EXPECT_EQ(top2[1].first, 2);
+
+    // All-equal input comes back as the identity permutation.
+    Vec same(8, 3.25f);
+    auto all = topk(same, 8);
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].first, static_cast<int>(i));
+}
+
+TEST(Kernels, SoftmaxAllNegInfIsUniform)
+{
+    // Regression: a fully-masked row (every logit -inf) underflowed
+    // the sum to 0 and produced NaN; the limit is uniform.
+    const float ninf = -std::numeric_limits<float>::infinity();
+    Vec x = {ninf, ninf, ninf, ninf};
+    softmax(x);
+    for (float v : x) {
+        EXPECT_FALSE(std::isnan(v));
+        EXPECT_NEAR(v, 0.25f, 1e-6f);
+    }
+    // Prefix variant: untouched tail, uniform head.
+    Vec y = {ninf, ninf, 7.0f};
+    softmax(y, 2);
+    EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+    EXPECT_NEAR(y[1], 0.5f, 1e-6f);
+    EXPECT_FLOAT_EQ(y[2], 7.0f);
+    // A finite max among -inf entries still works normally.
+    Vec z = {ninf, 1.0f};
+    softmax(z);
+    EXPECT_FLOAT_EQ(z[0], 0.0f);
+    EXPECT_FLOAT_EQ(z[1], 1.0f);
+}
+
+TEST(KernelsDeathTest, GemmRejectsAliasedOutput)
+{
+    // Regression: out.resize() clobbers an aliased operand's storage
+    // mid-read; the kernel now refuses aliasing outright.
+    auto a = randomMatrix(4, 4, 21);
+    auto b = randomMatrix(4, 4, 22);
+    EXPECT_DEATH(gemm(a, b, a), "must not alias");
+    EXPECT_DEATH(gemm(a, b, b), "must not alias");
 }
 
 TEST(Kernels, RmsnormUnitScale)
