@@ -1,12 +1,19 @@
 /**
  * @file
- * Serving-layer benchmark: offered-load sweep of the batched
- * multi-request server vs. sequential one-request-at-a-time serving
- * for the HuggingFace dense baseline, HF+SpecEE, and AdaInfer on one
- * A100 node. Extends Fig. 14's cloud scenario to real serving load:
- * continuous batching amortizes weight reads across the decode
- * batch, and SpecEE's early exits compound with it (shorter forwards
- * shrink the shared read the whole batch waits on).
+ * Serving-layer benchmark: offered-load sweep of the live
+ * continuous-batching server vs. sequential one-request-at-a-time
+ * serving for the HuggingFace dense baseline, HF+SpecEE, and
+ * AdaInfer on one A100 node, now with streaming latency (TTFT and
+ * inter-token latency) from the iteration-level scheduler. Extends
+ * Fig. 14's cloud scenario to real serving load: continuous batching
+ * amortizes weight reads across the decode batch, and SpecEE's early
+ * exits compound with it (shorter forwards shrink the shared read
+ * the whole batch waits on).
+ *
+ * A second sweep squeezes the fleet KV budget until the scheduler
+ * preempts (evict-KV, re-enqueue, recompute), showing how throughput
+ * and tail latency degrade under memory pressure — the regime
+ * long-generation workloads (SpecExit, arXiv:2509.24248) live in.
  *
  *   $ ./bench_serving [model]     (default llama2-7b)
  */
@@ -40,7 +47,8 @@ main(int argc, char **argv)
     metrics::Table t("Serving sweep: " + model + " @ " + spec.name +
                      " (10 requests, chat/sum/QA mix)");
     t.header({"engine", "load (rps)", "seq tok/s", "batch tok/s",
-              "speedup", "batch occ", "p50 lat (s)", "p99 lat (s)"});
+              "speedup", "batch occ", "p50 TTFT (s)", "ITL (ms)",
+              "p99 lat (s)"});
 
     double specee_batch_tps = 0.0, specee_seq_tps = 0.0;
     for (const auto &e : entries) {
@@ -76,11 +84,64 @@ main(int argc, char **argv)
                    metrics::Table::num(rb.fleet.tokens_per_s, 1),
                    mult(rb.fleet.tokens_per_s / rs.fleet.tokens_per_s),
                    metrics::Table::num(rb.fleet.mean_batch_occupancy, 1),
-                   metrics::Table::num(rb.fleet.p50_latency_s, 2),
+                   metrics::Table::num(rb.fleet.p50_ttft_s, 2),
+                   metrics::Table::num(rb.fleet.mean_itl_s * 1e3, 1),
                    metrics::Table::num(rb.fleet.p99_latency_s, 2)});
         }
     }
     t.print();
+
+    // --- KV-pressure sweep: pool sized to force preemption ---------
+    const auto &mcfg = pipe.modelConfig();
+    const int gen_len = 16;
+    const int per_seq_blocks =
+        mcfg.n_layers * ((workload::kSimPromptLen + gen_len +
+                          model::kKvBlockSize - 1) /
+                         model::kKvBlockSize);
+    const int budgets[] = {0, 4 * per_seq_blocks,
+                           5 * per_seq_blocks / 2};
+
+    metrics::Table kt("KV-pressure sweep: HF+SpecEE, max_batch 8, 12 "
+                      "requests (budget in paged-KV blocks)");
+    kt.header({"KV budget", "tok/s", "preempt", "peak blocks",
+               "p50 TTFT (s)", "p99 lat (s)", "fleet mem (GiB)"});
+
+    double unbounded_ttft = 0.0, pressed_ttft = 0.0;
+    for (int budget : budgets) {
+        serve::StreamOptions so;
+        so.n_requests = 12;
+        so.gen_len = gen_len;
+        so.rate_rps = 0.0; // closed-loop burst: worst KV pressure
+        so.seed = 0x6e0;
+        serve::ServerOptions sopts;
+        sopts.engine = EngineConfig::huggingFace().withSpecEE();
+        sopts.spec = spec;
+        sopts.workers = 2;
+        sopts.sched.max_batch = 8;
+        sopts.sched.kv_budget_blocks = budget;
+        serve::Server server(pipe, sopts);
+        server.submit(serve::synthesizeStream(so));
+        auto rep = server.drain();
+
+        if (budget == 0)
+            unbounded_ttft = rep.fleet.p50_ttft_s;
+        else
+            pressed_ttft = rep.fleet.p50_ttft_s;
+        kt.row({budget == 0 ? std::string("unbounded")
+                            : std::to_string(budget),
+                metrics::Table::num(rep.fleet.tokens_per_s, 1),
+                std::to_string(rep.fleet.preemptions),
+                std::to_string(rep.fleet.peak_kv_blocks),
+                metrics::Table::num(rep.fleet.p50_ttft_s, 2),
+                metrics::Table::num(rep.fleet.p99_latency_s, 2),
+                metrics::Table::num(rep.fleet.peak_fleet_mem_gb, 1)});
+    }
+    kt.print();
+    std::printf("\nPreemption trades recompute time for a bounded KV "
+                "pool; queued requests see\nlater first tokens as the "
+                "budget tightens (p50 TTFT %s -> %s s).\n",
+                metrics::Table::num(unbounded_ttft, 2).c_str(),
+                metrics::Table::num(pressed_ttft, 2).c_str());
 
     std::printf("\nbatched SpecEE serving vs sequential: %s aggregate "
                 "tokens/s (%s)\n",

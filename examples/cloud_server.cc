@@ -1,8 +1,10 @@
 /**
  * @file
  * Minimal serving-API walkthrough: train one pipeline, stand up a
- * multi-worker server with continuous batching, submit a Poisson
- * request stream, and read the fleet metrics.
+ * multi-worker server with live iteration-level continuous batching,
+ * submit a Poisson request stream with per-request deadlines, stream
+ * tokens as they are emitted, and read the fleet metrics (including
+ * TTFT, inter-token latency and KV-pressure preemptions).
  *
  *   $ ./cloud_server [model]     (default llama2-7b)
  */
@@ -24,35 +26,52 @@ main(int argc, char **argv)
     engines::Pipeline pipe({.model = model});
 
     // A serving node: 2 workers, SpecEE on the HF stack, decode
-    // batches of up to 8 requests with continuous batching.
+    // batches of up to 8 requests with live continuous batching and
+    // a fleet KV budget the scheduler preempts against.
     serve::ServerOptions sopts;
     sopts.engine = engines::EngineConfig::huggingFace().withSpecEE();
     sopts.spec = hw::HardwareSpec::a100();
     sopts.workers = 2;
     sopts.sched.max_batch = 8;
+    sopts.sched.kv_budget_blocks =
+        6 * pipe.modelConfig().n_layers *
+        ((workload::kSimPromptLen + 24) / model::kKvBlockSize + 1);
+
+    // Streaming: tokens arrive per scheduler iteration, tagged with
+    // the fleet clock (this is where a real server would flush SSE).
+    long streamed = 0;
+    double first_emit_s = -1.0;
+    sopts.on_token = [&](const serve::TokenEvent &ev) {
+        ++streamed;
+        if (first_emit_s < 0.0)
+            first_emit_s = ev.emit_s;
+    };
     serve::Server server(pipe, sopts);
 
     // 12 requests, chat/summarization/QA mix, Poisson arrivals at
-    // 8 requests/s.
+    // 8 requests/s, each cancelled if not done within 30 s.
     serve::StreamOptions so;
     so.n_requests = 12;
     so.gen_len = 24;
     so.rate_rps = 8.0;
+    so.deadline_s = 30.0;
     server.submit(serve::synthesizeStream(so));
 
     auto report = server.drain();
 
     metrics::Table t("Per-request timeline (" + sopts.engine.name +
                      " @ " + sopts.spec.name + ")");
-    t.header({"id", "dataset", "arrival", "admit", "finish", "latency",
-              "tokens"});
+    t.header({"id", "dataset", "arrival", "admit", "TTFT", "finish",
+              "latency", "tokens", "preempt"});
     for (const auto &o : report.outcomes) {
         t.row({std::to_string(o.request.id), o.request.dataset,
                metrics::Table::num(o.request.arrival_s, 2),
                metrics::Table::num(o.admit_s, 2),
+               metrics::Table::num(o.ttft_s, 2),
                metrics::Table::num(o.finish_s, 2),
                metrics::Table::num(o.latency_s, 2),
-               std::to_string(o.result.stats.tokens)});
+               std::to_string(o.result.stats.tokens),
+               std::to_string(o.preemptions)});
     }
     t.print();
 
@@ -60,11 +79,17 @@ main(int argc, char **argv)
     std::printf("\nfleet: %ld requests, %ld tokens in %.2f s -> %.1f "
                 "tok/s aggregate\n",
                 f.requests, f.tokens, f.makespan_s, f.tokens_per_s);
-    std::printf("latency p50 %.2f s, p99 %.2f s; mean queue wait %.2f "
-                "s; batch occupancy %.1f\n",
-                f.p50_latency_s, f.p99_latency_s, f.mean_queue_s,
-                f.mean_batch_occupancy);
+    std::printf("latency p50 %.2f s, p99 %.2f s; TTFT p50 %.2f s, "
+                "p99 %.2f s; ITL %.1f ms\n",
+                f.p50_latency_s, f.p99_latency_s, f.p50_ttft_s,
+                f.p99_ttft_s, f.mean_itl_s * 1e3);
+    std::printf("batch occupancy %.1f; %ld preemptions, %ld dropped, "
+                "peak KV %ld blocks (%.1f GiB fleet)\n",
+                f.mean_batch_occupancy, f.preemptions, f.dropped,
+                f.peak_kv_blocks, f.peak_fleet_mem_gb);
     std::printf("energy %.1f J (%.2f J/token), avg power %.0f W\n",
                 f.energy_j, f.energy_per_token_j, f.avg_power_w);
+    std::printf("streamed %ld tokens live; first token at t=%.2f s\n",
+                streamed, first_emit_s);
     return 0;
 }

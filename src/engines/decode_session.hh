@@ -1,0 +1,164 @@
+/**
+ * @file
+ * DecodeSession — one request's decode as a stepwise state machine.
+ *
+ * The session owns everything one in-flight request mutates: its
+ * per-request KV store (optionally a view onto a shared fleet pool),
+ * its rng stream, predictor / speculation state (feature extractor,
+ * online scheduler, emission buffer) and per-step cost records. The
+ * lifecycle is prefill() -> step()* -> finished(), where one step()
+ * is exactly one scheduler iteration unit: one token autoregressively
+ * or one speculative pass (>= 1 committed tokens).
+ *
+ * An iteration-level scheduler drives many sessions live: it calls
+ * step() on every active session per iteration, prices the iteration
+ * from lastStep()'s shared/private roofline split, and can destroy a
+ * session mid-decode to preempt it (the KV blocks free on
+ * destruction; re-decoding under the same seed reproduces the exact
+ * emission, which is how recompute-style preemption stays lossless).
+ *
+ * Engine::run / runOne are thin loops over borrowed-mode sessions, so
+ * single-request results are bit-identical to pre-session engines.
+ */
+
+#ifndef SPECEE_ENGINES_DECODE_SESSION_HH
+#define SPECEE_ENGINES_DECODE_SESSION_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "core/features.hh"
+#include "core/online_scheduler.hh"
+#include "engines/engine.hh"
+#include "model/draft_model.hh"
+#include "model/paged_kv.hh"
+#include "model/target_model.hh"
+#include "workload/datasets.hh"
+#include "workload/evaluator.hh"
+
+namespace specee::engines {
+
+/**
+ * Cost record of one session step, split along the roofline: shared
+ * traffic (weight-bound, read once per decode iteration and
+ * amortized across the batch) vs private traffic (per-request KV
+ * reads, predictors, sliced heads).
+ */
+struct StepCost
+{
+    double shared_s = 0.0;
+    double private_s = 0.0;
+    double shared_j = 0.0;
+    double private_j = 0.0;
+    int tokens = 0; ///< tokens committed by this step
+};
+
+/** Stepwise decode of one workload instance on one Engine. */
+class DecodeSession
+{
+  public:
+    /**
+     * Borrowed mode (Engine::run internals): draft model, result and
+     * rng are shared run-level objects the caller owns; the session
+     * decodes instance `instance_idx` of `w` into them.
+     */
+    DecodeSession(Engine &eng, const workload::Workload &w,
+                  size_t instance_idx, const model::DraftModel &dlm,
+                  RunResult &out, Rng &rng);
+
+    /**
+     * Owning mode (serving layer): a self-contained per-request
+     * session over a single-instance workload. Owns its draft model,
+     * rng stream (seeded exactly like Engine::runOne(w, 0, seed))
+     * and RunResult. `kv` optionally supplies the KV store — a
+     * SequenceKv view onto a shared fleet pool under continuous
+     * batching; null for a private store of the engine's kind.
+     */
+    DecodeSession(Engine &eng, workload::Workload w, uint64_t seed,
+                  std::unique_ptr<model::KvStore> kv = nullptr);
+
+    DecodeSession(const DecodeSession &) = delete;
+    DecodeSession &operator=(const DecodeSession &) = delete;
+
+    /** Ingest the prompt (fresh sequence state). Call exactly once. */
+    void prefill();
+
+    /**
+     * Advance one iteration unit (one token, or one speculative
+     * pass). @return true while more scripted steps remain.
+     * @pre prefill() was called and !finished()
+     */
+    bool step();
+
+    /** True once every scripted step has been decoded. */
+    bool finished() const;
+
+    /** Cost record of the most recent step(). */
+    const StepCost &lastStep() const { return last_; }
+
+    /** Tokens emitted so far (live view, also valid mid-decode). */
+    const workload::Emission &emission() const { return em_; }
+
+    /** Spec-decode tokens committed by passes (avg_commit_per_pass). */
+    long committed() const { return committed_; }
+
+    /**
+     * Physical KV blocks this session holds — real allocator blocks
+     * when the KV store is paged, the block-equivalent of the
+     * contiguous store's length otherwise, so fleet budgets apply
+     * uniformly.
+     */
+    int kvBlocks() const;
+
+    /** Modeled cached positions at TRUE dims (prompt + emitted). */
+    long modeledPositions() const;
+
+    /** Fold the emission into the result. Call exactly once at end. */
+    void finishEmission();
+
+    /**
+     * Owning mode only: finish the emission, finalize the run stats
+     * (identically to Engine::run) and move the result out. The
+     * returned RunResult is bit-identical to Engine::runOne(w, 0,
+     * seed) for the same workload and seed.
+     */
+    RunResult finalize();
+
+    const workload::Workload &workload() const { return *w_; }
+
+  private:
+    bool stepAutoregressive();
+    bool stepSpeculative();
+
+    /** Snapshot per-class (time, energy) of the result oplog. */
+    std::array<std::pair<double, double>, hw::kNumOpClasses>
+    snapshotOplog() const;
+
+    Engine &eng_;
+    std::optional<workload::Workload> ownedW_;
+    const workload::Workload *w_;
+    size_t instance_;
+    std::optional<model::DraftModel> ownedDlm_;
+    const model::DraftModel *dlm_;
+    std::optional<RunResult> ownedOut_;
+    RunResult *out_;
+    std::optional<Rng> ownedRng_;
+    Rng *rng_;
+
+    model::SequenceState seq_;
+    model::SequenceKv *kvView_ = nullptr; ///< non-owning (seq_.kv)
+    core::FeatureExtractor fx_;
+    core::OnlineScheduler online_;
+    workload::Emission em_;
+    size_t stepIdx_ = 0; ///< scripted steps consumed
+    int input_ = 0;      ///< next input token (autoregressive path)
+    long committed_ = 0;
+    bool prefilled_ = false;
+    bool emissionDone_ = false;
+    StepCost last_;
+};
+
+} // namespace specee::engines
+
+#endif // SPECEE_ENGINES_DECODE_SESSION_HH

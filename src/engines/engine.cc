@@ -6,6 +6,7 @@
 #include "core/hyper_token.hh"
 #include "core/token_tree.hh"
 #include "core/verifier.hh"
+#include "engines/decode_session.hh"
 #include "hw/memory_tracker.hh"
 #include "oracle/profiles.hh"
 #include "tensor/kernels.hh"
@@ -454,195 +455,8 @@ Engine::decodeToken(int input_token, const model::TokenScript &script,
 // ---------------------------------------------------------------------------
 
 void
-Engine::runAutoregressive(const workload::Workload &w,
-                          const workload::Instance &inst,
-                          size_t instance_idx,
-                          const model::DraftModel &dlm, RunResult &out,
-                          Rng &rng)
+Engine::checkRunnable() const
 {
-    core::FeatureExtractor fx(mcfg_.num_spec_tokens);
-    // fork() keeps the decode rng stream untouched (draft draws stay
-    // comparable across engine configs); the instance index makes the
-    // noise substreams distinct even for engines whose decode never
-    // advances the parent rng.
-    tm_->reset(rng.fork(0x7e5e + instance_idx).next());
-    std::vector<int> prefix(inst.prompt.begin(), inst.prompt.end() - 1);
-    tm_->prefill(prefix);
-    core::OnlineScheduler online(nExitLayers(), ecfg_.online_window,
-                                 ecfg_.online_radius);
-
-    workload::Emission em;
-    int input = inst.prompt.back();
-    for (size_t t = 0; t < inst.steps.size(); ++t) {
-        const int logical_pos = w.true_prompt_len + static_cast<int>(t);
-        auto o = decodeToken(input, inst.steps[t], dlm, fx,
-                             ecfg_.online_sched ? &online : nullptr,
-                             &out.stats.oplog, logical_pos, rng,
-                             out.stats);
-        em.tokens.push_back(o.token);
-        em.exit_layers.push_back(o.layers_used);
-        out.stats.avg_forward_layers += o.layers_used;
-        ++out.stats.tokens;
-        input = o.token;
-    }
-    out.emissions.push_back(std::move(em));
-}
-
-long
-Engine::runSpeculative(const workload::Workload &w,
-                       const workload::Instance &inst,
-                       size_t instance_idx, const model::DraftModel &dlm,
-                       RunResult &out, Rng &rng)
-{
-    core::FeatureExtractor fx(mcfg_.num_spec_tokens);
-    const bool ee = ecfg_.early_exit && preds_ != nullptr;
-    long total_committed = 0;
-
-    {
-        tm_->reset(rng.fork(0x7e5e + instance_idx).next());
-        std::vector<int> prefix(inst.prompt.begin(),
-                                inst.prompt.end() - 1);
-        tm_->prefill(prefix);
-        core::OnlineScheduler online(nExitLayers(), ecfg_.online_window,
-                                     ecfg_.online_radius);
-        core::OnlineScheduler *onl =
-            ecfg_.online_sched && ee ? &online : nullptr;
-
-        workload::Emission em;
-        const size_t n_steps = inst.steps.size();
-
-        // First token decodes normally (as in EAGLE).
-        {
-            auto o = decodeToken(inst.prompt.back(), inst.steps[0], dlm,
-                                 fx, onl, &out.stats.oplog,
-                                 w.true_prompt_len, rng, out.stats);
-            em.tokens.push_back(o.token);
-            em.exit_layers.push_back(o.layers_used);
-            out.stats.avg_forward_layers += o.layers_used;
-            ++out.stats.tokens;
-        }
-
-        size_t step = 1;
-        while (step < n_steps) {
-            // Draft a token tree from the last committed token.
-            const int root_tok = em.tokens.back();
-            std::vector<model::TokenScript> chain;
-            for (size_t d = 0;
-                 d < ecfg_.tree.widths.size() && step + d < n_steps; ++d)
-                chain.push_back(inst.steps[step + d]);
-            std::vector<int> widths(
-                ecfg_.tree.widths.begin(),
-                ecfg_.tree.widths.begin() +
-                    static_cast<long>(chain.size()));
-            auto tree = core::TokenTree::draft(dlm, root_tok, chain,
-                                               widths, rng);
-            chargeDraft(out.stats.oplog,
-                        static_cast<int>(widths.size()));
-
-            out.stats.map_complexity_independent +=
-                core::MergedMapping::independentMappingComplexity(tree);
-            out.stats.map_complexity_merged +=
-                core::MergedMapping::mergedMappingComplexity(tree);
-            const long n_paths =
-                core::MergedMapping::mergedMappingComplexity(tree);
-
-            // Walk the tree: process the root's continuation, then
-            // follow accepted children.
-            int pass_layers = 0;
-            int node_id = 0; // tree root
-            int input = root_tok;
-            int committed_this_pass = 0;
-            size_t d = 0;
-            int max_sched_layers = 0;
-            int fill_nodes = 0;
-            int min_exit_layers = mcfg_.n_layers;
-            while (step < n_steps &&
-                   d <= static_cast<size_t>(tree.depth())) {
-                const int logical_pos =
-                    w.true_prompt_len + static_cast<int>(step);
-                auto o = decodeToken(input, inst.steps[step], dlm, fx,
-                                     onl, nullptr, logical_pos, rng,
-                                     out.stats);
-                if (o.exited) {
-                    ++fill_nodes;
-                    min_exit_layers =
-                        std::min(min_exit_layers, o.layers_used);
-                }
-                pass_layers = std::max(pass_layers, o.layers_used);
-                max_sched_layers =
-                    std::max(max_sched_layers, o.predictors_used);
-                em.tokens.push_back(o.token);
-                em.exit_layers.push_back(o.layers_used);
-                out.stats.avg_forward_layers += o.layers_used;
-                ++out.stats.tokens;
-                ++step;
-                ++committed_this_pass;
-
-                // Does a drafted child continue the chain?
-                int next_node = -1;
-                for (int kid : tree.children(node_id)) {
-                    if (tree.node(kid).token == o.token) {
-                        next_node = kid;
-                        break;
-                    }
-                }
-                if (next_node < 0)
-                    break;
-                node_id = next_node;
-                input = o.token;
-                ++d;
-            }
-
-            // Pass-level cost: one batched TLM pass over the whole
-            // tree, cut at the Cannikin exit depth; grouped predictor
-            // work scales with the number of paths.
-            const int batch = 1 + tree.draftCount();
-            chargeLayers(out.stats.oplog, pass_layers, batch,
-                         w.true_prompt_len + static_cast<int>(step));
-            // Batched KV fill: the k/v projection weights of each
-            // skipped layer are read once for all exited nodes.
-            if (fill_nodes > 0) {
-                chargeKvFill(out.stats.oplog,
-                             mcfg_.n_layers - min_exit_layers,
-                             fill_nodes);
-            }
-            // One batched full-head application per pass: the token
-            // verification of vanilla EAGLE, or — under T3 — the exit
-            // verification at the Cannikin exit layer (the head is
-            // read once either way).
-            chargeLmHeadFull(out.stats.oplog, batch);
-            if (ee && max_sched_layers > 0) {
-                // T3: per activated layer the engine issues ONE
-                // grouped sliced GEMV and ONE batched predictor MLP
-                // covering every hyper-token lane (Fig. 13), instead
-                // of one launch pipeline per tree node.
-                chargeLmHeadSliced(
-                    out.stats.oplog,
-                    max_sched_layers * static_cast<int>(n_paths),
-                    mcfg_.num_spec_tokens, max_sched_layers);
-                chargePredictor(
-                    out.stats.oplog,
-                    max_sched_layers * static_cast<int>(n_paths),
-                    max_sched_layers);
-            }
-            chargeOverhead(out.stats.oplog);
-            if (ecfg_.spec_pass_overhead_s > 0.0) {
-                cost_->accountFixed(out.stats.oplog,
-                                    hw::OpClass::Overhead,
-                                    ecfg_.spec_pass_overhead_s);
-            }
-            ++out.stats.passes;
-            total_committed += committed_this_pass;
-        }
-        out.emissions.push_back(std::move(em));
-    }
-    return total_committed;
-}
-
-RunResult
-Engine::run(const workload::Workload &w, uint64_t seed)
-{
-    specee_assert(!w.instances.empty(), "empty workload");
     if (ecfg_.early_exit)
         specee_assert(preds_ != nullptr,
                       "early exit requires trained predictors");
@@ -652,30 +466,12 @@ Engine::run(const workload::Workload &w, uint64_t seed)
     if (ecfg_.raee)
         specee_assert(raee_ != nullptr && !raee_->empty(),
                       "RAEE engine requires a retrieval index");
+}
 
-    const auto &profile = oracle::profileByName(w.dataset);
-    const double hit = ecfg_.draft_hit_override >= 0.0
-                           ? ecfg_.draft_hit_override
-                           : profile.draft_hit_rate;
-    model::DraftModel dlm(mcfg_, corpus_, hit);
-
-    RunResult out;
-    out.stats.engine = ecfg_.name;
-    out.stats.dataset = w.dataset;
-    out.stats.model = mcfg_.name;
-    out.stats.platform = hwspec_.name;
-    out.stats.exit_histogram.assign(static_cast<size_t>(nExitLayers()),
-                                    0);
-
-    Rng rng(seed ^ mcfg_.weight_seed);
-    long total_committed = 0;
-    for (size_t i = 0; i < w.instances.size(); ++i) {
-        const auto &inst = w.instances[i];
-        if (ecfg_.spec_decode)
-            total_committed += runSpeculative(w, inst, i, dlm, out, rng);
-        else
-            runAutoregressive(w, inst, i, dlm, out, rng);
-    }
+void
+Engine::finalizeRun(RunResult &out, const workload::Workload &w,
+                    long total_committed) const
+{
     if (out.stats.passes > 0) {
         out.stats.avg_commit_per_pass =
             static_cast<double>(total_committed) /
@@ -698,6 +494,18 @@ Engine::run(const workload::Workload &w, uint64_t seed)
         st.tokens > 0 ? grand.energy_j / static_cast<double>(st.tokens)
                       : 0.0;
 
+    const hw::MemoryTracker mem = makeMemoryTracker();
+    const int max_tokens =
+        w.true_prompt_len +
+        (w.instances.empty()
+             ? 0
+             : static_cast<int>(w.instances.front().steps.size()));
+    st.peak_mem_gb = hw::MemoryTracker::toGiB(mem.totalBytes(max_tokens));
+}
+
+hw::MemoryTracker
+Engine::makeMemoryTracker() const
+{
     const bool with_dlm = ecfg_.early_exit || ecfg_.spec_decode;
     const int n_preds =
         ecfg_.early_exit && preds_ != nullptr ? preds_->nExitLayers() : 0;
@@ -705,19 +513,53 @@ Engine::run(const workload::Workload &w, uint64_t seed)
         preds_ != nullptr ? preds_->paramsPerPredictor() : 0;
     // Legacy AWQ: Q4 target weights, fp16 DLM (matches chargeDraft);
     // whole-model backend: the DLM ships in the same backend.
-    hw::MemoryTracker mem =
-        ecfg_.quantized
-            ? hw::MemoryTracker(mcfg_, /*quantized=*/true, with_dlm,
-                                n_preds, pred_params)
-            : hw::MemoryTracker(mcfg_, ecfg_.weight_backend, with_dlm,
-                                n_preds, pred_params);
-    const int max_tokens =
-        w.true_prompt_len +
-        (w.instances.empty()
-             ? 0
-             : static_cast<int>(w.instances.front().steps.size()));
-    st.peak_mem_gb = hw::MemoryTracker::toGiB(mem.totalBytes(max_tokens));
+    return ecfg_.quantized
+               ? hw::MemoryTracker(mcfg_, /*quantized=*/true, with_dlm,
+                                   n_preds, pred_params)
+               : hw::MemoryTracker(mcfg_, ecfg_.weight_backend, with_dlm,
+                                   n_preds, pred_params);
+}
+
+RunResult
+Engine::run(const workload::Workload &w, uint64_t seed)
+{
+    specee_assert(!w.instances.empty(), "empty workload");
+    checkRunnable();
+
+    const auto &profile = oracle::profileByName(w.dataset);
+    const double hit = ecfg_.draft_hit_override >= 0.0
+                           ? ecfg_.draft_hit_override
+                           : profile.draft_hit_rate;
+    model::DraftModel dlm(mcfg_, corpus_, hit);
+
+    RunResult out;
+    out.stats.engine = ecfg_.name;
+    out.stats.dataset = w.dataset;
+    out.stats.model = mcfg_.name;
+    out.stats.platform = hwspec_.name;
+    out.stats.exit_histogram.assign(static_cast<size_t>(nExitLayers()),
+                                    0);
+
+    Rng rng(seed ^ mcfg_.weight_seed);
+    long total_committed = 0;
+    for (size_t i = 0; i < w.instances.size(); ++i) {
+        DecodeSession session(*this, w, i, dlm, out, rng);
+        session.prefill();
+        while (session.step()) {
+        }
+        total_committed += session.committed();
+        session.finishEmission();
+    }
+    finalizeRun(out, w, total_committed);
     return out;
+}
+
+std::unique_ptr<DecodeSession>
+Engine::makeSession(const workload::Workload &w, uint64_t seed,
+                    std::unique_ptr<model::KvStore> kv)
+{
+    return std::make_unique<DecodeSession>(*this, w, seed,
+                                           std::move(kv));
 }
 
 RunResult

@@ -26,6 +26,7 @@
 #include "engines/engine_config.hh"
 #include "hw/cost_model.hh"
 #include "hw/hardware_model.hh"
+#include "hw/memory_tracker.hh"
 #include "model/draft_model.hh"
 #include "model/target_model.hh"
 #include "oracle/corpus.hh"
@@ -33,6 +34,8 @@
 #include "workload/evaluator.hh"
 
 namespace specee::engines {
+
+class DecodeSession;
 
 /** Aggregate statistics of one engine run. */
 struct RunStats
@@ -106,6 +109,22 @@ class Engine
     RunResult runOne(const workload::Workload &w, size_t instance,
                      uint64_t seed = 1);
 
+    /**
+     * Stepwise per-request entry point for the live serving layer: a
+     * self-contained DecodeSession over a single-instance workload,
+     * advanced one iteration at a time by an external scheduler.
+     * `kv` optionally routes the session's KV through a shared fleet
+     * pool (a model::SequenceKv view); the finalized session result
+     * is bit-identical to runOne(w, 0, seed).
+     *
+     * Sessions of one engine share its model weights; callers must
+     * step them from one thread at a time (sessions of different
+     * engines are independent).
+     */
+    std::unique_ptr<DecodeSession>
+    makeSession(const workload::Workload &w, uint64_t seed,
+                std::unique_ptr<model::KvStore> kv = nullptr);
+
     const EngineConfig &config() const { return ecfg_; }
     const model::ModelConfig &modelConfig() const { return mcfg_; }
     const hw::HardwareSpec &platform() const { return hwspec_; }
@@ -113,10 +132,20 @@ class Engine
     /** Fraction of weight bytes resident on the device (PC offload). */
     double deviceWeightFrac() const { return devWeightFrac_; }
 
+    /**
+     * Memory model of this engine's deployment (weight backend,
+     * draft model, deployed predictors) — the single source of the
+     * legacy-AWQ vs whole-model-backend selection rule, shared by
+     * per-request peak_mem_gb and the serving layer's fleet view.
+     */
+    hw::MemoryTracker makeMemoryTracker() const;
+
     /** Exitable layers (n_layers - 1). */
     int nExitLayers() const { return mcfg_.n_layers - 1; }
 
   private:
+    friend class DecodeSession;
+
     struct TokenOutcome
     {
         int token = -1;      ///< emitted token
@@ -144,17 +173,16 @@ class Engine
                              hw::OpLog *log, int logical_pos, Rng &rng,
                              RunStats &stats);
 
-    /** Decode one instance autoregressively (fresh model state). */
-    void runAutoregressive(const workload::Workload &w,
-                           const workload::Instance &inst,
-                           size_t instance_idx,
-                           const model::DraftModel &dlm, RunResult &out,
-                           Rng &rng);
-    /** Decode one instance speculatively; returns committed tokens. */
-    long runSpeculative(const workload::Workload &w,
-                        const workload::Instance &inst,
-                        size_t instance_idx, const model::DraftModel &dlm,
-                        RunResult &out, Rng &rng);
+    /** Assert the configured policies have their trained artifacts. */
+    void checkRunnable() const;
+
+    /**
+     * Reduce accumulated per-token stats to run-level aggregates
+     * (averages, modeled time/energy, peak memory). Shared by run()
+     * and owning DecodeSessions so both finalize identically.
+     */
+    void finalizeRun(RunResult &out, const workload::Workload &w,
+                     long total_committed) const;
 
     // --- cost emission at true dimensions -------------------------------
     /** fp16-equivalent weight traffic of one decoder layer. */

@@ -22,6 +22,29 @@ opClassName(OpClass cls)
     }
 }
 
+bool
+isBatchAmortized(OpClass cls)
+{
+    switch (cls) {
+    case OpClass::DecoderLayer:
+    case OpClass::KvFill:
+    case OpClass::LmHeadFull:
+    case OpClass::Draft:
+    // The embedding table is a weight read too: the batch issues ONE
+    // gather kernel per iteration, so the launch-dominated Embed
+    // charge (the bytes are ~hidden*2 per request, noise next to the
+    // launch overhead) amortizes like the other weight-bound
+    // classes. Charging it per-request overcounted batched runs by
+    // one kernel launch per extra active request.
+    case OpClass::Embed:
+    case OpClass::Sync:
+    case OpClass::Overhead:
+        return true;
+    default:
+        return false;
+    }
+}
+
 namespace {
 
 std::array<double, kNumOpClasses>

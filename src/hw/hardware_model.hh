@@ -36,6 +36,15 @@ constexpr int kNumOpClasses = static_cast<int>(OpClass::NumClasses);
 /** Short name of an op class (for tables). */
 const char *opClassName(OpClass cls);
 
+/**
+ * True for operator classes whose traffic is read once per decode
+ * iteration and amortizes across a batch (weight-bound: decoder
+ * layers, KV fill, full LM head, draft model, embedding table, plus
+ * per-iteration sync/overhead) as opposed to per-request private
+ * traffic (KV reads, predictor MLPs, sliced heads).
+ */
+bool isBatchAmortized(OpClass cls);
+
 /** One execution platform. */
 struct HardwareSpec
 {

@@ -52,4 +52,23 @@ MemoryTracker::totalBytes(int tokens) const
            kvBytes(tokens);
 }
 
+double
+MemoryTracker::activationBytesPerSession() const
+{
+    // fp16: residual stream + attention q/k/v/o workspace + two FFN
+    // intermediates + a full-vocab logits buffer per live sequence.
+    return (6.0 * cfg_.truth.hidden + 2.0 * cfg_.truth.ffn +
+            cfg_.truth.vocab) *
+           2.0;
+}
+
+double
+MemoryTracker::fleetTotalBytes(long fleet_tokens, int n_sessions) const
+{
+    return weightBytes() + draftModelBytes() + predictorBytes() +
+           cfg_.truthKvBytesPerToken() *
+               static_cast<double>(fleet_tokens) +
+           activationBytesPerSession() * n_sessions;
+}
+
 } // namespace specee::hw

@@ -78,6 +78,22 @@ class MemoryTracker
     /** Total device bytes after `tokens` positions. */
     double totalBytes(int tokens) const;
 
+    /**
+     * Decode-time activation scratch of one live decode session
+     * (fp16 residual stream, attention workspace and a logits
+     * buffer). Weights are shared across sessions; this is the part
+     * that scales with batch occupancy.
+     */
+    double activationBytesPerSession() const;
+
+    /**
+     * Fleet view under continuous batching: weights, draft model and
+     * predictors counted ONCE for the serving node, per-session KV
+     * summed (`fleet_tokens` = cached positions across every live
+     * session) and activation scratch per active session.
+     */
+    double fleetTotalBytes(long fleet_tokens, int n_sessions) const;
+
     /** Convenience: GiB for plotting. */
     static double toGiB(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
 

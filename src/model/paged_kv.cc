@@ -7,10 +7,10 @@
 namespace specee::model {
 
 PagedKvCache::PagedKvCache(int n_layers, int n_blocks, int hidden)
-    : nLayers_(n_layers),
-      hidden_(hidden),
-      layers_(static_cast<size_t>(n_layers))
+    : nLayers_(n_layers), nBlocks_(n_blocks), hidden_(hidden)
 {
+    specee_assert(n_layers > 0 && n_blocks > 0 && hidden > 0,
+                  "bad paged KV pool shape");
     kPool_.reserve(static_cast<size_t>(n_blocks));
     vPool_.reserve(static_cast<size_t>(n_blocks));
     for (int b = 0; b < n_blocks; ++b) {
@@ -20,6 +20,47 @@ PagedKvCache::PagedKvCache(int n_layers, int n_blocks, int hidden)
                             static_cast<size_t>(hidden));
         freeList_.push_back(n_blocks - 1 - b);
     }
+}
+
+int
+PagedKvCache::createSequence()
+{
+    int seq;
+    if (!freeSeqIds_.empty()) {
+        seq = freeSeqIds_.back();
+        freeSeqIds_.pop_back();
+    } else {
+        seq = static_cast<int>(seqs_.size());
+        seqs_.emplace_back();
+    }
+    SeqState &st = seqs_[static_cast<size_t>(seq)];
+    st.layers.assign(static_cast<size_t>(nLayers_), LayerState{});
+    st.live = true;
+    return seq;
+}
+
+void
+PagedKvCache::dropSequence(int seq)
+{
+    clearSeq(seq);
+    seqs_[static_cast<size_t>(seq)].live = false;
+    freeSeqIds_.push_back(seq);
+}
+
+const PagedKvCache::SeqState &
+PagedKvCache::seqState(int seq) const
+{
+    specee_assert(seq >= 0 && seq < static_cast<int>(seqs_.size()) &&
+                      seqs_[static_cast<size_t>(seq)].live,
+                  "bad paged KV sequence id %d", seq);
+    return seqs_[static_cast<size_t>(seq)];
+}
+
+PagedKvCache::SeqState &
+PagedKvCache::seqState(int seq)
+{
+    return const_cast<SeqState &>(
+        static_cast<const PagedKvCache *>(this)->seqState(seq));
 }
 
 int
@@ -38,20 +79,21 @@ PagedKvCache::freeBlock(int b)
 }
 
 bool
-PagedKvCache::wouldOverflow(int layer) const
+PagedKvCache::wouldOverflow(int seq, int layer) const
 {
-    const LayerState &st = layers_[static_cast<size_t>(layer)];
+    const LayerState &st =
+        seqState(seq).layers[static_cast<size_t>(layer)];
     return st.len % kKvBlockSize == 0 && freeList_.empty();
 }
 
 int
-PagedKvCache::append(int layer, tensor::CSpan k, tensor::CSpan v)
+PagedKvCache::append(int seq, int layer, tensor::CSpan k, tensor::CSpan v)
 {
     specee_assert(layer >= 0 && layer < nLayers_, "bad layer");
     specee_assert(k.size() == static_cast<size_t>(hidden_) &&
-                  v.size() == static_cast<size_t>(hidden_),
+                      v.size() == static_cast<size_t>(hidden_),
                   "paged kv dim mismatch");
-    LayerState &st = layers_[static_cast<size_t>(layer)];
+    LayerState &st = seqState(seq).layers[static_cast<size_t>(layer)];
     if (st.len % kKvBlockSize == 0)
         st.blockTable.push_back(allocBlock());
     const int pos = st.len++;
@@ -67,38 +109,39 @@ PagedKvCache::append(int layer, tensor::CSpan k, tensor::CSpan v)
 }
 
 std::pair<int, int>
-PagedKvCache::locate(int layer, int pos) const
+PagedKvCache::locate(int seq, int layer, int pos) const
 {
-    const LayerState &st = layers_[static_cast<size_t>(layer)];
+    const LayerState &st =
+        seqState(seq).layers[static_cast<size_t>(layer)];
     specee_assert(pos >= 0 && pos < st.len, "paged kv read past end");
     return {st.blockTable[static_cast<size_t>(pos / kKvBlockSize)],
             pos % kKvBlockSize};
 }
 
 tensor::CSpan
-PagedKvCache::key(int layer, int pos) const
+PagedKvCache::key(int seq, int layer, int pos) const
 {
-    auto [block, off] = locate(layer, pos);
+    auto [block, off] = locate(seq, layer, pos);
     return kPool_[static_cast<size_t>(block)].row(static_cast<size_t>(off));
 }
 
 tensor::CSpan
-PagedKvCache::value(int layer, int pos) const
+PagedKvCache::value(int seq, int layer, int pos) const
 {
-    auto [block, off] = locate(layer, pos);
+    auto [block, off] = locate(seq, layer, pos);
     return vPool_[static_cast<size_t>(block)].row(static_cast<size_t>(off));
 }
 
 int
-PagedKvCache::length(int layer) const
+PagedKvCache::length(int seq, int layer) const
 {
-    return layers_[static_cast<size_t>(layer)].len;
+    return seqState(seq).layers[static_cast<size_t>(layer)].len;
 }
 
 void
-PagedKvCache::truncate(int new_len)
+PagedKvCache::truncate(int seq, int new_len)
 {
-    for (auto &st : layers_) {
+    for (auto &st : seqState(seq).layers) {
         if (st.len <= new_len)
             continue;
         const int keep_blocks =
@@ -112,17 +155,32 @@ PagedKvCache::truncate(int new_len)
 }
 
 void
-PagedKvCache::clear()
+PagedKvCache::clearSeq(int seq)
 {
-    truncate(0);
+    truncate(seq, 0);
+}
+
+int
+PagedKvCache::seqBlocks(int seq) const
+{
+    int n = 0;
+    for (const auto &st : seqState(seq).layers)
+        n += static_cast<int>(st.blockTable.size());
+    return n;
 }
 
 int
 PagedKvCache::blocksInUse() const
 {
+    return nBlocks_ - static_cast<int>(freeList_.size());
+}
+
+int
+PagedKvCache::nSequences() const
+{
     int n = 0;
-    for (const auto &st : layers_)
-        n += static_cast<int>(st.blockTable.size());
+    for (const auto &st : seqs_)
+        n += st.live ? 1 : 0;
     return n;
 }
 

@@ -5,13 +5,17 @@
  * Physical KV storage is divided into fixed-size blocks managed by a
  * free list; each (sequence, layer) maps logical positions to blocks
  * through a block table. This is the real data structure vllm uses to
- * eliminate KV fragmentation; the engine's "vllm" preset routes its
- * attention reads through it.
+ * eliminate KV fragmentation. The pool is multi-sequence: any number
+ * of sequences share one physical pool, so fleet KV occupancy under
+ * continuous batching is a real allocator quantity the serving layer
+ * can budget and preempt against. SequenceKv is the single-sequence
+ * KvStore view the attention math reads through.
  */
 
 #ifndef SPECEE_MODEL_PAGED_KV_HH
 #define SPECEE_MODEL_PAGED_KV_HH
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -24,42 +28,61 @@ namespace specee::model {
 constexpr int kKvBlockSize = 16;
 
 /**
- * Block-based KV pool with allocation, per-layer block tables and
- * rollback. Single-sequence interface (batch 1 decoding), but the
- * allocator itself is sequence-agnostic and reusable.
+ * Multi-sequence block-based KV pool: per-(sequence, layer) block
+ * tables over one shared physical pool with allocation, rollback and
+ * whole-sequence eviction. Sequence ids are recycled LIFO so
+ * allocation is deterministic for a deterministic caller.
  */
-class PagedKvCache : public KvStore
+class PagedKvCache
 {
   public:
     /**
      * @param n_layers  decoder layers
-     * @param n_blocks  physical blocks in the pool (shared by layers)
+     * @param n_blocks  physical blocks in the shared pool
      * @param hidden    per-position K/V width
      */
     PagedKvCache(int n_layers, int n_blocks, int hidden);
 
-    /** Append k/v for the next position of layer l. @return position */
-    int append(int layer, tensor::CSpan k, tensor::CSpan v) override;
+    /** Register a new sequence (empty block tables). @return seq id */
+    int createSequence();
 
-    tensor::CSpan key(int layer, int pos) const override;
-    tensor::CSpan value(int layer, int pos) const override;
+    /** Free every block of `seq` and recycle its id. */
+    void dropSequence(int seq);
 
-    int length(int layer) const override;
+    /** Append k/v for the next position of (seq, layer). @return pos */
+    int append(int seq, int layer, tensor::CSpan k, tensor::CSpan v);
 
-    /** Roll back to new_len positions, freeing now-empty blocks. */
-    void truncate(int new_len) override;
+    tensor::CSpan key(int seq, int layer, int pos) const;
+    tensor::CSpan value(int seq, int layer, int pos) const;
 
-    /** Free all blocks. */
-    void clear() override;
+    int length(int seq, int layer) const;
 
-    /** Physical blocks currently allocated across all layers. */
+    /** Roll `seq` back to new_len positions, freeing empty blocks. */
+    void truncate(int seq, int new_len);
+
+    /** Free all blocks of `seq` (the sequence id stays valid). */
+    void clearSeq(int seq);
+
+    /** True if appending one position to (seq, layer) would fail. */
+    bool wouldOverflow(int seq, int layer) const;
+
+    /** Physical blocks held by `seq` across all layers. */
+    int seqBlocks(int seq) const;
+
+    /** Physical blocks currently allocated across all sequences. */
     int blocksInUse() const;
 
     /** Physical blocks still free. */
     int blocksFree() const { return static_cast<int>(freeList_.size()); }
 
-    /** True if an append would fail for `layer`. */
-    bool wouldOverflow(int layer) const;
+    /** Pool capacity in blocks. */
+    int nBlocks() const { return nBlocks_; }
+
+    int nLayers() const { return nLayers_; }
+    int hidden() const { return hidden_; }
+
+    /** Live (created, not dropped) sequences. */
+    int nSequences() const;
 
   private:
     struct LayerState
@@ -68,19 +91,89 @@ class PagedKvCache : public KvStore
         int len = 0;                 ///< cached positions
     };
 
-    /** Physical location of (layer, pos). */
-    std::pair<int, int> locate(int layer, int pos) const;
+    struct SeqState
+    {
+        std::vector<LayerState> layers;
+        bool live = false;
+    };
+
+    const SeqState &seqState(int seq) const;
+    SeqState &seqState(int seq);
+
+    /** Physical location of (seq, layer, pos). */
+    std::pair<int, int> locate(int seq, int layer, int pos) const;
 
     int allocBlock();
     void freeBlock(int b);
 
     int nLayers_;
+    int nBlocks_;
     int hidden_;
     // Physical pool: per block, kKvBlockSize rows for K and V.
     std::vector<tensor::Matrix> kPool_;
     std::vector<tensor::Matrix> vPool_;
     std::vector<int> freeList_;
-    std::vector<LayerState> layers_;
+    std::vector<SeqState> seqs_;
+    std::vector<int> freeSeqIds_; ///< recycled ids, LIFO
+};
+
+/**
+ * Single-sequence KvStore view onto a shared PagedKvCache pool.
+ *
+ * Owns its sequence: construction registers a fresh sequence in the
+ * pool, destruction drops it (freeing all of its blocks). The pool is
+ * held shared so a view may also be the pool's sole owner (the
+ * single-sequence deployment the vllm engine preset uses).
+ */
+class SequenceKv : public KvStore
+{
+  public:
+    explicit SequenceKv(std::shared_ptr<PagedKvCache> pool)
+        : pool_(std::move(pool)), seq_(pool_->createSequence())
+    {
+    }
+
+    ~SequenceKv() override { pool_->dropSequence(seq_); }
+
+    SequenceKv(const SequenceKv &) = delete;
+    SequenceKv &operator=(const SequenceKv &) = delete;
+
+    int
+    append(int layer, tensor::CSpan k, tensor::CSpan v) override
+    {
+        return pool_->append(seq_, layer, k, v);
+    }
+
+    tensor::CSpan
+    key(int layer, int pos) const override
+    {
+        return pool_->key(seq_, layer, pos);
+    }
+
+    tensor::CSpan
+    value(int layer, int pos) const override
+    {
+        return pool_->value(seq_, layer, pos);
+    }
+
+    int length(int layer) const override
+    {
+        return pool_->length(seq_, layer);
+    }
+
+    void truncate(int new_len) override { pool_->truncate(seq_, new_len); }
+
+    void clear() override { pool_->clearSeq(seq_); }
+
+    /** Physical blocks this sequence holds. */
+    int blocks() const { return pool_->seqBlocks(seq_); }
+
+    int seqId() const { return seq_; }
+    const PagedKvCache &pool() const { return *pool_; }
+
+  private:
+    std::shared_ptr<PagedKvCache> pool_;
+    int seq_;
 };
 
 } // namespace specee::model

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "model/paged_kv.hh"
 #include "tensor/kernels.hh"
 #include "util/logging.hh"
 
@@ -49,67 +48,95 @@ TargetModel::TargetModel(const ModelConfig &cfg,
       weights_(cfg, projBackendFor(opts), headBackendFor(opts)),
       lmHead_(weights_.embedding(), weights_.rmsFinal()),
       layerBlock_(cfg),
-      noiseRng_(opts.noise_seed),
-      hidden_(static_cast<size_t>(cfg.sim.hidden)),
-      dirTarget_(static_cast<size_t>(cfg.sim.hidden)),
-      dirDistractor_(static_cast<size_t>(cfg.sim.hidden)),
       erow_(static_cast<size_t>(cfg.sim.hidden))
 {
-    if (opts.paged_kv) {
+    own_ = makeSequence();
+    seq_ = &own_;
+}
+
+std::unique_ptr<KvStore>
+TargetModel::makeDefaultKv() const
+{
+    if (opts_.paged_kv) {
         const int blocks =
-            cfg.n_layers * (cfg.context_len / kKvBlockSize + 2);
-        kv_ = std::make_unique<PagedKvCache>(cfg.n_layers, blocks,
-                                             cfg.sim.hidden);
-    } else {
-        kv_ = std::make_unique<KvCache>(cfg.n_layers, cfg.context_len,
-                                        cfg.sim.hidden);
+            cfg_.n_layers * (cfg_.context_len / kKvBlockSize + 2);
+        return std::make_unique<SequenceKv>(std::make_shared<PagedKvCache>(
+            cfg_.n_layers, blocks, cfg_.sim.hidden));
     }
+    return std::make_unique<KvCache>(cfg_.n_layers, cfg_.context_len,
+                                     cfg_.sim.hidden);
+}
+
+SequenceState
+TargetModel::makeSequence(std::unique_ptr<KvStore> kv) const
+{
+    SequenceState s;
+    s.kv = kv ? std::move(kv) : makeDefaultKv();
+    s.noiseRng = Rng(opts_.noise_seed);
+    s.hidden.resize(static_cast<size_t>(cfg_.sim.hidden));
+    s.dirTarget.resize(static_cast<size_t>(cfg_.sim.hidden));
+    s.dirDistractor.resize(static_cast<size_t>(cfg_.sim.hidden));
+    return s;
+}
+
+void
+TargetModel::bindSequence(SequenceState *seq)
+{
+    seq_ = seq != nullptr ? seq : &own_;
+    specee_assert(seq_->kv != nullptr &&
+                      seq_->hidden.size() ==
+                          static_cast<size_t>(cfg_.sim.hidden),
+                  "bound sequence state does not match the model");
 }
 
 void
 TargetModel::reset(uint64_t noise_stream)
 {
-    kv_->clear();
-    pos_ = 0;
-    layer_ = 0;
-    inToken_ = false;
+    SequenceState &s = *seq_;
+    s.kv->clear();
+    s.pos = 0;
+    s.layer = 0;
+    s.inToken = false;
     // Reseed the steering-noise stream so a sequence's decode depends
     // only on (noise_seed, noise_stream), never on what the model ran
     // before — per-request execution must be re-entrant for serving.
-    noiseRng_ = Rng(opts_.noise_seed ^ noise_stream);
+    s.noiseRng = Rng(opts_.noise_seed ^ noise_stream);
 }
 
 void
 TargetModel::prefill(const std::vector<int> &tokens)
 {
-    specee_assert(!inToken_, "prefill during a decode step");
+    SequenceState &s = *seq_;
+    specee_assert(!s.inToken, "prefill during a decode step");
     for (int tok : tokens) {
         specee_assert(tok >= 0 && tok < cfg_.sim.vocab,
                       "prompt token %d out of range", tok);
-        weights_.embedding().copyRow(static_cast<size_t>(tok), hidden_);
+        weights_.embedding().copyRow(static_cast<size_t>(tok), s.hidden);
         for (int l = 0; l < cfg_.n_layers; ++l)
-            layerBlock_.fillKv(weights_.layer(l), l, hidden_, pos_, *kv_);
-        ++pos_;
+            layerBlock_.fillKv(weights_.layer(l), l, s.hidden, s.pos,
+                               *s.kv);
+        ++s.pos;
     }
 }
 
 void
 TargetModel::beginToken(int input_token, const TokenScript &script)
 {
-    specee_assert(!inToken_, "beginToken during a decode step");
+    SequenceState &s = *seq_;
+    specee_assert(!s.inToken, "beginToken during a decode step");
     specee_assert(input_token >= 0 && input_token < cfg_.sim.vocab,
                   "input token out of range");
     specee_assert(script.target >= 0 && script.target < cfg_.sim.vocab &&
                   script.distractor >= 0 &&
                   script.distractor < cfg_.sim.vocab,
                   "script token out of range");
-    script_ = script;
-    layer_ = 0;
-    inToken_ = true;
+    s.script = script;
+    s.layer = 0;
+    s.inToken = true;
 
     // Residual stream starts at the input embedding.
     weights_.embedding().copyRow(static_cast<size_t>(input_token),
-                                 hidden_);
+                                 s.hidden);
 
     // Per-token noisy target direction: dir = unit(E[target] + nu*z).
     weights_.embedding().copyRow(static_cast<size_t>(script.target),
@@ -117,28 +144,30 @@ TargetModel::beginToken(int input_token, const TokenScript &script)
     const float nu = opts_.steer.target_noise;
     const float per_dim =
         nu / std::sqrt(static_cast<float>(cfg_.sim.hidden));
-    for (size_t i = 0; i < dirTarget_.size(); ++i) {
-        dirTarget_[i] = erow_[i] +
-                        static_cast<float>(noiseRng_.normal(0.0, per_dim));
+    for (size_t i = 0; i < s.dirTarget.size(); ++i) {
+        s.dirTarget[i] =
+            erow_[i] +
+            static_cast<float>(s.noiseRng.normal(0.0, per_dim));
     }
-    unitize(dirTarget_);
+    unitize(s.dirTarget);
 
     weights_.embedding().copyRow(static_cast<size_t>(script.distractor),
-                                 dirDistractor_);
+                                 s.dirDistractor);
 
     const float j = opts_.steer.distractor_jitter;
-    distractorScale_ =
-        static_cast<float>(noiseRng_.uniform(1.0 - j, 1.0 + j));
+    s.distractorScale =
+        static_cast<float>(s.noiseRng.uniform(1.0 - j, 1.0 + j));
 }
 
 void
 TargetModel::steer(int layer_just_run)
 {
+    SequenceState &s = *seq_;
     const SteerParams &sp = opts_.steer;
     const int l = layer_just_run;
 
     float alpha = tensor::sigmoid(
-        (static_cast<float>(l - script_.conv_layer) + 0.5f) / sp.tau);
+        (static_cast<float>(l - s.script.conv_layer) + 0.5f) / sp.tau);
     if (l == cfg_.n_layers - 1)
         alpha = std::max(alpha, sp.final_alpha);
 
@@ -146,72 +175,76 @@ TargetModel::steer(int layer_just_run)
     // the target takes over.
     const float ramp =
         std::min(1.0f, static_cast<float>(l + 1) / 4.0f);
-    const float beta = sp.distractor_strength * distractorScale_ *
+    const float beta = sp.distractor_strength * s.distractorScale *
                        (1.0f - alpha) * ramp;
 
-    unitize(hidden_); // texture component on the unit sphere
+    unitize(s.hidden); // texture component on the unit sphere
     const float tex = std::max(0.0f, 1.0f - alpha - beta);
-    for (size_t i = 0; i < hidden_.size(); ++i) {
-        hidden_[i] = tex * hidden_[i] + alpha * dirTarget_[i] +
-                     beta * dirDistractor_[i];
+    for (size_t i = 0; i < s.hidden.size(); ++i) {
+        s.hidden[i] = tex * s.hidden[i] + alpha * s.dirTarget[i] +
+                      beta * s.dirDistractor[i];
     }
-    unitize(hidden_);
+    unitize(s.hidden);
 }
 
 tensor::CSpan
 TargetModel::runLayer()
 {
-    specee_assert(inToken_, "runLayer outside a decode step");
-    specee_assert(layer_ < cfg_.n_layers, "runLayer past last layer");
-    layerBlock_.forward(weights_.layer(layer_), layer_, hidden_, pos_,
-                        *kv_, opts_.sparse_ffn, opts_.ffn_active_frac);
-    steer(layer_);
-    ++layer_;
-    return hidden_;
+    SequenceState &s = *seq_;
+    specee_assert(s.inToken, "runLayer outside a decode step");
+    specee_assert(s.layer < cfg_.n_layers, "runLayer past last layer");
+    layerBlock_.forward(weights_.layer(s.layer), s.layer, s.hidden,
+                        s.pos, *s.kv, opts_.sparse_ffn,
+                        opts_.ffn_active_frac);
+    steer(s.layer);
+    ++s.layer;
+    return s.hidden;
 }
 
 int
 TargetModel::runRemainingLayers()
 {
-    specee_assert(inToken_, "runRemainingLayers outside a decode step");
-    while (layer_ < cfg_.n_layers)
+    SequenceState &s = *seq_;
+    specee_assert(s.inToken, "runRemainingLayers outside a decode step");
+    while (s.layer < cfg_.n_layers)
         runLayer();
-    inToken_ = false;
-    ++pos_;
-    return lmHead_.argmaxToken(hidden_);
+    s.inToken = false;
+    ++s.pos;
+    return lmHead_.argmaxToken(s.hidden);
 }
 
 int
 TargetModel::finishEarly()
 {
-    specee_assert(inToken_, "finishEarly outside a decode step");
-    const int filled = cfg_.n_layers - layer_;
-    for (int l = layer_; l < cfg_.n_layers; ++l)
-        layerBlock_.fillKv(weights_.layer(l), l, hidden_, pos_, *kv_);
-    layer_ = cfg_.n_layers;
-    inToken_ = false;
-    ++pos_;
+    SequenceState &s = *seq_;
+    specee_assert(s.inToken, "finishEarly outside a decode step");
+    const int filled = cfg_.n_layers - s.layer;
+    for (int l = s.layer; l < cfg_.n_layers; ++l)
+        layerBlock_.fillKv(weights_.layer(l), l, s.hidden, s.pos, *s.kv);
+    s.layer = cfg_.n_layers;
+    s.inToken = false;
+    ++s.pos;
     return filled;
 }
 
 int
 TargetModel::globalArgmax() const
 {
-    return lmHead_.argmaxToken(hidden_);
+    return lmHead_.argmaxToken(seq_->hidden);
 }
 
 void
 TargetModel::logitsSliced(const std::vector<int> &tokens,
                           tensor::Span out) const
 {
-    lmHead_.sliced(hidden_, tokens, out);
+    lmHead_.sliced(seq_->hidden, tokens, out);
 }
 
 tensor::Vec
 TargetModel::fullLogits() const
 {
     tensor::Vec logits(static_cast<size_t>(cfg_.sim.vocab));
-    lmHead_.full(hidden_, logits);
+    lmHead_.full(seq_->hidden, logits);
     return logits;
 }
 

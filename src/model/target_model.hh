@@ -24,6 +24,13 @@
  * This steering is the documented substitution for trained Llama-2
  * weights (DESIGN.md §1); everything else in the pipeline operates
  * on the model exactly as it would on a real checkpoint.
+ *
+ * Weights are sequence-independent; everything a decode mutates (KV,
+ * position, per-token steering directions, the noise rng) lives in a
+ * SequenceState. The model owns one default state — single-sequence
+ * callers never see the indirection — and can temporarily bind an
+ * external state, which is how the serving layer interleaves many
+ * DecodeSessions on one model without duplicating weights.
  */
 
 #ifndef SPECEE_MODEL_TARGET_MODEL_HH
@@ -37,6 +44,7 @@
 #include "model/kv_cache.hh"
 #include "model/kv_store.hh"
 #include "model/lm_head.hh"
+#include "model/paged_kv.hh"
 #include "model/weights.hh"
 #include "util/rng.hh"
 
@@ -88,7 +96,28 @@ struct TargetModelOptions
 };
 
 /**
- * Layer-steppable target model for one sequence.
+ * Everything one decoded sequence mutates: its KV store, decode
+ * position, current-token steering state and the per-sequence noise
+ * rng. A DecodeSession owns one of these; the model operates on
+ * whichever state is currently bound.
+ */
+struct SequenceState
+{
+    std::unique_ptr<KvStore> kv;
+    Rng noiseRng{0};
+    TokenScript script{};
+    tensor::Vec hidden;
+    tensor::Vec dirTarget;
+    tensor::Vec dirDistractor;
+    int pos = 0;             ///< position of the token being decoded
+    int layer = 0;           ///< next layer to run for the current token
+    bool inToken = false;
+    float distractorScale = 1.0f; ///< per-token strength multiplier
+};
+
+/**
+ * Layer-steppable target model. Weights are shared; per-sequence
+ * decode state is swappable via bindSequence().
  */
 class TargetModel
 {
@@ -101,7 +130,26 @@ class TargetModel
     int nLayers() const { return cfg_.n_layers; }
 
     /**
-     * Clear KV, position and steering-noise state for a new
+     * Fresh per-sequence state. When `kv` is null, a private store of
+     * the model's configured kind is created (contiguous, or a
+     * single-sequence view over a private paged pool); the serving
+     * layer instead passes a view onto its shared fleet pool.
+     */
+    SequenceState makeSequence(std::unique_ptr<KvStore> kv = nullptr) const;
+
+    /**
+     * Operate on `seq` until further notice; nullptr rebinds the
+     * model's own default state. The bound state must outlive the
+     * binding. Binding is cheap (one pointer) — sessions bind around
+     * every step.
+     */
+    void bindSequence(SequenceState *seq);
+
+    /** Currently bound state (the default one unless rebound). */
+    const SequenceState &sequence() const { return *seq_; }
+
+    /**
+     * Clear KV, position and steering-noise state of the bound
      * sequence. `noise_stream` selects an independent noise
      * substream (e.g. per instance), so the decode of a sequence is
      * a pure function of (options, noise_stream, scripts) — the
@@ -110,7 +158,7 @@ class TargetModel
     void reset(uint64_t noise_stream = 0);
 
     /** Next absolute position to be written. */
-    int position() const { return pos_; }
+    int position() const { return seq_->pos; }
 
     /**
      * Fast prompt ingestion: fills every layer's KV from the token
@@ -124,10 +172,10 @@ class TargetModel
     void beginToken(int input_token, const TokenScript &script);
 
     /** Layer that runLayer() would execute next (0-based). */
-    int currentLayer() const { return layer_; }
+    int currentLayer() const { return seq_->layer; }
 
     /** True once all layers have run for the current token. */
-    bool doneAllLayers() const { return layer_ >= cfg_.n_layers; }
+    bool doneAllLayers() const { return seq_->layer >= cfg_.n_layers; }
 
     /**
      * Run the next layer (attention + FFN + steering); returns the
@@ -136,7 +184,7 @@ class TargetModel
     tensor::CSpan runLayer();
 
     /** Current steered hidden state. */
-    tensor::CSpan hidden() const { return hidden_; }
+    tensor::CSpan hidden() const { return seq_->hidden; }
 
     /** Run all remaining layers; returns the final argmax token. */
     int runRemainingLayers();
@@ -160,30 +208,24 @@ class TargetModel
     /** Full logits on the current hidden state. */
     tensor::Vec fullLogits() const;
 
-    /** KV store (for tests). */
-    const KvStore &kv() const { return *kv_; }
+    /** KV store of the bound sequence (for tests). */
+    const KvStore &kv() const { return *seq_->kv; }
 
   private:
     /** Apply convergence steering to the raw layer output. */
     void steer(int layer_just_run);
 
+    /** Private KV store of the configured kind for one sequence. */
+    std::unique_ptr<KvStore> makeDefaultKv() const;
+
     ModelConfig cfg_;
     TargetModelOptions opts_;
     Weights weights_;
     LmHead lmHead_;
-    std::unique_ptr<KvStore> kv_;
     DecoderLayer layerBlock_;
-    Rng noiseRng_;
-
-    int pos_ = 0;    ///< position of the token being decoded
-    int layer_ = 0;  ///< next layer to run for the current token
-    bool inToken_ = false;
-    TokenScript script_;
-    tensor::Vec hidden_;
-    tensor::Vec dirTarget_;
-    tensor::Vec dirDistractor_;
+    SequenceState own_;        ///< default state (single-sequence use)
+    SequenceState *seq_ = nullptr; ///< bound state (defaults to &own_)
     tensor::Vec erow_; ///< embedding-row scratch (backend dequantize)
-    float distractorScale_ = 1.0f; ///< per-token strength multiplier
 };
 
 } // namespace specee::model

@@ -1,8 +1,13 @@
 #include "serve/batch_scheduler.hh"
 
 #include <algorithm>
+#include <deque>
+#include <memory>
+#include <thread>
 
+#include "hw/memory_tracker.hh"
 #include "metrics/stats.hh"
+#include "model/paged_kv.hh"
 #include "util/logging.hh"
 
 namespace specee::serve {
@@ -10,165 +15,327 @@ namespace specee::serve {
 bool
 isSharedClass(hw::OpClass cls)
 {
-    switch (cls) {
-    case hw::OpClass::DecoderLayer:
-    case hw::OpClass::KvFill:
-    case hw::OpClass::LmHeadFull:
-    case hw::OpClass::Draft:
-    // The embedding table is a weight read too: the batch issues ONE
-    // gather kernel per iteration, so the launch-dominated Embed
-    // charge (the bytes are ~hidden*2 per request, noise next to the
-    // launch overhead) amortizes like the other weight-bound
-    // classes. Charging it per-request overcounted batched runs by
-    // one kernel launch per extra active request.
-    case hw::OpClass::Embed:
-    case hw::OpClass::Sync:
-    case hw::OpClass::Overhead:
-        return true;
-    default:
-        return false;
-    }
-}
-
-StepProfile
-buildStepProfile(const engines::RunResult &result)
-{
-    // Per-step forward depth: the emission records layers executed
-    // per token, which is what the shared weight read scales with.
-    std::vector<int> layers;
-    for (const auto &em : result.emissions)
-        layers.insert(layers.end(), em.exit_layers.begin(),
-                      em.exit_layers.end());
-    specee_assert(!layers.empty(), "run produced no tokens");
-
-    double shared_t = 0.0, private_t = 0.0;
-    double shared_e = 0.0, private_e = 0.0;
-    for (int c = 0; c < hw::kNumOpClasses; ++c) {
-        const auto cls = static_cast<hw::OpClass>(c);
-        const auto &tot = result.stats.oplog.totals(cls);
-        if (isSharedClass(cls)) {
-            shared_t += tot.time_s;
-            shared_e += tot.energy_j;
-        } else {
-            private_t += tot.time_s;
-            private_e += tot.energy_j;
-        }
-    }
-
-    long layer_sum = 0;
-    for (int l : layers)
-        layer_sum += l;
-    specee_assert(layer_sum > 0, "run executed no layers");
-
-    const auto n = static_cast<double>(layers.size());
-    StepProfile p;
-    p.shared_s.reserve(layers.size());
-    p.private_s.reserve(layers.size());
-    p.shared_j.reserve(layers.size());
-    p.private_j.reserve(layers.size());
-    for (int l : layers) {
-        const double w =
-            static_cast<double>(l) / static_cast<double>(layer_sum);
-        p.shared_s.push_back(shared_t * w);
-        p.shared_j.push_back(shared_e * w);
-        p.private_s.push_back(private_t / n);
-        p.private_j.push_back(private_e / n);
-    }
-    return p;
+    return hw::isBatchAmortized(cls);
 }
 
 BatchScheduler::BatchScheduler(const SchedulerOptions &opts) : opts_(opts)
 {
     specee_assert(opts.max_batch >= 1, "max_batch must be >= 1, got %d",
                   opts.max_batch);
+    specee_assert(opts.kv_budget_blocks >= 0,
+                  "kv_budget_blocks must be >= 0, got %d",
+                  opts.kv_budget_blocks);
 }
 
+namespace {
+
+/** One request moving through the waiting queue / decode slots. */
+struct Entry
+{
+    Request req;
+    workload::Workload w; ///< built once, survives preemption
+    size_t outcome = 0;   ///< index into `outcomes`
+
+    std::unique_ptr<engines::DecodeSession> sess;
+    size_t engine = 0;
+
+    double first_admit_s = -1.0;
+    double first_token_s = -1.0;
+    double last_token_s = 0.0;
+    double itl_sum_s = 0.0;
+    long itl_gaps = 0;
+    size_t streamed = 0; ///< tokens already delivered downstream
+    int preemptions = 0;
+
+    engines::StepCost cost; ///< most recent iteration's step cost
+};
+
+} // namespace
+
 FleetStats
-BatchScheduler::schedule(std::vector<PendingRun> runs,
-                         std::vector<RequestOutcome> &outcomes) const
+BatchScheduler::run(const engines::Pipeline &pipe,
+                    std::vector<engines::Engine *> engines,
+                    std::vector<Request> requests,
+                    std::vector<RequestOutcome> &outcomes,
+                    const TokenCallback &on_token) const
 {
     outcomes.clear();
     FleetStats fleet;
-    if (runs.empty())
+    fleet.rejected = 0;
+    if (requests.empty())
         return fleet;
+    specee_assert(!engines.empty(), "scheduler needs >= 1 engine");
+    specee_assert(std::is_sorted(requests.begin(), requests.end(),
+                                 [](const Request &a, const Request &b) {
+                                     if (a.arrival_s != b.arrival_s)
+                                         return a.arrival_s < b.arrival_s;
+                                     return a.id < b.id;
+                                 }),
+                  "requests must be sorted by (arrival, id)");
 
-    // Admission order never depends on which worker finished first.
-    std::sort(runs.begin(), runs.end(),
-              [](const PendingRun &a, const PendingRun &b) {
-                  if (a.request.arrival_s != b.request.arrival_s)
-                      return a.request.arrival_s < b.request.arrival_s;
-                  return a.request.id < b.request.id;
-              });
+    const engines::EngineConfig &ecfg = engines.front()->config();
+    const model::ModelConfig &mcfg = engines.front()->modelConfig();
+    const size_t slots = static_cast<size_t>(opts_.max_batch);
 
-    struct Active
-    {
-        size_t run;
-        size_t step = 0;
-        size_t outcome; ///< index into `outcomes`
-    };
+    // One shared physical KV pool per worker engine, sized so a full
+    // decode batch of maximum-context sequences can never physically
+    // exhaust it even if every session lands on one engine — the
+    // *budget* (policy) is enforced fleet-wide by the scheduler
+    // against real allocator occupancy, the pool (mechanism) just
+    // backs the block tables.
+    const int per_seq_blocks =
+        mcfg.n_layers * (mcfg.context_len / model::kKvBlockSize + 2);
+    std::vector<std::shared_ptr<model::PagedKvCache>> pools;
+    pools.reserve(engines.size());
+    for (size_t e = 0; e < engines.size(); ++e) {
+        pools.push_back(std::make_shared<model::PagedKvCache>(
+            mcfg.n_layers,
+            static_cast<int>(slots) * per_seq_blocks,
+            mcfg.sim.hidden));
+    }
 
-    const size_t n = runs.size();
-    const auto slots = static_cast<size_t>(opts_.max_batch);
+    // Worst-case block growth of one session in one iteration: every
+    // committed token may open a fresh block in every layer.
+    const int tokens_per_step =
+        ecfg.spec_decode ? ecfg.tree.depth() + 1 : 1;
+    const int iter_growth = mcfg.n_layers * tokens_per_step;
+
+    // Fleet memory at TRUE dims: weights/draft/predictors once,
+    // per-session KV and activations summed. Same deployment model
+    // as the per-request peak_mem_gb (Engine::finalizeRun).
+    const hw::MemoryTracker mem = engines.front()->makeMemoryTracker();
+
+    const size_t n = requests.size();
     outcomes.resize(n);
 
-    const double t0 = runs.front().request.arrival_s;
+    std::deque<Entry> waiting;
+    for (size_t i = 0; i < n; ++i) {
+        Entry e;
+        e.w = pipe.makeWorkload(requests[i].dataset, requests[i].gen,
+                                ecfg.q4Calibrated());
+        e.req = std::move(requests[i]);
+        e.outcome = i;
+        outcomes[i].request = e.req;
+        waiting.push_back(std::move(e));
+    }
+
+    const double t0 = waiting.front().req.arrival_s;
     double clock = t0;
     double occupancy = 0.0;
-    size_t next = 0;
-    std::vector<Active> active;
+    double itl_sum = 0.0;
+    long itl_gaps = 0;
+    uint64_t admit_seq = 0;
+    std::vector<Entry> active;
     active.reserve(slots);
 
-    while (next < n || !active.empty()) {
-        // Iteration boundary: admit FIFO into free decode slots.
-        while (next < n && active.size() < slots &&
-               runs[next].request.arrival_s <= clock) {
-            const size_t oi = next;
-            outcomes[oi].request = runs[next].request;
-            outcomes[oi].result = std::move(runs[next].result);
-            outcomes[oi].admit_s = clock;
-            outcomes[oi].queue_s = clock - runs[next].request.arrival_s;
-            active.push_back({next, 0, oi});
-            ++next;
+    const auto expired = [&](const Request &r) {
+        return r.deadline_s > 0.0 && clock > r.deadline_s;
+    };
+    const auto drop = [&](Entry &e) {
+        RequestOutcome &o = outcomes[e.outcome];
+        o.dropped = true;
+        o.finish_s = clock;
+        o.latency_s = clock - e.req.arrival_s;
+        o.admit_s = e.first_admit_s >= 0.0 ? e.first_admit_s : clock;
+        o.queue_s = std::max(0.0, o.admit_s - e.req.arrival_s);
+        o.preemptions = e.preemptions;
+        ++fleet.dropped;
+    };
+    const auto fleetBlocks = [&] {
+        long b = 0;
+        for (const auto &a : active)
+            b += a.sess->kvBlocks();
+        return b;
+    };
+    const auto promptBlocks = [&](const Entry &e) {
+        const int prompt =
+            static_cast<int>(e.w.instances.front().prompt.size());
+        return mcfg.n_layers *
+               ((prompt + model::kKvBlockSize - 1) /
+                model::kKvBlockSize);
+    };
+
+    while (!waiting.empty() || !active.empty()) {
+        // --- iteration boundary: deadlines, admission, preemption --
+        for (size_t i = 0; i < active.size();) {
+            if (expired(active[i].req)) {
+                drop(active[i]);
+                active.erase(active.begin() +
+                             static_cast<long>(i)); // KV frees here
+            } else {
+                ++i;
+            }
         }
+        for (size_t i = 0; i < waiting.size();) {
+            if (expired(waiting[i].req)) {
+                drop(waiting[i]);
+                waiting.erase(waiting.begin() + static_cast<long>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        while (!waiting.empty() && active.size() < slots) {
+            Entry &head = waiting.front();
+            if (head.req.arrival_s > clock)
+                break;
+            if (opts_.kv_budget_blocks > 0 && !active.empty() &&
+                fleetBlocks() + promptBlocks(head) +
+                        iter_growth *
+                            static_cast<long>(active.size() + 1) >
+                    opts_.kv_budget_blocks)
+                break;
+            Entry e = std::move(head);
+            waiting.pop_front();
+            e.engine = admit_seq++ % engines.size();
+            e.sess = engines[e.engine]->makeSession(
+                e.w, e.req.seed,
+                std::make_unique<model::SequenceKv>(pools[e.engine]));
+            e.sess->prefill();
+            if (e.first_admit_s < 0.0)
+                e.first_admit_s = clock;
+            active.push_back(std::move(e));
+        }
+
         if (active.empty()) {
-            clock = runs[next].request.arrival_s;
+            if (waiting.empty())
+                break;
+            // Idle: jump to the next arrival (expired heads were
+            // dropped above, so the head is a genuine future event).
+            clock = std::max(clock, waiting.front().req.arrival_s);
             continue;
         }
 
-        // One decode iteration: every active request advances one
-        // token. Shared weight traffic is read once (max over the
-        // batch); per-request traffic accumulates.
+        // KV pressure: evict the youngest sessions until the worst
+        // case of the next iteration fits the fleet budget. The
+        // oldest session is never evicted (guaranteed progress).
+        while (opts_.kv_budget_blocks > 0 && active.size() > 1 &&
+               fleetBlocks() +
+                       iter_growth * static_cast<long>(active.size()) >
+                   opts_.kv_budget_blocks) {
+            Entry victim = std::move(active.back());
+            active.pop_back();
+            victim.sess.reset(); // frees the KV blocks
+            ++victim.preemptions;
+            ++fleet.preemptions;
+            // Recompute preemption: back to the head of the wait
+            // queue (it is the youngest admission, so FIFO order is
+            // preserved) and re-decode from scratch later.
+            waiting.push_front(std::move(victim));
+        }
+
+        // --- step every active session, in parallel by engine ------
+        size_t engines_used = 0;
+        {
+            std::vector<bool> has(engines.size(), false);
+            for (const auto &a : active) {
+                if (!has[a.engine]) {
+                    has[a.engine] = true;
+                    ++engines_used;
+                }
+            }
+            auto stepEngine = [&](size_t eng) {
+                for (auto &a : active) {
+                    if (a.engine != eng)
+                        continue;
+                    a.sess->step();
+                    a.cost = a.sess->lastStep();
+                }
+            };
+            if (engines_used <= 1) {
+                for (size_t e = 0; e < engines.size(); ++e)
+                    if (has[e])
+                        stepEngine(e);
+            } else {
+                std::vector<std::thread> threads;
+                threads.reserve(engines_used);
+                for (size_t e = 0; e < engines.size(); ++e)
+                    if (has[e])
+                        threads.emplace_back(stepEngine, e);
+                for (auto &t : threads)
+                    t.join();
+            }
+        }
+
+        // --- price the iteration (admission order, deterministic) --
         double shared_t = 0.0, private_t = 0.0;
         double shared_e = 0.0, private_e = 0.0;
         for (const auto &a : active) {
-            const auto &p = runs[a.run].profile;
-            shared_t = std::max(shared_t, p.shared_s[a.step]);
-            shared_e = std::max(shared_e, p.shared_j[a.step]);
-            private_t += p.private_s[a.step];
-            private_e += p.private_j[a.step];
+            shared_t = std::max(shared_t, a.cost.shared_s);
+            shared_e = std::max(shared_e, a.cost.shared_j);
+            private_t += a.cost.private_s;
+            private_e += a.cost.private_j;
         }
         clock += shared_t + private_t;
         fleet.energy_j += shared_e + private_e;
-        fleet.tokens += static_cast<long>(active.size());
         occupancy += static_cast<double>(active.size());
         ++fleet.iterations;
 
-        // Retire finished requests; survivors keep their FIFO order.
+        // --- stream new tokens, track TTFT / inter-token gaps ------
+        // fleet.tokens counts DELIVERED tokens only: a preempted
+        // session re-decodes its prefix, but those tokens were
+        // already streamed, so the recompute shows up as time and
+        // energy (goodput degradation), not as extra throughput.
+        for (auto &a : active) {
+            const auto &em = a.sess->emission();
+            for (size_t i = a.streamed; i < em.tokens.size(); ++i) {
+                ++fleet.tokens;
+                if (a.first_token_s < 0.0) {
+                    a.first_token_s = clock;
+                } else {
+                    a.itl_sum_s += clock - a.last_token_s;
+                    ++a.itl_gaps;
+                }
+                a.last_token_s = clock;
+                if (on_token) {
+                    on_token(TokenEvent{a.req.id, em.tokens[i],
+                                        static_cast<int>(i), clock});
+                }
+                a.streamed = i + 1;
+            }
+        }
+
+        // --- fleet KV / memory census (peak over iterations) -------
+        long blocks = 0, positions = 0;
+        for (const auto &a : active) {
+            blocks += a.sess->kvBlocks();
+            positions += a.sess->modeledPositions();
+        }
+        fleet.peak_kv_blocks = std::max(fleet.peak_kv_blocks, blocks);
+        fleet.peak_fleet_mem_gb = std::max(
+            fleet.peak_fleet_mem_gb,
+            hw::MemoryTracker::toGiB(mem.fleetTotalBytes(
+                positions, static_cast<int>(active.size()))));
+
+        // --- retire finished sessions ------------------------------
         size_t keep = 0;
         for (size_t i = 0; i < active.size(); ++i) {
-            Active a = active[i];
-            ++a.step;
-            if (a.step >= runs[a.run].profile.steps()) {
-                outcomes[a.outcome].finish_s = clock;
-                outcomes[a.outcome].latency_s =
-                    clock - outcomes[a.outcome].request.arrival_s;
-            } else {
-                active[keep++] = a;
+            Entry &a = active[i];
+            if (!a.sess->finished()) {
+                if (keep != i)
+                    active[keep] = std::move(a);
+                ++keep;
+                continue;
             }
+            RequestOutcome &o = outcomes[a.outcome];
+            o.result = a.sess->finalize();
+            o.admit_s = a.first_admit_s;
+            o.queue_s = a.first_admit_s - a.req.arrival_s;
+            o.finish_s = clock;
+            o.latency_s = clock - a.req.arrival_s;
+            o.ttft_s = a.first_token_s - a.req.arrival_s;
+            o.mean_itl_s = a.itl_gaps > 0
+                               ? a.itl_sum_s /
+                                     static_cast<double>(a.itl_gaps)
+                               : 0.0;
+            o.preemptions = a.preemptions;
+            itl_sum += a.itl_sum_s;
+            itl_gaps += a.itl_gaps;
         }
         active.resize(keep);
     }
 
+    // --- reduce fleet metrics over the finished timeline -----------
     fleet.requests = static_cast<long>(n);
     fleet.makespan_s = clock - t0;
     fleet.tokens_per_s =
@@ -176,18 +343,27 @@ BatchScheduler::schedule(std::vector<PendingRun> runs,
             ? static_cast<double>(fleet.tokens) / fleet.makespan_s
             : 0.0;
 
-    std::vector<double> latencies, queues;
+    std::vector<double> latencies, queues, ttfts;
     latencies.reserve(n);
     queues.reserve(n);
+    ttfts.reserve(n);
     for (const auto &o : outcomes) {
+        if (o.dropped)
+            continue;
         latencies.push_back(o.latency_s);
         queues.push_back(o.queue_s);
+        ttfts.push_back(o.ttft_s);
         fleet.oplog.merge(o.result.stats.oplog);
     }
     fleet.mean_latency_s = metrics::mean(latencies);
     fleet.p50_latency_s = metrics::percentile(latencies, 50.0);
     fleet.p99_latency_s = metrics::percentile(latencies, 99.0);
     fleet.mean_queue_s = metrics::mean(queues);
+    fleet.mean_ttft_s = metrics::mean(ttfts);
+    fleet.p50_ttft_s = metrics::percentile(ttfts, 50.0);
+    fleet.p99_ttft_s = metrics::percentile(ttfts, 99.0);
+    fleet.mean_itl_s =
+        itl_gaps > 0 ? itl_sum / static_cast<double>(itl_gaps) : 0.0;
     fleet.energy_per_token_j =
         fleet.tokens > 0
             ? fleet.energy_j / static_cast<double>(fleet.tokens)

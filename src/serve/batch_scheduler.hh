@@ -1,30 +1,43 @@
 /**
  * @file
- * Continuous-batching scheduler for the serving layer.
+ * Live iteration-level continuous-batching scheduler.
  *
- * The functional simulator decodes each request independently (the
- * emitted tokens do not depend on batching — §6.3: SpecEE is
- * orthogonal to the serving stack), so serving splits into two
- * phases: workers produce per-request RunResults in parallel, then
- * the scheduler deterministically replays a continuous-batching
- * timeline over them. At every iteration boundary finished requests
- * retire and queued requests are admitted FIFO into free decode
- * slots (vllm-style continuous batching).
+ * The scheduler drives DecodeSessions directly, vllm-style: every
+ * iteration it (1) drops queued or active requests past their
+ * deadline, (2) admits waiting requests FIFO into free decode slots,
+ * (3) preempts the youngest active sessions (evict KV, re-enqueue at
+ * the head of the wait queue) when the fleet KV budget is exhausted,
+ * (4) calls step() on every active session — sessions pinned to
+ * different worker engines step in parallel — and (5) prices the
+ * iteration from the sessions' per-step cost records: weight-bound
+ * (shared) traffic is read once per iteration, so its time is the
+ * max over the batch, while per-request private traffic accumulates.
+ * Tokens stream to the caller at each iteration boundary, making
+ * TTFT and inter-token latency first-class fleet metrics.
  *
- * Iteration cost follows the roofline split of the cost model:
- * weight-bound operator classes (decoder layers, LM head, draft
- * model) are read once per iteration and amortize across the batch
- * — their time is the max over active requests — while per-request
- * traffic (KV reads, predictor MLPs, sliced heads) accumulates.
- * With max_batch = 1 the timeline degenerates exactly to sequential
- * one-request-at-a-time serving.
+ * Everything is deterministic for a fixed request stream: sessions
+ * decode under per-request seeds (bit-identical to Engine::runOne no
+ * matter how they interleave), admission/preemption decisions depend
+ * only on the deterministic fleet clock and allocator state, and
+ * per-iteration reductions run in admission order — so results are
+ * identical across worker counts, and max_batch = 1 with an
+ * unbounded KV pool reproduces sequential serving exactly.
+ *
+ * Preemption is recompute-style (as in vllm): the victim's KV blocks
+ * return to the pool and the request later re-decodes from scratch
+ * under the same seed, reproducing the same tokens; already-streamed
+ * tokens are not re-delivered. The work thrown away stays priced
+ * into the fleet timeline.
  */
 
 #ifndef SPECEE_SERVE_BATCH_SCHEDULER_HH
 #define SPECEE_SERVE_BATCH_SCHEDULER_HH
 
+#include <functional>
 #include <vector>
 
+#include "engines/decode_session.hh"
+#include "engines/pipeline.hh"
 #include "hw/cost_model.hh"
 #include "serve/request.hh"
 
@@ -35,35 +48,41 @@ struct SchedulerOptions
 {
     /** Decode-batch slots; 1 reproduces sequential serving. */
     int max_batch = 8;
+
+    /**
+     * Fleet KV budget in physical paged-KV blocks (kKvBlockSize
+     * positions of one layer each) across all active sessions;
+     * 0 = unbounded. When the next iteration's worst-case growth
+     * would exceed the budget, the scheduler preempts the youngest
+     * active session(s). The oldest active session is never
+     * preempted, so progress is guaranteed even when a single
+     * request's working set exceeds the budget.
+     */
+    int kv_budget_blocks = 0;
 };
 
-/**
- * Per-step cost decomposition of one completed request: shared
- * (weight-bound, batch-amortized) and private (per-request) time and
- * energy per decode step.
- */
-struct StepProfile
+/** One streamed token, delivered at an iteration boundary. */
+struct TokenEvent
 {
-    std::vector<double> shared_s;
-    std::vector<double> private_s;
-    std::vector<double> shared_j;
-    std::vector<double> private_j;
-
-    size_t steps() const { return shared_s.size(); }
+    uint64_t request_id = 0;
+    int token = 0;       ///< emitted token id
+    int index = 0;       ///< 0-based position in the request's output
+    double emit_s = 0.0; ///< fleet clock at emission
 };
 
-/** A completed functional run awaiting timeline placement. */
-struct PendingRun
-{
-    Request request;
-    engines::RunResult result;
-    StepProfile profile;
-};
+/** Per-token streaming callback (invoked on the scheduler thread). */
+using TokenCallback = std::function<void(const TokenEvent &)>;
 
 /** Fleet-level serving metrics over one drained request stream. */
 struct FleetStats
 {
     long requests = 0;
+    /**
+     * Tokens DELIVERED to clients (each output position counted
+     * once). Work re-decoded after a preemption is priced into
+     * makespan and energy but not counted again here, so
+     * tokens_per_s is goodput.
+     */
     long tokens = 0;
     long iterations = 0;
 
@@ -75,6 +94,12 @@ struct FleetStats
     double p99_latency_s = 0.0;
     double mean_queue_s = 0.0;
 
+    /** Streaming latency: time to first token and inter-token gap. */
+    double mean_ttft_s = 0.0;
+    double p50_ttft_s = 0.0;
+    double p99_ttft_s = 0.0;
+    double mean_itl_s = 0.0;
+
     double energy_j = 0.0;
     double energy_per_token_j = 0.0;
     double avg_power_w = 0.0;
@@ -82,10 +107,19 @@ struct FleetStats
     /** Mean decode-batch occupancy over iterations. */
     double mean_batch_occupancy = 0.0;
 
+    /** KV-pressure / backpressure accounting. */
+    long preemptions = 0;     ///< sessions evicted for KV pressure
+    long dropped = 0;         ///< requests dropped past deadline
+    long rejected = 0;        ///< requests refused at the queue
+    long peak_kv_blocks = 0;  ///< peak fleet paged-KV occupancy
+    double peak_fleet_mem_gb = 0.0; ///< weights once + fleet KV/act
+
     /**
-     * Merged per-request operator census (flop/byte counts and
-     * sequential-equivalent time); fleet time comes from the batched
-     * timeline above, not from this log.
+     * Merged per-request operator census of COMPLETED requests
+     * (flop/byte counts and sequential-equivalent time); fleet time
+     * comes from the live timeline above, not from this log, and
+     * work discarded by preemption or deadline drops is priced into
+     * the timeline but not re-counted here.
      */
     hw::OpLog oplog;
 };
@@ -99,21 +133,26 @@ struct FleetStats
  */
 bool isSharedClass(hw::OpClass cls);
 
-/** Split a run's operator log into a per-step cost profile. */
-StepProfile buildStepProfile(const engines::RunResult &result);
-
-/** Deterministic continuous-batching timeline simulator. */
+/** Live iteration-level continuous-batching scheduler. */
 class BatchScheduler
 {
   public:
     explicit BatchScheduler(const SchedulerOptions &opts);
 
     /**
-     * Replay `runs` through the batched timeline. Outcomes are
-     * returned in admission (FIFO by arrival, ties by id) order.
+     * Serve `requests` (must be sorted by (arrival, id)) to
+     * completion over `engines`, one live DecodeSession per admitted
+     * request. Outcomes are returned in request order. Sessions are
+     * pinned round-robin to engines; engines step their sessions in
+     * parallel threads, but every scheduling and pricing decision is
+     * made on the caller's thread in admission order, so the result
+     * is bit-identical for any engine count >= 1.
      */
-    FleetStats schedule(std::vector<PendingRun> runs,
-                        std::vector<RequestOutcome> &outcomes) const;
+    FleetStats run(const engines::Pipeline &pipe,
+                   std::vector<engines::Engine *> engines,
+                   std::vector<Request> requests,
+                   std::vector<RequestOutcome> &outcomes,
+                   const TokenCallback &on_token = {}) const;
 
     const SchedulerOptions &options() const { return opts_; }
 

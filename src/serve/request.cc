@@ -35,6 +35,8 @@ synthesizeStream(const StreamOptions &opts)
             clock += -std::log(1.0 - rng.uniform()) / opts.rate_rps;
             r.arrival_s = clock;
         }
+        if (opts.deadline_s > 0.0)
+            r.deadline_s = r.arrival_s + opts.deadline_s;
         reqs.push_back(std::move(r));
     }
     return reqs;

@@ -2,11 +2,12 @@
  * @file
  * Serving requests: the unit of work the cloud server schedules.
  *
- * A Request names a dataset profile, per-request generation options
- * and a simulated arrival time; the RequestOutcome pairs the engine's
- * functional result with the timeline the BatchScheduler assigned to
- * it (admission, finish, latency). synthesizeStream() builds the
- * Poisson request mixes the offered-load sweeps use (§7.2.1).
+ * A Request names a dataset profile, per-request generation options,
+ * a simulated arrival time and an optional deadline; the
+ * RequestOutcome pairs the engine's functional result with the
+ * timeline the live scheduler gave it (admission, first token,
+ * finish, preemptions). synthesizeStream() builds the Poisson
+ * request mixes the offered-load sweeps use (§7.2.1).
  */
 
 #ifndef SPECEE_SERVE_REQUEST_HH
@@ -32,6 +33,13 @@ struct Request
 
     double arrival_s = 0.0; ///< simulated arrival time
     uint64_t seed = 1;      ///< per-request decode seed
+
+    /**
+     * Absolute completion deadline (client cancellation): the live
+     * scheduler drops the request at the first iteration boundary
+     * past this time, whether queued or mid-decode. <= 0 disables.
+     */
+    double deadline_s = 0.0;
 };
 
 /** Functional result + serving timeline of one completed request. */
@@ -40,10 +48,16 @@ struct RequestOutcome
     Request request;
     engines::RunResult result;
 
-    double admit_s = 0.0;   ///< joined a decode batch
-    double finish_s = 0.0;  ///< last token emitted
+    double admit_s = 0.0;   ///< first joined a decode batch
+    double finish_s = 0.0;  ///< last token emitted (or drop time)
     double latency_s = 0.0; ///< finish - arrival
-    double queue_s = 0.0;   ///< admit - arrival
+    double queue_s = 0.0;   ///< first admit - arrival
+
+    double ttft_s = 0.0;     ///< time to first token (from arrival)
+    double mean_itl_s = 0.0; ///< mean inter-token latency
+
+    int preemptions = 0;  ///< times evicted and re-decoded
+    bool dropped = false; ///< deadline expired before completion
 };
 
 /** Options for synthesizing a request stream. */
@@ -60,6 +74,9 @@ struct StreamOptions
      * <= 0 means every request arrives at t = 0.
      */
     double rate_rps = 0.0;
+
+    /** Per-request deadline relative to arrival; <= 0 = none. */
+    double deadline_s = 0.0;
 
     uint64_t seed = 0x5e21e;
 };

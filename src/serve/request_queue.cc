@@ -1,18 +1,22 @@
 #include "serve/request_queue.hh"
 
-#include "util/logging.hh"
-
 namespace specee::serve {
 
-void
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+bool
 RequestQueue::push(Request r)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        specee_assert(!closed_, "push on a closed request queue");
+        if (closed_ || (capacity_ > 0 && q_.size() >= capacity_)) {
+            ++rejected_;
+            return false;
+        }
         q_.push_back(std::move(r));
     }
     cv_.notify_one();
+    return true;
 }
 
 bool
@@ -60,6 +64,13 @@ RequestQueue::closed() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return closed_;
+}
+
+size_t
+RequestQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
 }
 
 } // namespace specee::serve

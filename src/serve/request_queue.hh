@@ -1,11 +1,14 @@
 /**
  * @file
- * Thread-safe FIFO request queue feeding the serving workers.
+ * Thread-safe FIFO request queue feeding the serving scheduler.
  *
- * Admission order is strictly first-in-first-out: workers drain the
- * queue in submission order, and the BatchScheduler later re-sorts by
- * (arrival, id) so fleet results never depend on which worker picked
- * up which request.
+ * Admission order is strictly first-in-first-out: the live scheduler
+ * admits drained requests in (arrival, id) order, so fleet results
+ * never depend on which thread submitted which request. The queue
+ * may be bounded: pushes beyond `capacity` (and pushes after
+ * close()) are defined no-ops that return false and increment the
+ * rejected-request counter — the backpressure signal offered-load
+ * experiments read.
  */
 
 #ifndef SPECEE_SERVE_REQUEST_QUEUE_HH
@@ -23,8 +26,15 @@ namespace specee::serve {
 class RequestQueue
 {
   public:
-    /** Enqueue one request. @pre queue not closed */
-    void push(Request r);
+    /** @param capacity max queued requests; 0 = unbounded */
+    explicit RequestQueue(size_t capacity = 0);
+
+    /**
+     * Enqueue one request. Returns false — and counts the request as
+     * rejected — when the queue is closed or at capacity; both are
+     * defined no-ops, not errors.
+     */
+    bool push(Request r);
 
     /**
      * Dequeue the oldest request, blocking until one is available or
@@ -41,10 +51,18 @@ class RequestQueue
     size_t size() const;
     bool closed() const;
 
+    /** Configured capacity (0 = unbounded). */
+    size_t capacity() const { return capacity_; }
+
+    /** Requests refused so far (queue full or closed). */
+    size_t rejected() const;
+
   private:
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Request> q_;
+    size_t capacity_;
+    size_t rejected_ = 0;
     bool closed_ = false;
 };
 

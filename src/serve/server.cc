@@ -1,14 +1,13 @@
 #include "serve/server.hh"
 
-#include <mutex>
-#include <thread>
+#include <algorithm>
 
 #include "util/logging.hh"
 
 namespace specee::serve {
 
 Server::Server(const engines::Pipeline &pipe, const ServerOptions &opts)
-    : pipe_(pipe), opts_(opts)
+    : pipe_(pipe), opts_(opts), queue_(opts.queue_capacity)
 {
     specee_assert(opts.workers >= 1, "server needs >= 1 worker, got %d",
                   opts.workers);
@@ -17,60 +16,51 @@ Server::Server(const engines::Pipeline &pipe, const ServerOptions &opts)
         engines_.push_back(pipe_.makeEngine(opts_.engine, opts_.spec));
 }
 
-void
+bool
 Server::submit(Request r)
 {
     specee_assert(r.gen.gen_len > 0,
                   "request %llu needs gen_len > 0, got %d",
                   static_cast<unsigned long long>(r.id), r.gen.gen_len);
     r.gen.n_instances = 1; // one generation per request
-    queue_.push(std::move(r));
+    return queue_.push(std::move(r));
 }
 
-void
+size_t
 Server::submit(std::vector<Request> rs)
 {
+    size_t accepted = 0;
     for (auto &r : rs)
-        submit(std::move(r));
+        accepted += submit(std::move(r)) ? 1 : 0;
+    return accepted;
 }
 
 ServeReport
 Server::drain()
 {
-    std::vector<PendingRun> runs;
-    std::mutex mu;
+    std::vector<Request> requests;
+    Request r;
+    while (queue_.tryPop(r))
+        requests.push_back(std::move(r));
 
-    auto workerFn = [this, &runs, &mu](engines::Engine &engine) {
-        Request r;
-        while (queue_.tryPop(r)) {
-            const auto w = pipe_.makeWorkload(
-                r.dataset, r.gen, opts_.engine.q4Calibrated());
-            auto result = engine.runOne(w, 0, r.seed);
-            PendingRun run;
-            run.profile = buildStepProfile(result);
-            run.request = std::move(r);
-            run.result = std::move(result);
-            std::lock_guard<std::mutex> lock(mu);
-            runs.push_back(std::move(run));
-        }
-    };
+    // Admission order never depends on submission interleaving.
+    std::sort(requests.begin(), requests.end(),
+              [](const Request &a, const Request &b) {
+                  if (a.arrival_s != b.arrival_s)
+                      return a.arrival_s < b.arrival_s;
+                  return a.id < b.id;
+              });
 
-    const size_t n_workers =
-        std::min(engines_.size(), std::max<size_t>(1, queue_.size()));
-    if (n_workers <= 1) {
-        workerFn(*engines_.front());
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_workers);
-        for (size_t i = 0; i < n_workers; ++i)
-            pool.emplace_back(workerFn, std::ref(*engines_[i]));
-        for (auto &t : pool)
-            t.join();
-    }
+    std::vector<engines::Engine *> engines;
+    engines.reserve(engines_.size());
+    for (auto &e : engines_)
+        engines.push_back(e.get());
 
     ServeReport report;
     BatchScheduler sched(opts_.sched);
-    report.fleet = sched.schedule(std::move(runs), report.outcomes);
+    report.fleet = sched.run(pipe_, engines, std::move(requests),
+                             report.outcomes, opts_.on_token);
+    report.fleet.rejected = static_cast<long>(queue_.rejected());
     return report;
 }
 

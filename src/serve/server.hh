@@ -2,23 +2,27 @@
  * @file
  * Multi-request serving node (§7.2.1 cloud scenario at fleet scale).
  *
- * A Server owns a pool of worker threads, each with its own Engine
- * built from one shared trained Pipeline (predictor bank, AdaInfer
- * SVMs, RAEE index and corpus are immutable after training and safe
- * to share). Workers drain the RequestQueue in FIFO order and run
- * each request through the re-entrant per-request engine entry
- * point; the BatchScheduler then lays the completed runs onto a
- * continuous-batching timeline and reduces them to fleet throughput,
- * latency percentiles and energy.
+ * A Server owns a pool of worker engines built from one shared
+ * trained Pipeline (predictor bank, AdaInfer SVMs, RAEE index and
+ * corpus are immutable after training and safe to share). drain()
+ * runs the live iteration-level BatchScheduler over the queued
+ * requests: each request becomes a stepwise DecodeSession pinned to
+ * a worker engine, sessions step in parallel per iteration, queued
+ * requests are admitted into free slots at every iteration boundary,
+ * and sessions are preempted (KV evicted, re-enqueued) when the
+ * fleet KV budget runs out. Tokens stream to `on_token` as they are
+ * emitted.
  *
  *   serve::Server server(pipe, {.engine = cfg.withSpecEE()});
  *   server.submit(serve::synthesizeStream({.rate_rps = 8.0}));
  *   auto report = server.drain();
- *   // report.fleet.tokens_per_s, report.fleet.p99_latency_s, ...
+ *   // report.fleet.tokens_per_s, .p99_latency_s, .mean_ttft_s, ...
  *
  * Results are bit-deterministic for a fixed request stream no matter
  * how many workers run: every request decodes under its own seed and
- * the timeline is replayed in (arrival, id) order.
+ * all scheduling decisions are made in admission order on the fleet
+ * clock. With max_batch = 1 and an unbounded KV budget the timeline
+ * reduces exactly to sequential one-request-at-a-time serving.
  */
 
 #ifndef SPECEE_SERVE_SERVER_HH
@@ -41,10 +45,24 @@ struct ServerOptions
 
     hw::HardwareSpec spec = hw::HardwareSpec::a100();
 
-    /** Worker threads (each owns one Engine). */
+    /** Worker engines stepping decode slots in parallel. */
     int workers = 2;
 
     SchedulerOptions sched;
+
+    /**
+     * Ingress queue bound; 0 = unbounded. Submissions beyond the
+     * bound are rejected (submit() returns false) and counted in
+     * FleetStats::rejected — the backpressure knob.
+     */
+    size_t queue_capacity = 0;
+
+    /**
+     * Streaming per-token callback, invoked on the drain()ing thread
+     * at iteration boundaries in admission order. Tokens re-decoded
+     * after a preemption are not re-delivered.
+     */
+    TokenCallback on_token;
 };
 
 /** Everything a drained request stream produced. */
@@ -56,22 +74,27 @@ struct ServeReport
     FleetStats fleet;
 };
 
-/** Multi-threaded serving node over one trained pipeline. */
+/** Multi-worker live-batching serving node over one trained pipeline. */
 class Server
 {
   public:
     Server(const engines::Pipeline &pipe, const ServerOptions &opts);
 
-    void submit(Request r);
-    void submit(std::vector<Request> rs);
+    /** @return false when the queue rejected the request. */
+    bool submit(Request r);
+    /** @return number of requests accepted. */
+    size_t submit(std::vector<Request> rs);
 
     /** Requests submitted but not yet drained. */
     size_t pending() const { return queue_.size(); }
 
+    /** Requests rejected by the bounded queue so far. */
+    size_t rejected() const { return queue_.rejected(); }
+
     /**
-     * Serve every queued request to completion and reduce the fleet
-     * metrics. Deterministic for a fixed stream regardless of the
-     * worker count.
+     * Serve every queued request to completion through the live
+     * scheduler and reduce the fleet metrics. Deterministic for a
+     * fixed stream regardless of the worker count.
      */
     ServeReport drain();
 

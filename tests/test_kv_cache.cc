@@ -1,10 +1,13 @@
 /**
  * @file
- * KV storage tests: contiguous cache, paged allocator (vllm
- * substrate), equivalence between the two, rollback semantics.
+ * KV storage tests: contiguous cache, multi-sequence paged allocator
+ * (vllm substrate), equivalence between the two, rollback semantics,
+ * pool exhaustion, fragmentation and per-sequence isolation.
  */
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "model/kv_cache.hh"
 #include "model/paged_kv.hh"
@@ -60,56 +63,177 @@ TEST(KvCache, OverflowDies)
 
 TEST(PagedKv, BlocksAllocatedOnDemand)
 {
-    PagedKvCache kv(1, 4, 2);
-    EXPECT_EQ(kv.blocksInUse(), 0);
+    PagedKvCache pool(1, 4, 2);
+    const int s = pool.createSequence();
+    EXPECT_EQ(pool.blocksInUse(), 0);
     for (int i = 0; i < kKvBlockSize; ++i)
-        kv.append(0, vec(2, 0), vec(2, 0));
-    EXPECT_EQ(kv.blocksInUse(), 1);
-    kv.append(0, vec(2, 0), vec(2, 0));
-    EXPECT_EQ(kv.blocksInUse(), 2);
+        pool.append(s, 0, vec(2, 0), vec(2, 0));
+    EXPECT_EQ(pool.blocksInUse(), 1);
+    pool.append(s, 0, vec(2, 0), vec(2, 0));
+    EXPECT_EQ(pool.blocksInUse(), 2);
 }
 
 TEST(PagedKv, TruncateFreesWholeBlocks)
 {
-    PagedKvCache kv(1, 8, 2);
+    PagedKvCache pool(1, 8, 2);
+    const int s = pool.createSequence();
     for (int i = 0; i < 2 * kKvBlockSize + 3; ++i)
-        kv.append(0, vec(2, static_cast<float>(i)), vec(2, 0));
-    EXPECT_EQ(kv.blocksInUse(), 3);
-    kv.truncate(kKvBlockSize); // exactly one block's worth
-    EXPECT_EQ(kv.blocksInUse(), 1);
-    EXPECT_EQ(kv.length(0), kKvBlockSize);
+        pool.append(s, 0, vec(2, static_cast<float>(i)), vec(2, 0));
+    EXPECT_EQ(pool.blocksInUse(), 3);
+    pool.truncate(s, kKvBlockSize); // exactly one block's worth
+    EXPECT_EQ(pool.blocksInUse(), 1);
+    EXPECT_EQ(pool.length(s, 0), kKvBlockSize);
     // Freed blocks are reusable.
     for (int i = 0; i < kKvBlockSize; ++i)
-        kv.append(0, vec(2, 0), vec(2, 0));
-    EXPECT_EQ(kv.blocksInUse(), 2);
+        pool.append(s, 0, vec(2, 0), vec(2, 0));
+    EXPECT_EQ(pool.blocksInUse(), 2);
+}
+
+TEST(PagedKv, TruncateToZeroFreesAllBlocks)
+{
+    PagedKvCache pool(3, 12, 2);
+    const int s = pool.createSequence();
+    for (int l = 0; l < 3; ++l)
+        for (int i = 0; i < kKvBlockSize + 5; ++i)
+            pool.append(s, l, vec(2, 0), vec(2, 0));
+    EXPECT_EQ(pool.seqBlocks(s), 6);
+    pool.truncate(s, 0);
+    EXPECT_EQ(pool.seqBlocks(s), 0);
+    EXPECT_EQ(pool.blocksInUse(), 0);
+    EXPECT_EQ(pool.blocksFree(), 12);
+    for (int l = 0; l < 3; ++l)
+        EXPECT_EQ(pool.length(s, l), 0);
+    // The sequence stays usable after a full rollback.
+    EXPECT_EQ(pool.append(s, 0, vec(2, 9.0f), vec(2, 0)), 0);
 }
 
 TEST(PagedKv, ClearReleasesEverything)
 {
-    PagedKvCache kv(2, 8, 2);
+    PagedKvCache pool(2, 8, 2);
+    const int s = pool.createSequence();
     for (int l = 0; l < 2; ++l)
         for (int i = 0; i < 20; ++i)
-            kv.append(l, vec(2, 0), vec(2, 0));
-    kv.clear();
-    EXPECT_EQ(kv.blocksInUse(), 0);
-    EXPECT_EQ(kv.blocksFree(), 8);
-    EXPECT_EQ(kv.length(0), 0);
+            pool.append(s, l, vec(2, 0), vec(2, 0));
+    pool.clearSeq(s);
+    EXPECT_EQ(pool.blocksInUse(), 0);
+    EXPECT_EQ(pool.blocksFree(), 8);
+    EXPECT_EQ(pool.length(s, 0), 0);
 }
 
-TEST(PagedKv, PoolExhaustionDies)
+TEST(PagedKv, PoolExhaustionMidAppendDies)
 {
-    PagedKvCache kv(1, 1, 2);
+    // Two sequences share one physical pool; the second exhausts it
+    // mid-append even though its own sequence is tiny.
+    PagedKvCache pool(1, 2, 2);
+    const int a = pool.createSequence();
+    const int b = pool.createSequence();
     for (int i = 0; i < kKvBlockSize; ++i)
-        kv.append(0, vec(2, 0), vec(2, 0));
-    EXPECT_TRUE(kv.wouldOverflow(0));
-    EXPECT_DEATH(kv.append(0, vec(2, 0), vec(2, 0)), "exhausted");
+        pool.append(a, 0, vec(2, 0), vec(2, 0));
+    for (int i = 0; i < kKvBlockSize; ++i)
+        pool.append(b, 0, vec(2, 0), vec(2, 0));
+    EXPECT_TRUE(pool.wouldOverflow(a, 0));
+    EXPECT_TRUE(pool.wouldOverflow(b, 0));
+    EXPECT_DEATH(pool.append(b, 0, vec(2, 0), vec(2, 0)), "exhausted");
+    // Freeing the other sequence unblocks the append.
+    pool.dropSequence(a);
+    EXPECT_FALSE(pool.wouldOverflow(b, 0));
+    EXPECT_EQ(pool.append(b, 0, vec(2, 0), vec(2, 0)), kKvBlockSize);
+}
+
+TEST(PagedKv, PerSequenceIsolation)
+{
+    PagedKvCache pool(2, 8, 2);
+    const int a = pool.createSequence();
+    const int b = pool.createSequence();
+    // Interleaved appends: positions and contents must not bleed
+    // across block tables.
+    for (int i = 0; i < kKvBlockSize + 2; ++i) {
+        EXPECT_EQ(pool.append(a, 0, vec(2, 1000.0f + i), vec(2, 0)), i);
+        EXPECT_EQ(pool.append(b, 0, vec(2, 2000.0f + i), vec(2, 0)), i);
+    }
+    pool.append(b, 1, vec(2, 3000.0f), vec(2, 0));
+    EXPECT_EQ(pool.length(a, 0), kKvBlockSize + 2);
+    EXPECT_EQ(pool.length(a, 1), 0);
+    EXPECT_EQ(pool.length(b, 1), 1);
+    for (int i = 0; i < kKvBlockSize + 2; ++i) {
+        EXPECT_FLOAT_EQ(pool.key(a, 0, i)[0], 1000.0f + i);
+        EXPECT_FLOAT_EQ(pool.key(b, 0, i)[0], 2000.0f + i);
+    }
+    // Truncating one sequence leaves the other intact.
+    pool.truncate(a, 1);
+    EXPECT_EQ(pool.length(b, 0), kKvBlockSize + 2);
+    EXPECT_FLOAT_EQ(pool.key(b, 0, kKvBlockSize)[0],
+                    2000.0f + kKvBlockSize);
+}
+
+TEST(PagedKv, InterleavedAllocFreeFragmentation)
+{
+    // Fragmentation scenario: A and B interleave allocations so
+    // neither owns a contiguous physical range, then A is dropped
+    // and a new sequence reuses the scattered free blocks.
+    PagedKvCache pool(1, 4, 2);
+    const int a = pool.createSequence();
+    const int b = pool.createSequence();
+    for (int i = 0; i < 2 * kKvBlockSize; ++i) {
+        pool.append(a, 0, vec(2, 10.0f + i), vec(2, 0));
+        pool.append(b, 0, vec(2, 20.0f + i), vec(2, 0));
+    }
+    EXPECT_EQ(pool.blocksFree(), 0);
+    pool.dropSequence(a);
+    EXPECT_EQ(pool.blocksFree(), 2);
+    EXPECT_EQ(pool.blocksInUse(), 2);
+
+    const int c = pool.createSequence();
+    for (int i = 0; i < 2 * kKvBlockSize; ++i)
+        pool.append(c, 0, vec(2, 30.0f + i), vec(2, 0));
+    EXPECT_EQ(pool.blocksFree(), 0);
+    // B survived the churn bit-for-bit.
+    for (int i = 0; i < 2 * kKvBlockSize; ++i) {
+        EXPECT_FLOAT_EQ(pool.key(b, 0, i)[0], 20.0f + i);
+        EXPECT_FLOAT_EQ(pool.key(c, 0, i)[0], 30.0f + i);
+    }
+}
+
+TEST(PagedKv, SequenceIdsRecycleDeterministically)
+{
+    PagedKvCache pool(1, 4, 2);
+    const int a = pool.createSequence();
+    const int b = pool.createSequence();
+    EXPECT_EQ(pool.nSequences(), 2);
+    pool.dropSequence(a);
+    EXPECT_EQ(pool.createSequence(), a); // LIFO recycling
+    EXPECT_EQ(pool.nSequences(), 2);
+    (void)b;
+}
+
+TEST(SequenceKv, KvStoreViewOwnsItsSequence)
+{
+    auto pool = std::make_shared<PagedKvCache>(2, 8, 2);
+    {
+        SequenceKv view(pool);
+        KvStore &kv = view;
+        for (int i = 0; i < kKvBlockSize + 1; ++i)
+            kv.append(0, vec(2, static_cast<float>(i)), vec(2, 0));
+        EXPECT_EQ(kv.length(0), kKvBlockSize + 1);
+        EXPECT_FLOAT_EQ(kv.key(0, kKvBlockSize)[0],
+                        static_cast<float>(kKvBlockSize));
+        EXPECT_EQ(view.blocks(), 2);
+        kv.truncate(1);
+        EXPECT_EQ(view.blocks(), 1);
+        EXPECT_EQ(pool->nSequences(), 1);
+    }
+    // The view's destructor returned every block to the pool.
+    EXPECT_EQ(pool->blocksInUse(), 0);
+    EXPECT_EQ(pool->nSequences(), 0);
 }
 
 TEST(PagedKv, MatchesContiguousContents)
 {
     const int layers = 3, hidden = 8, tokens = 40;
     KvCache a(layers, 64, hidden);
-    PagedKvCache b(layers, layers * (tokens / kKvBlockSize + 2), hidden);
+    PagedKvCache pool(layers, layers * (tokens / kKvBlockSize + 2),
+                      hidden);
+    const int s = pool.createSequence();
     Rng rng(7);
     for (int t = 0; t < tokens; ++t) {
         for (int l = 0; l < layers; ++l) {
@@ -118,17 +242,18 @@ TEST(PagedKv, MatchesContiguousContents)
                 x = static_cast<float>(rng.normal());
             for (auto &x : v)
                 x = static_cast<float>(rng.normal());
-            EXPECT_EQ(a.append(l, k, v), b.append(l, k, v));
+            EXPECT_EQ(a.append(l, k, v), pool.append(s, l, k, v));
         }
     }
     for (int l = 0; l < layers; ++l) {
-        ASSERT_EQ(a.length(l), b.length(l));
+        ASSERT_EQ(a.length(l), pool.length(s, l));
         for (int p = 0; p < a.length(l); ++p) {
             for (int d = 0; d < hidden; ++d) {
-                ASSERT_FLOAT_EQ(a.key(l, p)[static_cast<size_t>(d)],
-                                b.key(l, p)[static_cast<size_t>(d)]);
-                ASSERT_FLOAT_EQ(a.value(l, p)[static_cast<size_t>(d)],
-                                b.value(l, p)[static_cast<size_t>(d)]);
+                const auto di = static_cast<size_t>(d);
+                ASSERT_FLOAT_EQ(a.key(l, p)[di],
+                                pool.key(s, l, p)[di]);
+                ASSERT_FLOAT_EQ(a.value(l, p)[di],
+                                pool.value(s, l, p)[di]);
             }
         }
     }
@@ -136,10 +261,11 @@ TEST(PagedKv, MatchesContiguousContents)
 
 TEST(PagedKv, PerLayerIndependentTables)
 {
-    PagedKvCache kv(2, 4, 2);
-    kv.append(0, vec(2, 1.0f), vec(2, 2.0f));
-    kv.append(1, vec(2, 3.0f), vec(2, 4.0f));
-    EXPECT_FLOAT_EQ(kv.key(0, 0)[0], 1.0f);
-    EXPECT_FLOAT_EQ(kv.key(1, 0)[0], 3.0f);
-    EXPECT_EQ(kv.blocksInUse(), 2);
+    PagedKvCache pool(2, 4, 2);
+    const int s = pool.createSequence();
+    pool.append(s, 0, vec(2, 1.0f), vec(2, 2.0f));
+    pool.append(s, 1, vec(2, 3.0f), vec(2, 4.0f));
+    EXPECT_FLOAT_EQ(pool.key(s, 0, 0)[0], 1.0f);
+    EXPECT_FLOAT_EQ(pool.key(s, 1, 0)[0], 3.0f);
+    EXPECT_EQ(pool.blocksInUse(), 2);
 }
