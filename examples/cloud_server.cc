@@ -45,6 +45,7 @@ main(int argc, char **argv)
         ++streamed;
         if (first_emit_s < 0.0)
             first_emit_s = ev.emit_s;
+        return true; // false would cancel the request (backpressure)
     };
     serve::Server server(pipe, sopts);
 

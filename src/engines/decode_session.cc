@@ -92,7 +92,8 @@ DecodeSession::DecodeSession(Engine &eng, workload::Workload w,
 void
 DecodeSession::prefill()
 {
-    specee_assert(!prefilled_, "prefill() called twice");
+    specee_assert(!prefilled_ && !prefillStarted_,
+                  "prefill() after prefill began");
     const auto &inst = w_->instances[instance_];
     BindGuard bind(*eng_.tm_, &seq_);
     // fork() keeps the decode rng stream untouched (draft draws stay
@@ -103,7 +104,59 @@ DecodeSession::prefill()
     std::vector<int> prefix(inst.prompt.begin(), inst.prompt.end() - 1);
     eng_.tm_->prefill(prefix);
     input_ = inst.prompt.back();
+    prefillStarted_ = true;
+    prefillTrue_ = prefillTotal();
+    simFilled_ = static_cast<int>(prefix.size());
     prefilled_ = true;
+}
+
+int
+DecodeSession::prefillRemaining() const
+{
+    return prefilled_ ? 0 : std::max(prefillTotal(), 1) - prefillTrue_;
+}
+
+int
+DecodeSession::prefillChunk(int n_tokens)
+{
+    specee_assert(n_tokens > 0, "prefillChunk() needs n_tokens > 0");
+    specee_assert(!prefilled_, "prefillChunk() after prefill done");
+    const auto &inst = w_->instances[instance_];
+    const auto before = snapshotOplog();
+    BindGuard bind(*eng_.tm_, &seq_);
+    if (!prefillStarted_) {
+        // Same sequence initialization as prefill() — the chunked
+        // and atomic paths are bit-identical once the prompt lands.
+        eng_.tm_->reset(rng_->fork(0x7e5e + instance_).next());
+        prefillStarted_ = true;
+    }
+    const int total = std::max(prefillTotal(), 1);
+    const int take = std::min(n_tokens, total - prefillTrue_);
+    eng_.chargePrefillChunk(out_->stats.oplog, take, prefillTrue_);
+    prefillTrue_ += take;
+
+    // Functional KV fills in proportion to the modeled progress;
+    // TargetModel::prefill is a pure per-token append, so slice-wise
+    // calls reproduce the atomic prefill() state exactly.
+    const int prefix_len = static_cast<int>(inst.prompt.size()) - 1;
+    const int sim_target =
+        prefillTrue_ >= total
+            ? prefix_len
+            : static_cast<int>(static_cast<long>(prefix_len) *
+                               prefillTrue_ / total);
+    if (sim_target > simFilled_) {
+        std::vector<int> slice(
+            inst.prompt.begin() + simFilled_,
+            inst.prompt.begin() + sim_target);
+        eng_.tm_->prefill(slice);
+        simFilled_ = sim_target;
+    }
+    if (prefillTrue_ >= total) {
+        input_ = inst.prompt.back();
+        prefilled_ = true;
+    }
+    captureCost(before, 0);
+    return take;
 }
 
 bool
@@ -124,6 +177,31 @@ DecodeSession::snapshotOplog() const
     return snap;
 }
 
+void
+DecodeSession::captureCost(
+    const std::array<std::pair<double, double>, hw::kNumOpClasses>
+        &before,
+    int tokens)
+{
+    last_ = StepCost{};
+    last_.tokens = tokens;
+    for (int c = 0; c < hw::kNumOpClasses; ++c) {
+        const auto cls = static_cast<hw::OpClass>(c);
+        const auto &tot = out_->stats.oplog.totals(cls);
+        const double dt =
+            tot.time_s - before[static_cast<size_t>(c)].first;
+        const double de =
+            tot.energy_j - before[static_cast<size_t>(c)].second;
+        if (hw::isBatchAmortized(cls)) {
+            last_.shared_s += dt;
+            last_.shared_j += de;
+        } else {
+            last_.private_s += dt;
+            last_.private_j += de;
+        }
+    }
+}
+
 bool
 DecodeSession::step()
 {
@@ -141,23 +219,8 @@ DecodeSession::step()
                                       : stepAutoregressive();
     }
 
-    last_ = StepCost{};
-    last_.tokens = static_cast<int>(em_.tokens.size() - tokens_before);
-    for (int c = 0; c < hw::kNumOpClasses; ++c) {
-        const auto cls = static_cast<hw::OpClass>(c);
-        const auto &tot = out_->stats.oplog.totals(cls);
-        const double dt =
-            tot.time_s - before[static_cast<size_t>(c)].first;
-        const double de =
-            tot.energy_j - before[static_cast<size_t>(c)].second;
-        if (hw::isBatchAmortized(cls)) {
-            last_.shared_s += dt;
-            last_.shared_j += de;
-        } else {
-            last_.private_s += dt;
-            last_.private_j += de;
-        }
-    }
+    captureCost(before,
+                static_cast<int>(em_.tokens.size() - tokens_before));
     return more;
 }
 
@@ -327,8 +390,11 @@ DecodeSession::kvBlocks() const
 long
 DecodeSession::modeledPositions() const
 {
-    return static_cast<long>(w_->true_prompt_len) +
-           static_cast<long>(em_.tokens.size());
+    // Mid-prefill, only the ingested prefix occupies modeled KV.
+    const long prompt = prefilled_
+                            ? static_cast<long>(w_->true_prompt_len)
+                            : static_cast<long>(prefillTrue_);
+    return prompt + static_cast<long>(em_.tokens.size());
 }
 
 void

@@ -85,6 +85,29 @@ class DecodeSession
     void prefill();
 
     /**
+     * Chunked prefill: ingest up to `n_tokens` prompt tokens at the
+     * TRUE dimensions, charging the chunk (weight stream + chunk-
+     * scaled compute) into the session's oplog and recording it in
+     * lastStep() so an iteration-level scheduler can price it like a
+     * decode step. The first call initializes the sequence exactly
+     * like prefill(); the sim-dims KV fills in proportion to the
+     * modeled progress, and the call that consumes the final token
+     * completes the functional prefill — after which the session
+     * decodes bit-identically to an atomically prefilled one.
+     * Mutually exclusive with prefill(). @return tokens consumed
+     */
+    int prefillChunk(int n_tokens);
+
+    /** True once the whole prompt is ingested (decode may step). */
+    bool prefillDone() const { return prefilled_; }
+
+    /** Prompt tokens (true dims) still to ingest; 0 once done. */
+    int prefillRemaining() const;
+
+    /** Total prompt length (true dims) this session ingests. */
+    int prefillTotal() const { return w_->true_prompt_len; }
+
+    /**
      * Advance one iteration unit (one token, or one speculative
      * pass). @return true while more scripted steps remain.
      * @pre prefill() was called and !finished()
@@ -135,6 +158,16 @@ class DecodeSession
     std::array<std::pair<double, double>, hw::kNumOpClasses>
     snapshotOplog() const;
 
+    /**
+     * Reduce the oplog delta since `before` into last_ along the
+     * shared/private roofline split; `tokens` is the number of
+     * emissions this unit committed.
+     */
+    void captureCost(
+        const std::array<std::pair<double, double>, hw::kNumOpClasses>
+            &before,
+        int tokens);
+
     Engine &eng_;
     std::optional<workload::Workload> ownedW_;
     const workload::Workload *w_;
@@ -155,6 +188,9 @@ class DecodeSession
     int input_ = 0;      ///< next input token (autoregressive path)
     long committed_ = 0;
     bool prefilled_ = false;
+    bool prefillStarted_ = false; ///< sequence reset / first chunk ran
+    int prefillTrue_ = 0;         ///< true-dims prompt tokens ingested
+    int simFilled_ = 0;           ///< sim prefix tokens appended to KV
     bool emissionDone_ = false;
     StepCost last_;
 };

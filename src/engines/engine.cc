@@ -276,6 +276,45 @@ Engine::chargeEmbed(hw::OpLog &log, int n) const
     cost_->account(log, hw::OpClass::Embed, 0.0, bytes, 0.0, 1);
 }
 
+void
+Engine::chargePrefillChunk(hw::OpLog &log, int n_tokens,
+                           int past_len) const
+{
+    if (n_tokens <= 0)
+        return;
+    const int L = mcfg_.n_layers;
+    const double h = mcfg_.truth.hidden;
+    const double nt = static_cast<double>(n_tokens);
+
+    // One full-depth weight stream per chunk, regardless of chunk
+    // length — the roofline's memory leg, shared with decode peers.
+    const double wbytes =
+        layerWeightBytes(ecfg_.sparse_ffn) * legacyQuantFactor_ * L;
+    cost_->account(log, hw::OpClass::PrefillWeights, 0.0, wbytes, 0.0,
+                   10 * L);
+
+    // Chunk-scaled compute leg: projection/FFN GEMMs over n_tokens
+    // per layer, plus causal attention where token i of the chunk
+    // attends to past_len + i + 1 cached positions.
+    const double params = layerWeightBytes(false) / kFp16;
+    const double attended =
+        nt * static_cast<double>(past_len) + 0.5 * nt * (nt + 1.0);
+    const double flops =
+        (2.0 * params * nt + 2.0 * h * attended) * L;
+    const double act_bytes =
+        (2.0 * h * kFp16 * nt          // residual stream in/out
+         + 2.0 * h * kFp16 * attended  // k/v reads of attention
+         + 2.0 * h * kFp16 * nt) *     // k/v writes of the chunk
+        L;
+    cost_->account(log, hw::OpClass::PrefillCompute, flops, 0.0,
+                   act_bytes, 2 * L);
+
+    if (hwspec_.sync_us_per_layer > 0.0) {
+        cost_->accountFixed(log, hw::OpClass::Sync,
+                            hwspec_.sync_us_per_layer * 1e-6 * L);
+    }
+}
+
 double
 Engine::headCompression() const
 {

@@ -201,6 +201,19 @@ class Engine
     void chargeEmbed(hw::OpLog &log, int n) const;
     void chargeOverhead(hw::OpLog &log) const;
 
+    /**
+     * Price one prefill chunk of `n_tokens` prompt tokens (true
+     * dims) appended after `past_len` already-ingested positions.
+     * The layer weight stream is charged once for the whole chunk
+     * (PrefillWeights, batch-amortized: a mixed iteration reads the
+     * weights once for prefill chunks and decode steps alike); the
+     * chunk-scaled side — GEMM flops over n_tokens, causal attention
+     * over the growing past, per-token activations and KV writes —
+     * is charged as private PrefillCompute traffic.
+     */
+    void chargePrefillChunk(hw::OpLog &log, int n_tokens,
+                            int past_len) const;
+
     EngineConfig ecfg_;
     model::ModelConfig mcfg_;
     hw::HardwareSpec hwspec_;

@@ -18,6 +18,8 @@ opClassName(OpClass cls)
       case OpClass::Embed: return "embed";
       case OpClass::Sync: return "sync";
       case OpClass::Overhead: return "overhead";
+      case OpClass::PrefillWeights: return "prefill_weights";
+      case OpClass::PrefillCompute: return "prefill_compute";
       default: return "unknown";
     }
 }
@@ -39,6 +41,13 @@ isBatchAmortized(OpClass cls)
     case OpClass::Embed:
     case OpClass::Sync:
     case OpClass::Overhead:
+    // A prefill chunk runs every decoder layer, so its weight stream
+    // is the same bytes a decode iteration reads — in a mixed batch
+    // the iteration still reads the weights once. The chunk-scaled
+    // side (GEMM flops, attention over the past, KV writes) stays
+    // private: that is the interference a prefill chunk inflicts on
+    // its decode peers' inter-token latency.
+    case OpClass::PrefillWeights:
         return true;
     default:
         return false;
@@ -62,6 +71,11 @@ powerTable(double layer, double kv_read, double kv_fill, double head,
     p[static_cast<int>(OpClass::Embed)] = misc;
     p[static_cast<int>(OpClass::Sync)] = misc;
     p[static_cast<int>(OpClass::Overhead)] = misc;
+    // Prefill streams the same weights a decode layer pass reads; the
+    // chunk-scaled GEMMs saturate the compute units like the full
+    // head does.
+    p[static_cast<int>(OpClass::PrefillWeights)] = layer;
+    p[static_cast<int>(OpClass::PrefillCompute)] = head;
     return p;
 }
 

@@ -28,6 +28,8 @@ enum class OpClass : int {
     Embed,            ///< embedding lookup
     Sync,             ///< tensor-parallel synchronization
     Overhead,         ///< per-token framework overhead
+    PrefillWeights,   ///< layer weight stream of a prefill chunk
+    PrefillCompute,   ///< chunk-scaled prefill GEMMs / attention / KV
     NumClasses
 };
 
@@ -39,9 +41,10 @@ const char *opClassName(OpClass cls);
 /**
  * True for operator classes whose traffic is read once per decode
  * iteration and amortizes across a batch (weight-bound: decoder
- * layers, KV fill, full LM head, draft model, embedding table, plus
- * per-iteration sync/overhead) as opposed to per-request private
- * traffic (KV reads, predictor MLPs, sliced heads).
+ * layers, KV fill, full LM head, draft model, embedding table, the
+ * weight stream of a prefill chunk, plus per-iteration sync/overhead)
+ * as opposed to per-request private traffic (KV reads, predictor
+ * MLPs, sliced heads, and the chunk-length-scaled side of prefill).
  */
 bool isBatchAmortized(OpClass cls);
 

@@ -25,6 +25,7 @@ BatchScheduler::BatchScheduler(const SchedulerOptions &opts) : opts_(opts)
     specee_assert(opts.kv_budget_blocks >= 0,
                   "kv_budget_blocks must be >= 0, got %d",
                   opts.kv_budget_blocks);
+    PrefillPlanner(opts.prefill); // validates the prefill knobs
 }
 
 namespace {
@@ -46,6 +47,11 @@ struct Entry
     long itl_gaps = 0;
     size_t streamed = 0; ///< tokens already delivered downstream
     int preemptions = 0;
+
+    double prefill_ready_s = -1.0; ///< prompt fully ingested (clock)
+    int chunks = 0;  ///< prefill chunks of the current run
+    int granted = 0; ///< prompt tokens granted this iteration
+    bool cancel = false; ///< consumer returned false from on_token
 
     engines::StepCost cost; ///< most recent iteration's step cost
 };
@@ -94,11 +100,23 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             mcfg.sim.hidden));
     }
 
+    const PrefillPlanner planner(opts_.prefill);
+    const bool chunked = planner.enabled();
+
     // Worst-case block growth of one session in one iteration: every
-    // committed token may open a fresh block in every layer.
+    // committed token may open a fresh block in every layer; a
+    // prefill chunk can append up to the whole sim prefix.
     const int tokens_per_step =
         ecfg.spec_decode ? ecfg.tree.depth() + 1 : 1;
-    const int iter_growth = mcfg.n_layers * tokens_per_step;
+    int iter_growth = mcfg.n_layers * tokens_per_step;
+    if (chunked) {
+        iter_growth = std::max(
+            iter_growth,
+            mcfg.n_layers * ((workload::kSimPromptLen +
+                              model::kKvBlockSize - 1) /
+                                 model::kKvBlockSize +
+                             1));
+    }
 
     // Fleet memory at TRUE dims: weights/draft/predictors once,
     // per-session KV and activations summed. Same deployment model
@@ -124,6 +142,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     double occupancy = 0.0;
     double itl_sum = 0.0;
     long itl_gaps = 0;
+    std::vector<double> itl_samples; ///< every delivered gap
     uint64_t admit_seq = 0;
     std::vector<Entry> active;
     active.reserve(slots);
@@ -131,15 +150,26 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     const auto expired = [&](const Request &r) {
         return r.deadline_s > 0.0 && clock > r.deadline_s;
     };
-    const auto drop = [&](Entry &e) {
-        RequestOutcome &o = outcomes[e.outcome];
-        o.dropped = true;
+    const auto finishTimeline = [&](Entry &e, RequestOutcome &o) {
         o.finish_s = clock;
         o.latency_s = clock - e.req.arrival_s;
         o.admit_s = e.first_admit_s >= 0.0 ? e.first_admit_s : clock;
         o.queue_s = std::max(0.0, o.admit_s - e.req.arrival_s);
+        o.prefill_s = chunked && e.prefill_ready_s >= 0.0
+                          ? std::max(0.0, e.prefill_ready_s - o.admit_s)
+                          : 0.0;
+        o.prefill_chunks = e.chunks;
         o.preemptions = e.preemptions;
+    };
+    const auto drop = [&](Entry &e) {
+        RequestOutcome &o = outcomes[e.outcome];
+        o.dropped = true;
+        finishTimeline(e, o);
         ++fleet.dropped;
+        // Gaps already delivered count toward fleet ITL (they are in
+        // itl_samples too, keeping mean and percentiles consistent).
+        itl_sum += e.itl_sum_s;
+        itl_gaps += e.itl_gaps;
     };
     const auto fleetBlocks = [&] {
         long b = 0;
@@ -147,11 +177,29 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             b += a.sess->kvBlocks();
         return b;
     };
-    const auto promptBlocks = [&](const Entry &e) {
+    // KV an admission must be able to hold up front: the whole
+    // (sim-dims) prompt when prefill is atomic, only the first
+    // chunk's share of the prefix when chunked — gradual ingestion
+    // is what lets short requests slip in under KV pressure.
+    const auto admitBlocks = [&](const Entry &e) {
         const int prompt =
             static_cast<int>(e.w.instances.front().prompt.size());
+        int sim = prompt;
+        if (chunked) {
+            const int total = std::max(e.w.true_prompt_len, 1);
+            const int chunk =
+                std::min(opts_.prefill.chunk_tokens, total);
+            // A single-chunk prompt reserves exactly what the atomic
+            // path would; smaller chunks reserve the first chunk's
+            // proportional share of the sim prefix.
+            if (chunk < total) {
+                sim = std::max(
+                    1, static_cast<int>(static_cast<long>(prompt - 1) *
+                                        chunk / total));
+            }
+        }
         return mcfg.n_layers *
-               ((prompt + model::kKvBlockSize - 1) /
+               ((sim + model::kKvBlockSize - 1) /
                 model::kKvBlockSize);
     };
 
@@ -175,23 +223,42 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             }
         }
 
+        // Admission: interactive tier first, FIFO within each tier
+        // (with a uniform tier this degenerates to plain FIFO).
         while (!waiting.empty() && active.size() < slots) {
-            Entry &head = waiting.front();
-            if (head.req.arrival_s > clock)
+            size_t cand = waiting.size();
+            for (size_t i = 0; i < waiting.size(); ++i) {
+                // Future arrivals are a contiguous sorted tail
+                // (victims re-enter at the front, already arrived).
+                if (waiting[i].req.arrival_s > clock)
+                    break;
+                if (waiting[i].req.priority == Priority::Interactive) {
+                    cand = i;
+                    break;
+                }
+                if (cand == waiting.size())
+                    cand = i;
+            }
+            if (cand == waiting.size())
                 break;
+            Entry &head = waiting[cand];
             if (opts_.kv_budget_blocks > 0 && !active.empty() &&
-                fleetBlocks() + promptBlocks(head) +
+                fleetBlocks() + admitBlocks(head) +
                         iter_growth *
                             static_cast<long>(active.size() + 1) >
                     opts_.kv_budget_blocks)
                 break;
             Entry e = std::move(head);
-            waiting.pop_front();
+            waiting.erase(waiting.begin() + static_cast<long>(cand));
             e.engine = admit_seq++ % engines.size();
             e.sess = engines[e.engine]->makeSession(
                 e.w, e.req.seed,
                 std::make_unique<model::SequenceKv>(pools[e.engine]));
-            e.sess->prefill();
+            if (!chunked) {
+                // Atomic legacy prefill: free and instantaneous.
+                e.sess->prefill();
+                e.prefill_ready_s = clock;
+            }
             if (e.first_admit_s < 0.0)
                 e.first_admit_s = clock;
             active.push_back(std::move(e));
@@ -206,22 +273,52 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             continue;
         }
 
-        // KV pressure: evict the youngest sessions until the worst
-        // case of the next iteration fits the fleet budget. The
-        // oldest session is never evicted (guaranteed progress).
+        // KV pressure: evict sessions until the worst case of the
+        // next iteration fits the fleet budget. Victims are chosen
+        // batch-tier first (youngest batch session), then youngest
+        // overall; the oldest session is never evicted (guaranteed
+        // progress). A partially prefilled victim recomputes its
+        // chunks from scratch like a mid-decode victim re-decodes.
         while (opts_.kv_budget_blocks > 0 && active.size() > 1 &&
                fleetBlocks() +
                        iter_growth * static_cast<long>(active.size()) >
                    opts_.kv_budget_blocks) {
-            Entry victim = std::move(active.back());
-            active.pop_back();
+            size_t vi = active.size() - 1;
+            for (size_t i = active.size(); i-- > 1;) {
+                if (active[i].req.priority == Priority::Batch) {
+                    vi = i;
+                    break;
+                }
+            }
+            Entry victim = std::move(active[vi]);
+            active.erase(active.begin() + static_cast<long>(vi));
             victim.sess.reset(); // frees the KV blocks
+            victim.prefill_ready_s = -1.0;
+            victim.chunks = 0;
             ++victim.preemptions;
             ++fleet.preemptions;
             // Recompute preemption: back to the head of the wait
-            // queue (it is the youngest admission, so FIFO order is
-            // preserved) and re-decode from scratch later.
+            // queue (tier-aware admission keeps a batch victim from
+            // blocking interactive peers) and re-run from scratch.
             waiting.push_front(std::move(victim));
+        }
+
+        // --- plan the mixed iteration (scheduler thread) -----------
+        // Every decode-ready session steps; mid-prefill sessions run
+        // one planned chunk each under the iteration token budget.
+        std::vector<int> grant(active.size(), 0);
+        if (chunked) {
+            std::vector<int> pending(active.size(), 0);
+            std::vector<int> rank(active.size(), 0);
+            int decodes = 0;
+            for (size_t i = 0; i < active.size(); ++i) {
+                rank[i] = static_cast<int>(active[i].req.priority);
+                if (active[i].sess->prefillDone())
+                    ++decodes;
+                else
+                    pending[i] = active[i].sess->prefillRemaining();
+            }
+            grant = planner.plan(pending, rank, decodes);
         }
 
         // --- step every active session, in parallel by engine ------
@@ -235,9 +332,23 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 }
             }
             auto stepEngine = [&](size_t eng) {
-                for (auto &a : active) {
+                for (size_t i = 0; i < active.size(); ++i) {
+                    Entry &a = active[i];
                     if (a.engine != eng)
                         continue;
+                    if (chunked && !a.sess->prefillDone()) {
+                        if (grant[i] > 0) {
+                            a.granted = a.sess->prefillChunk(grant[i]);
+                            a.cost = a.sess->lastStep();
+                        } else {
+                            // Budget exhausted by decode peers: the
+                            // session idles this iteration.
+                            a.granted = 0;
+                            a.cost = engines::StepCost{};
+                        }
+                        continue;
+                    }
+                    a.granted = 0;
                     a.sess->step();
                     a.cost = a.sess->lastStep();
                 }
@@ -271,6 +382,17 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         occupancy += static_cast<double>(active.size());
         ++fleet.iterations;
 
+        // --- prefill bookkeeping (chunks land at this boundary) ----
+        for (auto &a : active) {
+            if (a.granted > 0) {
+                ++a.chunks;
+                ++fleet.prefill_chunks;
+                fleet.prefill_tokens += a.granted;
+            }
+            if (a.sess->prefillDone() && a.prefill_ready_s < 0.0)
+                a.prefill_ready_s = clock;
+        }
+
         // --- stream new tokens, track TTFT / inter-token gaps ------
         // fleet.tokens counts DELIVERED tokens only: a preempted
         // session re-decodes its prefix, but those tokens were
@@ -283,15 +405,23 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 if (a.first_token_s < 0.0) {
                     a.first_token_s = clock;
                 } else {
-                    a.itl_sum_s += clock - a.last_token_s;
+                    const double gap = clock - a.last_token_s;
+                    a.itl_sum_s += gap;
                     ++a.itl_gaps;
+                    itl_samples.push_back(gap);
                 }
                 a.last_token_s = clock;
-                if (on_token) {
-                    on_token(TokenEvent{a.req.id, em.tokens[i],
-                                        static_cast<int>(i), clock});
+                if (on_token &&
+                    !on_token(TokenEvent{a.req.id, em.tokens[i],
+                                         static_cast<int>(i), clock})) {
+                    // Streaming backpressure: the consumer cancelled;
+                    // the request retires at this boundary and no
+                    // further tokens are decoded or delivered.
+                    a.cancel = true;
                 }
                 a.streamed = i + 1;
+                if (a.cancel)
+                    break;
             }
         }
 
@@ -307,10 +437,26 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             hw::MemoryTracker::toGiB(mem.fleetTotalBytes(
                 positions, static_cast<int>(active.size()))));
 
-        // --- retire finished sessions ------------------------------
+        // --- retire finished and cancelled sessions ----------------
         size_t keep = 0;
         for (size_t i = 0; i < active.size(); ++i) {
             Entry &a = active[i];
+            if (a.cancel) {
+                // Consumer cancellation: delivered tokens stand (and
+                // their gaps count toward fleet ITL), but the
+                // request retires without a finalized result — like
+                // a deadline drop, counted separately.
+                RequestOutcome &o = outcomes[a.outcome];
+                o.cancelled = true;
+                finishTimeline(a, o);
+                o.ttft_s = a.first_token_s >= 0.0
+                               ? a.first_token_s - a.req.arrival_s
+                               : 0.0;
+                ++fleet.cancelled;
+                itl_sum += a.itl_sum_s;
+                itl_gaps += a.itl_gaps;
+                continue; // KV frees with the entry
+            }
             if (!a.sess->finished()) {
                 if (keep != i)
                     active[keep] = std::move(a);
@@ -319,16 +465,12 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             }
             RequestOutcome &o = outcomes[a.outcome];
             o.result = a.sess->finalize();
-            o.admit_s = a.first_admit_s;
-            o.queue_s = a.first_admit_s - a.req.arrival_s;
-            o.finish_s = clock;
-            o.latency_s = clock - a.req.arrival_s;
+            finishTimeline(a, o);
             o.ttft_s = a.first_token_s - a.req.arrival_s;
             o.mean_itl_s = a.itl_gaps > 0
                                ? a.itl_sum_s /
                                      static_cast<double>(a.itl_gaps)
                                : 0.0;
-            o.preemptions = a.preemptions;
             itl_sum += a.itl_sum_s;
             itl_gaps += a.itl_gaps;
         }
@@ -343,16 +485,18 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             ? static_cast<double>(fleet.tokens) / fleet.makespan_s
             : 0.0;
 
-    std::vector<double> latencies, queues, ttfts;
+    std::vector<double> latencies, queues, ttfts, prefills;
     latencies.reserve(n);
     queues.reserve(n);
     ttfts.reserve(n);
+    prefills.reserve(n);
     for (const auto &o : outcomes) {
-        if (o.dropped)
+        if (o.dropped || o.cancelled)
             continue;
         latencies.push_back(o.latency_s);
         queues.push_back(o.queue_s);
         ttfts.push_back(o.ttft_s);
+        prefills.push_back(o.prefill_s);
         fleet.oplog.merge(o.result.stats.oplog);
     }
     fleet.mean_latency_s = metrics::mean(latencies);
@@ -362,8 +506,11 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     fleet.mean_ttft_s = metrics::mean(ttfts);
     fleet.p50_ttft_s = metrics::percentile(ttfts, 50.0);
     fleet.p99_ttft_s = metrics::percentile(ttfts, 99.0);
+    fleet.mean_prefill_s = metrics::mean(prefills);
     fleet.mean_itl_s =
         itl_gaps > 0 ? itl_sum / static_cast<double>(itl_gaps) : 0.0;
+    fleet.p50_itl_s = metrics::percentile(itl_samples, 50.0);
+    fleet.p99_itl_s = metrics::percentile(itl_samples, 99.0);
     fleet.energy_per_token_j =
         fleet.tokens > 0
             ? fleet.energy_j / static_cast<double>(fleet.tokens)

@@ -4,16 +4,23 @@
  *
  * The scheduler drives DecodeSessions directly, vllm-style: every
  * iteration it (1) drops queued or active requests past their
- * deadline, (2) admits waiting requests FIFO into free decode slots,
- * (3) preempts the youngest active sessions (evict KV, re-enqueue at
- * the head of the wait queue) when the fleet KV budget is exhausted,
- * (4) calls step() on every active session — sessions pinned to
- * different worker engines step in parallel — and (5) prices the
- * iteration from the sessions' per-step cost records: weight-bound
- * (shared) traffic is read once per iteration, so its time is the
- * max over the batch, while per-request private traffic accumulates.
- * Tokens stream to the caller at each iteration boundary, making
- * TTFT and inter-token latency first-class fleet metrics.
+ * deadline, (2) admits waiting requests into free decode slots —
+ * interactive tier first, FIFO within each tier, (3) preempts active
+ * sessions (evict KV, re-enqueue at the head of the wait queue) when
+ * the fleet KV budget is exhausted, preferring batch-tier victims
+ * youngest-first, (4) plans a token-budgeted mixed iteration: every
+ * decode-ready session steps, while sessions still ingesting their
+ * prompt run one prefill chunk each under the PrefillPlanner's
+ * budget — sessions pinned to different worker engines step in
+ * parallel — and (5) prices the iteration from the sessions'
+ * per-step cost records: weight-bound (shared) traffic is read once
+ * per iteration, so its time is the max over the batch (a prefill
+ * chunk's weight stream amortizes with its decode peers), while
+ * per-request private traffic — including the chunk-length-scaled
+ * prefill compute — accumulates. Tokens stream to the caller at each
+ * iteration boundary, making TTFT and inter-token latency
+ * first-class fleet metrics; a callback returning false cancels its
+ * request at that boundary (streaming backpressure).
  *
  * Everything is deterministic for a fixed request stream: sessions
  * decode under per-request seeds (bit-identical to Engine::runOne no
@@ -39,6 +46,7 @@
 #include "engines/decode_session.hh"
 #include "engines/pipeline.hh"
 #include "hw/cost_model.hh"
+#include "serve/prefill_planner.hh"
 #include "serve/request.hh"
 
 namespace specee::serve {
@@ -59,6 +67,14 @@ struct SchedulerOptions
      * request's working set exceeds the budget.
      */
     int kv_budget_blocks = 0;
+
+    /**
+     * Chunked-prefill policy: chunk size and iteration token budget.
+     * chunk_tokens = 0 (default) disables the subsystem — prompts
+     * prefill atomically and free at admission, bit-identical to the
+     * pre-chunking scheduler.
+     */
+    PrefillOptions prefill;
 };
 
 /** One streamed token, delivered at an iteration boundary. */
@@ -70,8 +86,14 @@ struct TokenEvent
     double emit_s = 0.0; ///< fleet clock at emission
 };
 
-/** Per-token streaming callback (invoked on the scheduler thread). */
-using TokenCallback = std::function<void(const TokenEvent &)>;
+/**
+ * Per-token streaming callback (invoked on the scheduler thread).
+ * Return true to keep streaming; returning false cancels the request
+ * at the current iteration boundary (no further tokens are decoded
+ * or delivered, KV frees, and the request counts as cancelled in
+ * FleetStats — distinct from a deadline drop).
+ */
+using TokenCallback = std::function<bool(const TokenEvent &)>;
 
 /** Fleet-level serving metrics over one drained request stream. */
 struct FleetStats
@@ -99,6 +121,19 @@ struct FleetStats
     double p50_ttft_s = 0.0;
     double p99_ttft_s = 0.0;
     double mean_itl_s = 0.0;
+    double p50_itl_s = 0.0; ///< over all delivered inter-token gaps
+    double p99_itl_s = 0.0;
+
+    /**
+     * Chunked-prefill accounting: chunks / true prompt tokens
+     * executed (including work re-done after preemption) and the
+     * mean admission-to-prompt-ready time of completed requests —
+     * the prefill-queue side of a request's latency, vs the decode
+     * side covered by ITL. All zero while chunking is disabled.
+     */
+    long prefill_chunks = 0;
+    long prefill_tokens = 0;
+    double mean_prefill_s = 0.0;
 
     double energy_j = 0.0;
     double energy_per_token_j = 0.0;
@@ -110,6 +145,7 @@ struct FleetStats
     /** KV-pressure / backpressure accounting. */
     long preemptions = 0;     ///< sessions evicted for KV pressure
     long dropped = 0;         ///< requests dropped past deadline
+    long cancelled = 0;       ///< requests cancelled by the consumer
     long rejected = 0;        ///< requests refused at the queue
     long peak_kv_blocks = 0;  ///< peak fleet paged-KV occupancy
     double peak_fleet_mem_gb = 0.0; ///< weights once + fleet KV/act

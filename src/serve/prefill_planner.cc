@@ -1,0 +1,78 @@
+#include "serve/prefill_planner.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace specee::serve {
+
+PrefillPlanner::PrefillPlanner(const PrefillOptions &opts) : opts_(opts)
+{
+    specee_assert(opts.chunk_tokens >= 0,
+                  "chunk_tokens must be >= 0, got %d", opts.chunk_tokens);
+    specee_assert(opts.max_tokens_per_iteration >= 0,
+                  "max_tokens_per_iteration must be >= 0, got %d",
+                  opts.max_tokens_per_iteration);
+}
+
+std::vector<int>
+PrefillPlanner::plan(const std::vector<int> &pending,
+                     const std::vector<int> &tier_rank,
+                     int decode_sessions) const
+{
+    specee_assert(tier_rank.size() == pending.size(),
+                  "tier_rank/pending size mismatch (%zu vs %zu)",
+                  tier_rank.size(), pending.size());
+    std::vector<int> grant(pending.size(), 0);
+    if (!enabled())
+        return grant;
+
+    // Stall-free: decode steps reserve their budget first; prefill
+    // shares the leftover. With only prefilling sessions active, at
+    // least one token is granted so the iteration cannot spin.
+    long leftover;
+    if (opts_.max_tokens_per_iteration <= 0) {
+        leftover = std::numeric_limits<long>::max();
+    } else {
+        leftover = std::max<long>(
+            opts_.max_tokens_per_iteration - decode_sessions, 0);
+        if (decode_sessions == 0)
+            leftover = std::max<long>(leftover, 1);
+    }
+
+    // Serve prompts in (tier, admission) order: a short interactive
+    // prompt admitted behind long batch-tier backlogs still lands
+    // its chunks first.
+    std::vector<size_t> order(pending.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return tier_rank[a] < tier_rank[b];
+                     });
+
+    for (size_t idx : order) {
+        if (leftover <= 0)
+            break;
+        if (pending[idx] <= 0)
+            continue;
+        const int g = static_cast<int>(std::min<long>(
+            {static_cast<long>(opts_.chunk_tokens),
+             static_cast<long>(pending[idx]), leftover}));
+        grant[idx] = g;
+        leftover -= g;
+    }
+    return grant;
+}
+
+int
+PrefillPlanner::chunksFor(int prompt_tokens) const
+{
+    if (!enabled())
+        return 0;
+    const int p = std::max(prompt_tokens, 1);
+    return (p + opts_.chunk_tokens - 1) / opts_.chunk_tokens;
+}
+
+} // namespace specee::serve

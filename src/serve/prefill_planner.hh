@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Chunked-prefill planner: token-budgeted mixed iterations.
+ *
+ * Real schedulers (Sarathi-style stall-free batching, vllm's chunked
+ * prefill) split long prompts into chunks that share iterations with
+ * decode steps, so prompt ingestion stops being free and atomic: a
+ * prompt costs fleet time, contends with decode for the iteration's
+ * token budget, and a partially prefilled request is a first-class
+ * scheduler state (preemptable, deadline-droppable).
+ *
+ * The planner is the pure policy piece: given the pending prefill
+ * tokens of every active session and the number of decode-ready
+ * peers, it decides how many prompt tokens each mid-prefill session
+ * ingests this iteration. Decode is never stalled — each decode step
+ * reserves one token of the iteration budget first, and prefill
+ * chunks share whatever remains, FIFO in admission order, capped at
+ * `chunk_tokens` per session per iteration. The decision depends
+ * only on its arguments, so fleet results stay bit-deterministic
+ * across worker counts.
+ *
+ * Small chunks keep decode inter-token latency flat (each iteration
+ * carries little extra prefill compute) at the price of a later
+ * first token for long prompts; large chunks invert the tradeoff. A
+ * chunk budget of 0 disables the subsystem entirely: prompts prefill
+ * atomically and free at admission, reproducing the pre-chunking
+ * scheduler bit-identically.
+ */
+
+#ifndef SPECEE_SERVE_PREFILL_PLANNER_HH
+#define SPECEE_SERVE_PREFILL_PLANNER_HH
+
+#include <vector>
+
+namespace specee::serve {
+
+/** Chunked-prefill knobs (scheduler policy, not engine config). */
+struct PrefillOptions
+{
+    /**
+     * Max prompt tokens (true dims) one session ingests per
+     * iteration. 0 disables chunked prefill: prompts are ingested
+     * atomically and free at admission (pre-chunking behavior,
+     * bit-identical). A value at or above every prompt length prices
+     * prefill as one monolithic chunk — the "unchunked but priced"
+     * baseline of the TTFT-vs-ITL tradeoff.
+     */
+    int chunk_tokens = 0;
+
+    /**
+     * Iteration-wide token budget across the mixed batch: every
+     * decode-ready session reserves one token, prefill chunks share
+     * the remainder. 0 = unbounded (each prefilling session gets a
+     * full chunk every iteration). Ignored while chunking is
+     * disabled.
+     */
+    int max_tokens_per_iteration = 0;
+};
+
+/** Plans per-iteration prefill grants for the mixed batch. */
+class PrefillPlanner
+{
+  public:
+    explicit PrefillPlanner(const PrefillOptions &opts);
+
+    /** True when chunked prefill is active (chunk_tokens > 0). */
+    bool enabled() const { return opts_.chunk_tokens > 0; }
+
+    /**
+     * Grant prompt tokens for one iteration. `pending[i]` is the
+     * prefill backlog of active session i (0 = decode-ready) and
+     * `tier_rank[i]` its scheduling tier (lower = served first; the
+     * scheduler passes the request priority, so interactive prompts
+     * are never starved behind a batch-tier backlog);
+     * `decode_sessions` is the number of decode-ready peers, each of
+     * which reserves one budget token. Returns per-session grants,
+     * allocated in ascending (tier_rank, admission index) order.
+     * When no decode peer is active, the first-ranked prefilling
+     * session is granted at least one token, so mixed iterations
+     * always make progress.
+     */
+    std::vector<int> plan(const std::vector<int> &pending,
+                          const std::vector<int> &tier_rank,
+                          int decode_sessions) const;
+
+    /** Chunks a prompt of `prompt_tokens` needs at this chunk size. */
+    int chunksFor(int prompt_tokens) const;
+
+    const PrefillOptions &options() const { return opts_; }
+
+  private:
+    PrefillOptions opts_;
+};
+
+} // namespace specee::serve
+
+#endif // SPECEE_SERVE_PREFILL_PLANNER_HH

@@ -1,6 +1,8 @@
 #include "serve/request.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -21,11 +23,13 @@ synthesizeStream(const StreamOptions &opts)
     double clock = 0.0;
     for (int i = 0; i < opts.n_requests; ++i) {
         Request r;
-        r.id = static_cast<uint64_t>(i);
+        r.id = opts.id_base + static_cast<uint64_t>(i);
         r.dataset =
             opts.datasets[static_cast<size_t>(i) % opts.datasets.size()];
+        r.priority = opts.priority;
         r.gen.n_instances = 1;
         r.gen.gen_len = opts.gen_len;
+        r.gen.prompt_len_override = opts.prompt_len;
         // Independent prompt per request: the workload generator is
         // seeded per request, not per stream.
         r.gen.seed = rng.next();
@@ -40,6 +44,19 @@ synthesizeStream(const StreamOptions &opts)
         reqs.push_back(std::move(r));
     }
     return reqs;
+}
+
+std::vector<Request>
+mergeStreams(std::vector<Request> a, std::vector<Request> b)
+{
+    a.insert(a.end(), std::make_move_iterator(b.begin()),
+             std::make_move_iterator(b.end()));
+    std::sort(a.begin(), a.end(), [](const Request &x, const Request &y) {
+        if (x.arrival_s != y.arrival_s)
+            return x.arrival_s < y.arrival_s;
+        return x.id < y.id;
+    });
+    return a;
 }
 
 } // namespace specee::serve

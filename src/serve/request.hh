@@ -22,6 +22,16 @@
 
 namespace specee::serve {
 
+/**
+ * Latency tier of a request. Interactive requests are admitted
+ * before batch-tier requests (FIFO within each tier), and the
+ * scheduler prefers batch-tier sessions as preemption victims.
+ */
+enum class Priority : int {
+    Interactive = 0, ///< latency-sensitive (chat) — admitted first
+    Batch = 1,       ///< throughput work — preempted first
+};
+
 /** One generation request submitted to the server. */
 struct Request
 {
@@ -40,6 +50,9 @@ struct Request
      * past this time, whether queued or mid-decode. <= 0 disables.
      */
     double deadline_s = 0.0;
+
+    /** Latency tier (admission order and preemption preference). */
+    Priority priority = Priority::Interactive;
 };
 
 /** Functional result + serving timeline of one completed request. */
@@ -56,8 +69,17 @@ struct RequestOutcome
     double ttft_s = 0.0;     ///< time to first token (from arrival)
     double mean_itl_s = 0.0; ///< mean inter-token latency
 
-    int preemptions = 0;  ///< times evicted and re-decoded
-    bool dropped = false; ///< deadline expired before completion
+    /**
+     * Time from first admission to prompt fully ingested. 0 when
+     * chunked prefill is disabled (prompts ingest atomically and
+     * free at admission).
+     */
+    double prefill_s = 0.0;
+    int prefill_chunks = 0; ///< chunks the final (kept) run ingested
+
+    int preemptions = 0;   ///< times evicted and re-decoded
+    bool dropped = false;  ///< deadline expired before completion
+    bool cancelled = false; ///< stream consumer returned false
 };
 
 /** Options for synthesizing a request stream. */
@@ -78,6 +100,19 @@ struct StreamOptions
     /** Per-request deadline relative to arrival; <= 0 = none. */
     double deadline_s = 0.0;
 
+    /** Latency tier applied to every request of the stream. */
+    Priority priority = Priority::Interactive;
+
+    /**
+     * Prompt length override (true dims) for every request; <= 0
+     * keeps each dataset profile's prompt length. Long-prompt sweeps
+     * set this to stress chunked prefill.
+     */
+    int prompt_len = 0;
+
+    /** First request id (merge streams with disjoint id ranges). */
+    uint64_t id_base = 0;
+
     uint64_t seed = 0x5e21e;
 };
 
@@ -87,6 +122,15 @@ struct StreamOptions
  * seeds. Requests are returned in arrival order.
  */
 std::vector<Request> synthesizeStream(const StreamOptions &opts);
+
+/**
+ * Merge two request streams into (arrival, id) order — the order
+ * the scheduler admits in. Ids must be disjoint (use
+ * StreamOptions::id_base); mixed interactive/batch sweeps merge a
+ * short-prompt interactive stream with a long-prompt batch stream.
+ */
+std::vector<Request> mergeStreams(std::vector<Request> a,
+                                  std::vector<Request> b);
 
 } // namespace specee::serve
 

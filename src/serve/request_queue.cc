@@ -1,6 +1,22 @@
 #include "serve/request_queue.hh"
 
+#include <algorithm>
+
 namespace specee::serve {
+
+namespace {
+
+/** Oldest interactive request, else the queue front. */
+std::deque<Request>::iterator
+nextByTier(std::deque<Request> &q)
+{
+    auto it = std::find_if(q.begin(), q.end(), [](const Request &r) {
+        return r.priority == Priority::Interactive;
+    });
+    return it != q.end() ? it : q.begin();
+}
+
+} // namespace
 
 RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {}
 
@@ -26,8 +42,9 @@ RequestQueue::pop(Request &out)
     cv_.wait(lock, [this] { return !q_.empty() || closed_; });
     if (q_.empty())
         return false;
-    out = std::move(q_.front());
-    q_.pop_front();
+    auto it = nextByTier(q_);
+    out = std::move(*it);
+    q_.erase(it);
     return true;
 }
 
@@ -37,8 +54,9 @@ RequestQueue::tryPop(Request &out)
     std::lock_guard<std::mutex> lock(mu_);
     if (q_.empty())
         return false;
-    out = std::move(q_.front());
-    q_.pop_front();
+    auto it = nextByTier(q_);
+    out = std::move(*it);
+    q_.erase(it);
     return true;
 }
 

@@ -1,14 +1,17 @@
 /**
  * @file
- * Thread-safe FIFO request queue feeding the serving scheduler.
+ * Thread-safe two-tier FIFO request queue feeding the scheduler.
  *
- * Admission order is strictly first-in-first-out: the live scheduler
- * admits drained requests in (arrival, id) order, so fleet results
- * never depend on which thread submitted which request. The queue
- * may be bounded: pushes beyond `capacity` (and pushes after
- * close()) are defined no-ops that return false and increment the
- * rejected-request counter — the backpressure signal offered-load
- * experiments read.
+ * Dequeue order is interactive-first within FIFO: pop() returns the
+ * oldest Interactive request if any is queued, else the oldest Batch
+ * request — so a latency-sensitive request never waits behind
+ * throughput work at the queue, while each tier stays strictly
+ * first-in-first-out. The live scheduler applies the same rule at
+ * admission time, so fleet results never depend on which thread
+ * submitted which request. The queue may be bounded: pushes beyond
+ * `capacity` (and pushes after close()) are defined no-ops that
+ * return false and increment the rejected-request counter — the
+ * backpressure signal offered-load experiments read.
  */
 
 #ifndef SPECEE_SERVE_REQUEST_QUEUE_HH
@@ -22,7 +25,7 @@
 
 namespace specee::serve {
 
-/** Multi-producer multi-consumer FIFO of pending requests. */
+/** Multi-producer multi-consumer two-tier FIFO of pending requests. */
 class RequestQueue
 {
   public:
@@ -37,12 +40,13 @@ class RequestQueue
     bool push(Request r);
 
     /**
-     * Dequeue the oldest request, blocking until one is available or
-     * the queue is closed. Returns false when closed and drained.
+     * Dequeue the oldest interactive request (else the oldest batch
+     * request), blocking until one is available or the queue is
+     * closed. Returns false when closed and drained.
      */
     bool pop(Request &out);
 
-    /** Non-blocking dequeue; false when currently empty. */
+    /** Non-blocking dequeue (same tier order); false when empty. */
     bool tryPop(Request &out);
 
     /** Wake all blocked consumers; no further pushes accepted. */

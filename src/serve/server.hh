@@ -60,7 +60,9 @@ struct ServerOptions
     /**
      * Streaming per-token callback, invoked on the drain()ing thread
      * at iteration boundaries in admission order. Tokens re-decoded
-     * after a preemption are not re-delivered.
+     * after a preemption are not re-delivered. Returning false
+     * cancels the request at that iteration boundary (streaming
+     * backpressure; counted in FleetStats::cancelled).
      */
     TokenCallback on_token;
 };

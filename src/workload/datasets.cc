@@ -83,7 +83,9 @@ WorkloadGen::generate(const oracle::DatasetProfile &profile,
     w.dataset = profile.name;
     w.model_key = cfg.name;
     w.kind = profile.kind;
-    w.true_prompt_len = profile.prompt_len;
+    w.true_prompt_len = opts.prompt_len_override > 0
+                            ? opts.prompt_len_override
+                            : profile.prompt_len;
 
     double accuracy = opts.accuracy_override;
     if (accuracy < 0.0) {

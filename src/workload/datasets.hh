@@ -65,6 +65,12 @@ struct GenOptions
     int gen_len = 48;            ///< steps per instance (capped)
     double accuracy_override = -1.0;  ///< >=0: replace calibrated accuracy
     double mean_layers_override = -1.0; ///< >=0: replace Table-4 layers
+    /**
+     * > 0: replace the profile's true-dims prompt length — drives KV
+     * pricing and (when chunked prefill is on) the number of prefill
+     * chunks a request needs. The sim-dims prompt stays kSimPromptLen.
+     */
+    int prompt_len_override = 0;
     double hard_token_rate = 0.08;
     double context_strength = 0.68;
     uint64_t seed = 0x10ad;

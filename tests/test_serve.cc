@@ -252,6 +252,11 @@ TEST(BatchScheduler, EmbedIsBatchAmortized)
     EXPECT_TRUE(serve::isSharedClass(hw::OpClass::DecoderLayer));
     EXPECT_TRUE(serve::isSharedClass(hw::OpClass::LmHeadFull));
     EXPECT_TRUE(serve::isSharedClass(hw::OpClass::Draft));
+    // A prefill chunk's weight stream is the same full-depth read a
+    // decode iteration waits on — shared in a mixed batch — while
+    // its chunk-length-scaled compute interferes privately.
+    EXPECT_TRUE(serve::isSharedClass(hw::OpClass::PrefillWeights));
+    EXPECT_FALSE(serve::isSharedClass(hw::OpClass::PrefillCompute));
     // Per-request traffic stays private.
     EXPECT_FALSE(serve::isSharedClass(hw::OpClass::KvRead));
     EXPECT_FALSE(serve::isSharedClass(hw::OpClass::Predictor));
@@ -455,6 +460,7 @@ TEST(Server, StreamedTokensMatchGoodputUnderPreemption)
     std::vector<serve::TokenEvent> events;
     opts.on_token = [&events](const serve::TokenEvent &ev) {
         events.push_back(ev);
+        return true;
     };
     serve::Server server(pipe, opts);
     server.submit(stream);
@@ -526,6 +532,7 @@ TEST(Server, StreamsTokensWithTtftBelowLatency)
     std::vector<serve::TokenEvent> events;
     opts.on_token = [&events](const serve::TokenEvent &ev) {
         events.push_back(ev);
+        return true;
     };
     serve::Server server(pipe, opts);
     server.submit(stream);
