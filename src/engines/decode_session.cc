@@ -121,6 +121,7 @@ DecodeSession::prefillChunk(int n_tokens)
 {
     specee_assert(n_tokens > 0, "prefillChunk() needs n_tokens > 0");
     specee_assert(!prefilled_, "prefillChunk() after prefill done");
+    specee_assert(!swapped_, "prefillChunk() on a swapped-out session");
     const auto &inst = w_->instances[instance_];
     const auto before = snapshotOplog();
     BindGuard bind(*eng_.tm_, &seq_);
@@ -202,10 +203,56 @@ DecodeSession::captureCost(
     }
 }
 
+double
+DecodeSession::swapOut()
+{
+    specee_assert(canSwap(), "swapOut() needs a paged fleet-pool KV");
+    specee_assert(!swapped_, "double swap-out");
+    kvView_->swapOut();
+    swapped_ = true;
+    return eng_.chargeKvSwap(out_->stats.oplog, hw::OpClass::KvSwapOut,
+                             modeledPositions());
+}
+
+double
+DecodeSession::swapIn()
+{
+    specee_assert(swapped_, "swapIn() of a device-resident session");
+    kvView_->swapIn();
+    swapped_ = false;
+    return eng_.chargeKvSwap(out_->stats.oplog, hw::OpClass::KvSwapIn,
+                             modeledPositions());
+}
+
+int
+DecodeSession::hostBlocks() const
+{
+    return kvView_ != nullptr ? kvView_->hostBlocks() : 0;
+}
+
+double
+DecodeSession::swapRoundTripSeconds() const
+{
+    return 2.0 * eng_.kvSwapSeconds(modeledPositions());
+}
+
+double
+DecodeSession::modeledCostSoFar() const
+{
+    // Exclude past swap transfers: a recompute replay re-prices the
+    // decode/prefill work, not the host-link traffic of earlier
+    // preemptions.
+    const auto &log = out_->stats.oplog;
+    return log.grand().time_s -
+           log.totals(hw::OpClass::KvSwapOut).time_s -
+           log.totals(hw::OpClass::KvSwapIn).time_s;
+}
+
 bool
 DecodeSession::step()
 {
     specee_assert(prefilled_, "step() before prefill()");
+    specee_assert(!swapped_, "step() on a swapped-out session");
     if (finished())
         return false;
 

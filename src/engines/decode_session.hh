@@ -110,9 +110,52 @@ class DecodeSession
     /**
      * Advance one iteration unit (one token, or one speculative
      * pass). @return true while more scripted steps remain.
-     * @pre prefill() was called and !finished()
+     * @pre prefill() was called, !finished() and !swapped()
      */
     bool step();
+
+    /** True when the session's KV can swap (paged fleet-pool view). */
+    bool canSwap() const { return kvView_ != nullptr; }
+
+    /** True while the session's KV lives in the host pool. */
+    bool swapped() const { return swapped_; }
+
+    /**
+     * Swap-to-host preemption: move this session's KV blocks to the
+     * pool's host side (device blocks free), charge the transfer
+     * (OpClass::KvSwapOut at true dims) into the session's oplog and
+     * freeze the session — everything else (rng stream, emission,
+     * prefill progress, speculation state) stays intact, so after
+     * swapIn() the session resumes bit-identically without
+     * re-ingesting the prompt. @return modeled transfer seconds
+     */
+    double swapOut();
+
+    /**
+     * Restore the KV from the host pool into fresh device blocks and
+     * charge OpClass::KvSwapIn. The caller must have reserved pool
+     * capacity (hostBlocks() free blocks). @return modeled seconds
+     */
+    double swapIn();
+
+    /** Device blocks a swapIn() must be able to allocate. */
+    int hostBlocks() const;
+
+    /**
+     * Modeled host-link round trip (swap out + back in) of this
+     * session's KV at its current length — the swap side of the
+     * scheduler's swap-vs-recompute comparison. Pure pricing.
+     */
+    double swapRoundTripSeconds() const;
+
+    /**
+     * Sequential-equivalent modeled time this run has charged so far
+     * (excluding past swap transfers) — exactly what a
+     * recompute-style preemption would re-spend, since re-decoding
+     * under the same seed re-prices the same ops. The recompute side
+     * of the scheduler's policy comparison.
+     */
+    double modeledCostSoFar() const;
 
     /** True once every scripted step has been decoded. */
     bool finished() const;
@@ -188,6 +231,7 @@ class DecodeSession
     int input_ = 0;      ///< next input token (autoregressive path)
     long committed_ = 0;
     bool prefilled_ = false;
+    bool swapped_ = false;        ///< KV lives in the host pool
     bool prefillStarted_ = false; ///< sequence reset / first chunk ran
     int prefillTrue_ = 0;         ///< true-dims prompt tokens ingested
     int simFilled_ = 0;           ///< sim prefix tokens appended to KV

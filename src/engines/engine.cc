@@ -316,6 +316,30 @@ Engine::chargePrefillChunk(hw::OpLog &log, int n_tokens,
 }
 
 double
+Engine::kvSwapSeconds(long positions) const
+{
+    if (positions <= 0)
+        return 0.0;
+    // One DMA per layer moves that layer's block range; the bytes
+    // are the true-dims KV of every cached position.
+    return cost_->swapSeconds(mcfg_.truthKvBytesPerToken() *
+                                  static_cast<double>(positions),
+                              mcfg_.n_layers);
+}
+
+double
+Engine::chargeKvSwap(hw::OpLog &log, hw::OpClass cls,
+                     long positions) const
+{
+    if (positions <= 0)
+        return 0.0;
+    return cost_->accountSwap(log, cls,
+                              mcfg_.truthKvBytesPerToken() *
+                                  static_cast<double>(positions),
+                              mcfg_.n_layers);
+}
+
+double
 Engine::headCompression() const
 {
     // The legacy AWQ mode keeps the tied embedding / LM head fp16

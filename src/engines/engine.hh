@@ -202,6 +202,22 @@ class Engine
     void chargeOverhead(hw::OpLog &log) const;
 
     /**
+     * Modeled host-link time to move the KV of `positions` cached
+     * positions (true dims) one way. Pure pricing — the scheduler's
+     * swap-vs-recompute policy calls this without charging.
+     */
+    double kvSwapSeconds(long positions) const;
+
+    /**
+     * Price one KV swap transfer (KvSwapOut or KvSwapIn) of
+     * `positions` cached positions at true dims into `log`. Swap
+     * bytes are private per-request host-link traffic — they never
+     * amortize across the batch. @return modeled seconds
+     */
+    double chargeKvSwap(hw::OpLog &log, hw::OpClass cls,
+                        long positions) const;
+
+    /**
      * Price one prefill chunk of `n_tokens` prompt tokens (true
      * dims) appended after `past_len` already-ingested positions.
      * The layer weight stream is charged once for the whole chunk

@@ -108,6 +108,30 @@ CostModel::account(OpLog &log, OpClass cls, double flops,
 }
 
 double
+CostModel::swapSeconds(double bytes, int kernels) const
+{
+    specee_assert(spec_.swap_bw_gbs > 0.0,
+                  "KV swap on a platform without a host link");
+    // The copy engines drive the host link directly; the framework's
+    // kernel bandwidth efficiency (bwEff_) does not apply to DMA —
+    // swap_bw_gbs is already the effective link rate.
+    return bytes / (spec_.swap_bw_gbs * 1e9) +
+           kernels * spec_.launch_overhead_us * 1e-6;
+}
+
+double
+CostModel::accountSwap(OpLog &log, OpClass cls, double bytes,
+                       int kernels) const
+{
+    specee_assert(cls == OpClass::KvSwapOut || cls == OpClass::KvSwapIn,
+                  "accountSwap() prices swap classes only");
+    const double t = swapSeconds(bytes, kernels);
+    const double p = spec_.power_w[static_cast<size_t>(cls)];
+    log.add(cls, t, t * p, 0.0, bytes);
+    return t;
+}
+
+double
 CostModel::accountFixed(OpLog &log, OpClass cls, double seconds) const
 {
     const double p = spec_.power_w[static_cast<size_t>(cls)];

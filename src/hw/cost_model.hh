@@ -96,6 +96,22 @@ class CostModel
     /** Time for a pure fixed overhead (no flops/bytes). */
     double accountFixed(OpLog &log, OpClass cls, double seconds) const;
 
+    /**
+     * Time to move `bytes` of KV over the host link (swap-to-host
+     * preemption traffic), one DMA per `kernels`. Pure pricing — the
+     * scheduler's swap-vs-recompute policy compares this against the
+     * victim's modeled recompute cost without charging anything.
+     */
+    double swapSeconds(double bytes, int kernels = 1) const;
+
+    /**
+     * Price one KV swap transfer (cls must be KvSwapOut or KvSwapIn)
+     * and append it to `log`. Swap traffic is private per-request
+     * bytes on the host link: it never amortizes across the batch.
+     */
+    double accountSwap(OpLog &log, OpClass cls, double bytes,
+                       int kernels = 1) const;
+
     double bwEfficiency() const { return bwEff_; }
     double deviceWeightFrac() const { return devFrac_; }
     double weightCompression() const { return wComp_; }

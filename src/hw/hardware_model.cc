@@ -20,6 +20,8 @@ opClassName(OpClass cls)
       case OpClass::Overhead: return "overhead";
       case OpClass::PrefillWeights: return "prefill_weights";
       case OpClass::PrefillCompute: return "prefill_compute";
+      case OpClass::KvSwapOut: return "kv_swap_out";
+      case OpClass::KvSwapIn: return "kv_swap_in";
       default: return "unknown";
     }
 }
@@ -76,6 +78,11 @@ powerTable(double layer, double kv_read, double kv_fill, double head,
     // head does.
     p[static_cast<int>(OpClass::PrefillWeights)] = layer;
     p[static_cast<int>(OpClass::PrefillCompute)] = head;
+    // KV swap is a DMA over the host link: the copy engines move the
+    // bytes while SMs idle, so the board draws about what the other
+    // housekeeping (embed/sync/overhead) classes do.
+    p[static_cast<int>(OpClass::KvSwapOut)] = misc;
+    p[static_cast<int>(OpClass::KvSwapIn)] = misc;
     return p;
 }
 
@@ -90,6 +97,7 @@ HardwareSpec::a100()
     s.compute_tflops = 312.0;
     s.launch_overhead_us = 5.0;
     s.vram_gb = 80.0;
+    s.swap_bw_gbs = 25.0; // PCIe 4.0 x16, effective
     s.tdp_w = 400.0;
     // Dense decode averages ~201 W (§7.3.1); the predictor is a tiny
     // memory-bound kernel that leaves compute idle (~142 W, §7.3.2),
@@ -108,6 +116,7 @@ HardwareSpec::rtx4090()
     s.compute_tflops = 165.0;
     s.launch_overhead_us = 4.0;
     s.vram_gb = 24.0;
+    s.swap_bw_gbs = 25.0; // PCIe 4.0 x16, effective
     s.tdp_w = 450.0;
     s.power_w = powerTable(270, 255, 195, 285, 155, 160, 195, 140);
     return s;
@@ -121,6 +130,7 @@ HardwareSpec::a100x4()
     s.n_devices = 4;
     s.mem_bw_gbs = 4.0 * 2039.0;  // weights sharded across devices
     s.compute_tflops = 4.0 * 312.0;
+    s.swap_bw_gbs = 4.0 * 25.0;   // per-device PCIe, KV sharded too
     s.vram_gb = 320.0;
     s.sync_us_per_layer = 280.0;  // two all-reduces per layer (HF TP)
     s.tdp_w = 1600.0;
@@ -138,6 +148,7 @@ HardwareSpec::pc4060()
     s.vram_gb = 8.0;
     s.host_bw_gbs = 60.0;   // i7-13650HX dual-channel DDR5
     s.host_tflops = 0.6;
+    s.swap_bw_gbs = 12.0;   // laptop dGPU: PCIe 4.0 x8, effective
     s.predictor_stall_us = 1100.0; // llama.cpp graph break + sync
     s.tdp_w = 115.0;
     // §7.3.2: predictor draws ~85 W on the PC GPU.

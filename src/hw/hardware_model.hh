@@ -30,6 +30,8 @@ enum class OpClass : int {
     Overhead,         ///< per-token framework overhead
     PrefillWeights,   ///< layer weight stream of a prefill chunk
     PrefillCompute,   ///< chunk-scaled prefill GEMMs / attention / KV
+    KvSwapOut,        ///< KV blocks DMA'd device -> host (preemption)
+    KvSwapIn,         ///< KV blocks DMA'd host -> device (resume)
     NumClasses
 };
 
@@ -61,6 +63,15 @@ struct HardwareSpec
     /** Host path for CPU-offloaded weights (PC scenario); 0 = none. */
     double host_bw_gbs = 0.0;
     double host_tflops = 0.0;
+
+    /**
+     * Host-link (PCIe) bandwidth for KV swap traffic (GB/s); the
+     * price of swap-to-host preemption. Distinct from host_bw_gbs
+     * (host DRAM bandwidth for offloaded weight reads): swap is a
+     * DMA over the interconnect, not a host-memory-resident compute
+     * path. 0 = no swap path on this platform.
+     */
+    double swap_bw_gbs = 0.0;
 
     /**
      * Pipeline-stall cost of interrupting the GPU graph for one

@@ -40,9 +40,17 @@ MemoryTracker::predictorBytes() const
 }
 
 double
-MemoryTracker::kvBytes(int tokens) const
+MemoryTracker::kvBytes(long tokens) const
 {
-    return cfg_.truthKvBytesPerToken() * tokens;
+    return cfg_.truthKvBytesPerToken() * static_cast<double>(tokens);
+}
+
+double
+MemoryTracker::hostKvBytes(long positions) const
+{
+    // Same per-token bytes as the device KV — swap moves, not
+    // compresses — but the pool it occupies is host DRAM, not VRAM.
+    return kvBytes(positions);
 }
 
 double

@@ -73,7 +73,14 @@ class MemoryTracker
     double predictorBytes() const;
 
     /** KV cache bytes after `tokens` total cached positions. */
-    double kvBytes(int tokens) const;
+    double kvBytes(long tokens) const;
+
+    /**
+     * Host-pool bytes held by swapped-out sequences (`positions`
+     * cached positions across every swapped session) — the host-DRAM
+     * side of the fleet census, distinct from the VRAM totals.
+     */
+    double hostKvBytes(long positions) const;
 
     /** Total device bytes after `tokens` positions. */
     double totalBytes(int tokens) const;

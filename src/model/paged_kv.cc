@@ -93,6 +93,8 @@ PagedKvCache::append(int seq, int layer, tensor::CSpan k, tensor::CSpan v)
     specee_assert(k.size() == static_cast<size_t>(hidden_) &&
                       v.size() == static_cast<size_t>(hidden_),
                   "paged kv dim mismatch");
+    specee_assert(!seqState(seq).swapped,
+                  "append to swapped-out sequence %d", seq);
     LayerState &st = seqState(seq).layers[static_cast<size_t>(layer)];
     if (st.len % kKvBlockSize == 0)
         st.blockTable.push_back(allocBlock());
@@ -111,6 +113,8 @@ PagedKvCache::append(int seq, int layer, tensor::CSpan k, tensor::CSpan v)
 std::pair<int, int>
 PagedKvCache::locate(int seq, int layer, int pos) const
 {
+    specee_assert(!seqState(seq).swapped,
+                  "read from swapped-out sequence %d", seq);
     const LayerState &st =
         seqState(seq).layers[static_cast<size_t>(layer)];
     specee_assert(pos >= 0 && pos < st.len, "paged kv read past end");
@@ -139,8 +143,98 @@ PagedKvCache::length(int seq, int layer) const
 }
 
 void
+PagedKvCache::swapOut(int seq)
+{
+    SeqState &ss = seqState(seq);
+    specee_assert(!ss.swapped, "double swap-out of sequence %d", seq);
+    for (auto &st : ss.layers) {
+        st.hostK.resize(static_cast<size_t>(st.len),
+                        static_cast<size_t>(hidden_));
+        st.hostV.resize(static_cast<size_t>(st.len),
+                        static_cast<size_t>(hidden_));
+        for (int pos = 0; pos < st.len; ++pos) {
+            const int block =
+                st.blockTable[static_cast<size_t>(pos / kKvBlockSize)];
+            const auto off = static_cast<size_t>(pos % kKvBlockSize);
+            const auto k = kPool_[static_cast<size_t>(block)].row(off);
+            const auto v = vPool_[static_cast<size_t>(block)].row(off);
+            std::copy(k.begin(), k.end(),
+                      st.hostK.row(static_cast<size_t>(pos)).begin());
+            std::copy(v.begin(), v.end(),
+                      st.hostV.row(static_cast<size_t>(pos)).begin());
+        }
+        hostBlocks_ += static_cast<int>(st.blockTable.size());
+        for (int b : st.blockTable)
+            freeBlock(b);
+        st.blockTable.clear();
+    }
+    ss.swapped = true;
+}
+
+void
+PagedKvCache::swapIn(int seq)
+{
+    SeqState &ss = seqState(seq);
+    specee_assert(ss.swapped, "swap-in of a device-resident sequence %d",
+                  seq);
+    for (auto &st : ss.layers) {
+        for (int pos = 0; pos < st.len; ++pos) {
+            if (pos % kKvBlockSize == 0)
+                st.blockTable.push_back(allocBlock());
+            const int block =
+                st.blockTable[static_cast<size_t>(pos / kKvBlockSize)];
+            const auto off = static_cast<size_t>(pos % kKvBlockSize);
+            const auto k = st.hostK.row(static_cast<size_t>(pos));
+            const auto v = st.hostV.row(static_cast<size_t>(pos));
+            std::copy(k.begin(), k.end(),
+                      kPool_[static_cast<size_t>(block)].row(off).begin());
+            std::copy(v.begin(), v.end(),
+                      vPool_[static_cast<size_t>(block)].row(off).begin());
+        }
+        hostBlocks_ -= static_cast<int>(st.blockTable.size());
+        st.hostK = tensor::Matrix{};
+        st.hostV = tensor::Matrix{};
+    }
+    ss.swapped = false;
+}
+
+bool
+PagedKvCache::isSwapped(int seq) const
+{
+    return seqState(seq).swapped;
+}
+
+int
+PagedKvCache::seqHostBlocks(int seq) const
+{
+    const SeqState &ss = seqState(seq);
+    if (!ss.swapped)
+        return 0;
+    int n = 0;
+    for (const auto &st : ss.layers)
+        n += (st.len + kKvBlockSize - 1) / kKvBlockSize;
+    return n;
+}
+
+void
 PagedKvCache::truncate(int seq, int new_len)
 {
+    SeqState &ss = seqState(seq);
+    if (ss.swapped) {
+        // The only legal truncation of a swapped sequence is a full
+        // clear (deadline drop / cancellation while in the host
+        // pool): release the host buffers, no device blocks to free.
+        specee_assert(new_len == 0,
+                      "partial truncate of swapped-out sequence %d", seq);
+        for (auto &st : ss.layers) {
+            hostBlocks_ -= (st.len + kKvBlockSize - 1) / kKvBlockSize;
+            st.hostK = tensor::Matrix{};
+            st.hostV = tensor::Matrix{};
+            st.len = 0;
+        }
+        ss.swapped = false;
+        return;
+    }
     for (auto &st : seqState(seq).layers) {
         if (st.len <= new_len)
             continue;

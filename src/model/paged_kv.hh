@@ -63,6 +63,33 @@ class PagedKvCache
     /** Free all blocks of `seq` (the sequence id stays valid). */
     void clearSeq(int seq);
 
+    /**
+     * Swap-to-host preemption: copy every cached position of `seq`
+     * into the host pool and free its device blocks. Per-layer
+     * lengths (the logical block tables) are preserved, so swapIn()
+     * restores the sequence bit-identically; physical block ids are
+     * re-allocated on the way back, exactly like vllm's swap path.
+     * The sequence cannot be appended to or read while swapped.
+     */
+    void swapOut(int seq);
+
+    /**
+     * Restore a swapped sequence from the host pool into freshly
+     * allocated device blocks (the caller checks blocksFree() >=
+     * seqHostBlocks() first; allocation failure is fatal) and release
+     * its host buffers.
+     */
+    void swapIn(int seq);
+
+    /** True while `seq` lives in the host pool. */
+    bool isSwapped(int seq) const;
+
+    /** Host-pool blocks needed to restore `seq` (0 if not swapped). */
+    int seqHostBlocks(int seq) const;
+
+    /** Host-pool blocks held across all swapped sequences. */
+    int hostBlocksInUse() const { return hostBlocks_; }
+
     /** True if appending one position to (seq, layer) would fail. */
     bool wouldOverflow(int seq, int layer) const;
 
@@ -89,12 +116,17 @@ class PagedKvCache
     {
         std::vector<int> blockTable; ///< logical block -> physical block
         int len = 0;                 ///< cached positions
+        // Host-pool copy while the sequence is swapped out (len rows
+        // each); empty on device.
+        tensor::Matrix hostK;
+        tensor::Matrix hostV;
     };
 
     struct SeqState
     {
         std::vector<LayerState> layers;
         bool live = false;
+        bool swapped = false; ///< KV lives in the host pool
     };
 
     const SeqState &seqState(int seq) const;
@@ -115,6 +147,7 @@ class PagedKvCache
     std::vector<int> freeList_;
     std::vector<SeqState> seqs_;
     std::vector<int> freeSeqIds_; ///< recycled ids, LIFO
+    int hostBlocks_ = 0; ///< block-equivalents in the host pool
 };
 
 /**
@@ -167,6 +200,18 @@ class SequenceKv : public KvStore
 
     /** Physical blocks this sequence holds. */
     int blocks() const { return pool_->seqBlocks(seq_); }
+
+    /** Move this sequence's KV to the host pool (device blocks free). */
+    void swapOut() { pool_->swapOut(seq_); }
+
+    /** Restore this sequence's KV from the host pool. */
+    void swapIn() { pool_->swapIn(seq_); }
+
+    /** True while the sequence lives in the host pool. */
+    bool swapped() const { return pool_->isSwapped(seq_); }
+
+    /** Device blocks a swapIn() must be able to allocate. */
+    int hostBlocks() const { return pool_->seqHostBlocks(seq_); }
 
     int seqId() const { return seq_; }
     const PagedKvCache &pool() const { return *pool_; }

@@ -25,6 +25,9 @@ BatchScheduler::BatchScheduler(const SchedulerOptions &opts) : opts_(opts)
     specee_assert(opts.kv_budget_blocks >= 0,
                   "kv_budget_blocks must be >= 0, got %d",
                   opts.kv_budget_blocks);
+    specee_assert(opts.kv_watermark >= 0.0 && opts.kv_watermark <= 1.0,
+                  "kv_watermark must be in [0, 1], got %f",
+                  opts.kv_watermark);
     PrefillPlanner(opts.prefill); // validates the prefill knobs
 }
 
@@ -51,6 +54,7 @@ struct Entry
     double prefill_ready_s = -1.0; ///< prompt fully ingested (clock)
     int chunks = 0;  ///< prefill chunks of the current run
     int granted = 0; ///< prompt tokens granted this iteration
+    int swaps = 0;   ///< times swapped to the host pool
     bool cancel = false; ///< consumer returned false from on_token
 
     engines::StepCost cost; ///< most recent iteration's step cost
@@ -82,6 +86,17 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     const engines::EngineConfig &ecfg = engines.front()->config();
     const model::ModelConfig &mcfg = engines.front()->modelConfig();
     const size_t slots = static_cast<size_t>(opts_.max_batch);
+
+    // Swap preemption needs a host link. Pure swap mode without one
+    // is a configuration error (fail fast, not mid-eviction); auto
+    // degrades to recompute-only on such platforms.
+    const bool has_swap_link =
+        engines.front()->platform().swap_bw_gbs > 0.0;
+    specee_assert(opts_.preempt_mode != PreemptMode::Swap ||
+                      has_swap_link,
+                  "preempt_mode = swap on platform %s, which has no "
+                  "host link (swap_bw_gbs = 0)",
+                  engines.front()->platform().name.c_str());
 
     // One shared physical KV pool per worker engine, sized so a full
     // decode batch of maximum-context sequences can never physically
@@ -146,6 +161,10 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     uint64_t admit_seq = 0;
     std::vector<Entry> active;
     active.reserve(slots);
+    // Sessions preempted by swap-to-host: frozen with their KV in the
+    // pool's host side. Resumes compete with fresh admissions
+    // tier-first once pressure clears (see the admission loop).
+    std::deque<Entry> swappedQ;
 
     const auto expired = [&](const Request &r) {
         return r.deadline_s > 0.0 && clock > r.deadline_s;
@@ -160,6 +179,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                           : 0.0;
         o.prefill_chunks = e.chunks;
         o.preemptions = e.preemptions;
+        o.swaps = e.swaps;
     };
     const auto drop = [&](Entry &e) {
         RequestOutcome &o = outcomes[e.outcome];
@@ -176,6 +196,19 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         for (const auto &a : active)
             b += a.sess->kvBlocks();
         return b;
+    };
+    // Device KV of the candidate's FULL working set (sim dims): the
+    // whole prompt — not the first chunk's share chunked admission
+    // reserves — plus every scripted decode position. This is what
+    // the prefill-aware watermark insists fits under the high-water
+    // mark before a long prompt is admitted at all.
+    const auto fullRequestBlocks = [&](const Entry &e) {
+        const auto &inst = e.w.instances.front();
+        const int positions = static_cast<int>(inst.prompt.size()) +
+                              static_cast<int>(inst.steps.size());
+        return mcfg.n_layers *
+               ((positions + model::kKvBlockSize - 1) /
+                model::kKvBlockSize);
     };
     // KV an admission must be able to hold up front: the whole
     // (sim-dims) prompt when prefill is atomic, only the first
@@ -203,7 +236,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 model::kKvBlockSize);
     };
 
-    while (!waiting.empty() || !active.empty()) {
+    while (!waiting.empty() || !active.empty() || !swappedQ.empty()) {
         // --- iteration boundary: deadlines, admission, preemption --
         for (size_t i = 0; i < active.size();) {
             if (expired(active[i].req)) {
@@ -222,10 +255,34 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 ++i;
             }
         }
+        for (size_t i = 0; i < swappedQ.size();) {
+            if (expired(swappedQ[i].req)) {
+                drop(swappedQ[i]); // host-pool KV frees with the entry
+                swappedQ.erase(swappedQ.begin() + static_cast<long>(i));
+            } else {
+                ++i;
+            }
+        }
 
-        // Admission: interactive tier first, FIFO within each tier
-        // (with a uniform tier this degenerates to plain FIFO).
-        while (!waiting.empty() && active.size() < slots) {
+        // Admission: swap-ins and fresh admissions compete for free
+        // slots tier-first (interactive before batch, everywhere),
+        // FIFO within each tier; at equal tier a swapped session
+        // wins — it is older admitted work holding host memory and
+        // prior progress. A batch-tier session frozen in the host
+        // pool therefore never delays an interactive prompt, exactly
+        // like a recompute victim waiting in the queue. An empty
+        // fleet always takes a candidate (progress guarantee: the
+        // budget gates below only apply alongside active peers).
+        while (active.size() < slots) {
+            size_t sw = swappedQ.size();
+            for (size_t i = 0; i < swappedQ.size(); ++i) {
+                if (swappedQ[i].req.priority == Priority::Interactive) {
+                    sw = i;
+                    break;
+                }
+            }
+            if (sw == swappedQ.size() && !swappedQ.empty())
+                sw = 0;
             size_t cand = waiting.size();
             for (size_t i = 0; i < waiting.size(); ++i) {
                 // Future arrivals are a contiguous sorted tail
@@ -239,8 +296,30 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 if (cand == waiting.size())
                     cand = i;
             }
-            if (cand == waiting.size())
+            const bool have_sw = sw < swappedQ.size();
+            const bool have_wa = cand < waiting.size();
+            if (!have_sw && !have_wa)
                 break;
+            const bool pick_sw =
+                have_sw &&
+                (!have_wa ||
+                 static_cast<int>(swappedQ[sw].req.priority) <=
+                     static_cast<int>(waiting[cand].req.priority));
+            if (pick_sw) {
+                Entry &head = swappedQ[sw];
+                if (opts_.kv_budget_blocks > 0 && !active.empty() &&
+                    fleetBlocks() + head.sess->hostBlocks() +
+                            iter_growth *
+                                static_cast<long>(active.size() + 1) >
+                        opts_.kv_budget_blocks)
+                    break;
+                Entry e = std::move(head);
+                swappedQ.erase(swappedQ.begin() + static_cast<long>(sw));
+                clock += e.sess->swapIn();
+                ++fleet.swaps_in;
+                active.push_back(std::move(e));
+                continue;
+            }
             Entry &head = waiting[cand];
             if (opts_.kv_budget_blocks > 0 && !active.empty() &&
                 fleetBlocks() + admitBlocks(head) +
@@ -248,6 +327,29 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                             static_cast<long>(active.size() + 1) >
                     opts_.kv_budget_blocks)
                 break;
+            // Prefill-aware watermark: beyond the first-chunk
+            // reservation above, the fleet's COMMITTED working set —
+            // every active session's full prompt + decode KV (what
+            // its blocks will grow to, not what it holds mid-chunk)
+            // plus the candidate's, plus the scheduler's growth
+            // reserve — must fit under the high-water mark.
+            // Otherwise a long prompt admitted against today's
+            // near-empty occupancy would chunk, grow, evict and
+            // recompute in a loop under a tight budget.
+            if (opts_.kv_watermark > 0.0 && opts_.kv_budget_blocks > 0 &&
+                !active.empty()) {
+                long committed = fullRequestBlocks(head);
+                for (const auto &a : active)
+                    committed += fullRequestBlocks(a);
+                if (static_cast<double>(
+                        committed +
+                        iter_growth *
+                            static_cast<long>(active.size() + 1)) >
+                    opts_.kv_watermark * opts_.kv_budget_blocks) {
+                    ++fleet.watermark_rejections;
+                    break;
+                }
+            }
             Entry e = std::move(head);
             waiting.erase(waiting.begin() + static_cast<long>(cand));
             e.engine = admit_seq++ % engines.size();
@@ -277,8 +379,13 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         // next iteration fits the fleet budget. Victims are chosen
         // batch-tier first (youngest batch session), then youngest
         // overall; the oldest session is never evicted (guaranteed
-        // progress). A partially prefilled victim recomputes its
-        // chunks from scratch like a mid-decode victim re-decodes.
+        // progress). Each victim is served by the configured
+        // preemption mechanism: recompute throws its run away (a
+        // partially prefilled victim re-ingests its chunks from
+        // scratch like a mid-decode victim re-decodes), swap freezes
+        // it in the host pool with all progress intact, and auto
+        // compares the modeled swap round trip against the modeled
+        // cost of replaying the victim's work so far.
         while (opts_.kv_budget_blocks > 0 && active.size() > 1 &&
                fleetBlocks() +
                        iter_growth * static_cast<long>(active.size()) >
@@ -292,15 +399,33 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             }
             Entry victim = std::move(active[vi]);
             active.erase(active.begin() + static_cast<long>(vi));
-            victim.sess.reset(); // frees the KV blocks
-            victim.prefill_ready_s = -1.0;
-            victim.chunks = 0;
             ++victim.preemptions;
             ++fleet.preemptions;
-            // Recompute preemption: back to the head of the wait
-            // queue (tier-aware admission keeps a batch victim from
-            // blocking interactive peers) and re-run from scratch.
-            waiting.push_front(std::move(victim));
+            const bool swap =
+                opts_.preempt_mode == PreemptMode::Swap ||
+                (opts_.preempt_mode == PreemptMode::Auto &&
+                 has_swap_link &&
+                 victim.sess->swapRoundTripSeconds() <
+                     victim.sess->modeledCostSoFar());
+            if (swap) {
+                // Swap preemption: KV moves to the host pool (device
+                // blocks free), the session freezes with its rng
+                // stream, emission and prefill progress intact, and
+                // the transfer is paid on the fleet clock now.
+                clock += victim.sess->swapOut();
+                ++victim.swaps;
+                ++fleet.swaps_out;
+                swappedQ.push_back(std::move(victim));
+            } else {
+                victim.sess.reset(); // frees the KV blocks
+                victim.prefill_ready_s = -1.0;
+                victim.chunks = 0;
+                // Recompute preemption: back to the head of the wait
+                // queue (tier-aware admission keeps a batch victim
+                // from blocking interactive peers) and re-run from
+                // scratch.
+                waiting.push_front(std::move(victim));
+            }
         }
 
         // --- plan the mixed iteration (scheduler thread) -----------
@@ -436,6 +561,19 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             fleet.peak_fleet_mem_gb,
             hw::MemoryTracker::toGiB(mem.fleetTotalBytes(
                 positions, static_cast<int>(active.size()))));
+        if (!swappedQ.empty()) {
+            long host_blocks = 0, host_positions = 0;
+            for (const auto &s : swappedQ) {
+                host_blocks += s.sess->hostBlocks();
+                host_positions += s.sess->modeledPositions();
+            }
+            fleet.peak_host_kv_blocks =
+                std::max(fleet.peak_host_kv_blocks, host_blocks);
+            fleet.peak_host_mem_gb = std::max(
+                fleet.peak_host_mem_gb,
+                hw::MemoryTracker::toGiB(
+                    mem.hostKvBytes(host_positions)));
+        }
 
         // --- retire finished and cancelled sessions ----------------
         size_t keep = 0;

@@ -30,11 +30,19 @@
  * identical across worker counts, and max_batch = 1 with an
  * unbounded KV pool reproduces sequential serving exactly.
  *
- * Preemption is recompute-style (as in vllm): the victim's KV blocks
- * return to the pool and the request later re-decodes from scratch
- * under the same seed, reproducing the same tokens; already-streamed
- * tokens are not re-delivered. The work thrown away stays priced
- * into the fleet timeline.
+ * Preemption has two mechanisms (SchedulerOptions::preempt_mode).
+ * Recompute (as in vllm's default): the victim's KV blocks return to
+ * the pool and the request later re-decodes from scratch under the
+ * same seed, reproducing the same tokens; already-streamed tokens
+ * are not re-delivered, and the work thrown away stays priced into
+ * the fleet timeline. Swap: the victim's KV blocks DMA to host
+ * memory over the host link (priced as private KvSwapOut/KvSwapIn
+ * traffic at true dims) and restore when pressure clears — the
+ * session resumes bit-identically, keeping all decode and prefill
+ * progress. Auto compares the modeled swap round trip against the
+ * modeled cost of replaying the victim's work so far and picks per
+ * victim. Admission can additionally be gated by a prefill-aware
+ * watermark so long prompts only enter when their full KV fits.
  */
 
 #ifndef SPECEE_SERVE_BATCH_SCHEDULER_HH
@@ -50,6 +58,24 @@
 #include "serve/request.hh"
 
 namespace specee::serve {
+
+/**
+ * How the scheduler evicts a session under KV pressure.
+ *
+ * Recompute (vllm's default, and the only mechanism before this
+ * knob existed) throws the victim's KV away and re-decodes from
+ * scratch later; Swap DMAs the KV blocks to host memory over the
+ * host link and restores them when pressure clears, preserving all
+ * decode and prefill progress; Auto picks per victim by comparing
+ * the modeled swap round trip against the modeled cost of re-doing
+ * the victim's work so far — short sessions recompute (cheap to
+ * replay), long sequences swap (cheap to move relative to replay).
+ */
+enum class PreemptMode : int {
+    Recompute = 0,
+    Swap = 1,
+    Auto = 2,
+};
 
 /** Scheduler knobs. */
 struct SchedulerOptions
@@ -75,6 +101,31 @@ struct SchedulerOptions
      * pre-chunking scheduler.
      */
     PrefillOptions prefill;
+
+    /**
+     * Preemption mechanism under KV pressure. Recompute (default)
+     * reproduces the pre-swap scheduler bit-identically; Swap moves
+     * victims' KV to host memory and restores it; Auto chooses per
+     * victim from the modeled costs.
+     */
+    PreemptMode preempt_mode = PreemptMode::Recompute;
+
+    /**
+     * Prefill-aware admission watermark (Sarathi/vllm-style), as a
+     * fraction of kv_budget_blocks: a request is admitted only while
+     * the fleet's COMMITTED working set — every active session's
+     * full prompt + decode KV (what its blocks will grow to, not the
+     * first-chunk share chunked admission reserves against today's
+     * occupancy) plus the candidate's, plus the scheduler's
+     * per-iteration growth reserve — fits under kv_watermark *
+     * kv_budget_blocks. Bounds chunked-admission thrash (admit,
+     * chunk, grow, evict, recompute) for long prompts under tight
+     * budgets. 0 disables (first-chunk admission, bit-identical to
+     * the PR 4 scheduler); ignored while kv_budget_blocks = 0.
+     * Admission into an empty fleet bypasses the watermark so
+     * progress is always possible.
+     */
+    double kv_watermark = 0.0;
 };
 
 /** One streamed token, delivered at an iteration boundary. */
@@ -149,6 +200,26 @@ struct FleetStats
     long rejected = 0;        ///< requests refused at the queue
     long peak_kv_blocks = 0;  ///< peak fleet paged-KV occupancy
     double peak_fleet_mem_gb = 0.0; ///< weights once + fleet KV/act
+
+    /**
+     * Swap-to-host accounting. swaps_out counts preemptions served
+     * by the swap mechanism (each also counts in `preemptions`);
+     * swaps_in counts restores — they differ only by sessions that
+     * were dropped or cancelled while in the host pool. Peaks track
+     * the host-side footprint of swapped sessions.
+     */
+    long swaps_out = 0;
+    long swaps_in = 0;
+    long peak_host_kv_blocks = 0;   ///< peak host-pool occupancy
+    double peak_host_mem_gb = 0.0;  ///< true-dims bytes of that KV
+
+    /**
+     * Admission deferrals charged to the prefill-aware watermark:
+     * boundaries where the next candidate had room under the raw
+     * first-chunk budget but its full prompt did not fit under
+     * kv_watermark * kv_budget_blocks. 0 while the watermark is off.
+     */
+    long watermark_rejections = 0;
 
     /**
      * Merged per-request operator census of COMPLETED requests

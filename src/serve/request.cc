@@ -56,6 +56,19 @@ mergeStreams(std::vector<Request> a, std::vector<Request> b)
             return x.arrival_s < y.arrival_s;
         return x.id < y.id;
     });
+    // Duplicate ids would make token streams and outcome attribution
+    // ambiguous; the contract (use StreamOptions::id_base) is
+    // enforced, not just documented.
+    std::vector<uint64_t> ids;
+    ids.reserve(a.size());
+    for (const Request &r : a)
+        ids.push_back(r.id);
+    std::sort(ids.begin(), ids.end());
+    for (size_t i = 1; i < ids.size(); ++i) {
+        specee_assert(ids[i] != ids[i - 1],
+                      "mergeStreams: duplicate request id %llu",
+                      static_cast<unsigned long long>(ids[i]));
+    }
     return a;
 }
 

@@ -77,7 +77,8 @@ struct RequestOutcome
     double prefill_s = 0.0;
     int prefill_chunks = 0; ///< chunks the final (kept) run ingested
 
-    int preemptions = 0;   ///< times evicted and re-decoded
+    int preemptions = 0;   ///< times preempted (either mechanism)
+    int swaps = 0;         ///< preemptions served by swap-to-host
     bool dropped = false;  ///< deadline expired before completion
     bool cancelled = false; ///< stream consumer returned false
 };

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Randomized scheduler stress harness (ctest label: fuzz).
+ *
+ * Every seed synthesizes a random serving scenario — arrivals,
+ * tiers, deadlines, prompt lengths (GenOptions::prompt_len_override),
+ * chunk sizes, iteration budgets, KV budgets, watermarks, preempt
+ * modes, batch widths, consumer cancellation — and asserts the
+ * scheduler's hard invariants on the result:
+ *
+ *  1. bit-determinism across worker counts (timeline, counters and
+ *     emissions identical for 1 vs 3 workers);
+ *  2. no token loss or duplication per request: the delivered stream
+ *     is exactly a prefix of the request's isolated Engine::runOne
+ *     decode (the full decode for completed requests), each output
+ *     index delivered exactly once, in order;
+ *  3. device KV occupancy never exceeds the budget, and the host
+ *     pool stays empty unless swap preemption is enabled;
+ *  4. every request ends in exactly one terminal state
+ *     (done / dropped / rejected / cancelled), and the fleet
+ *     counters agree with the per-outcome flags;
+ *  5. on deadline-free scenarios under KV pressure, `auto` preempt
+ *     mode never yields a worse modeled makespan than the dearer of
+ *     pure swap / pure recompute on the same stream, and all three
+ *     mechanisms deliver identical tokens.
+ *
+ * The default seed set is fixed (CI runs it in Release and under
+ * TSan); SPECEE_FUZZ_SEEDS=<n> widens the sweep locally.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "serve/server.hh"
+#include "test_util.hh"
+#include "util/rng.hh"
+
+using namespace specee;
+
+namespace {
+
+/** One randomized scenario drawn from a seed. */
+struct Scenario
+{
+    std::vector<serve::Request> stream;
+    serve::ServerOptions opts; ///< workers field overwritten per run
+    bool has_deadlines = false;
+    uint64_t cancel_id = 0; ///< request to cancel mid-stream
+    int cancel_after = 0;   ///< tokens before cancelling; 0 = never
+};
+
+Scenario
+drawScenario(uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xfa22);
+    Scenario sc;
+
+    // --- request stream: interactive shorts + batch longs ----------
+    serve::StreamOptions shorts;
+    shorts.n_requests = rng.uniformInt(2, 6);
+    shorts.gen_len = rng.uniformInt(4, 18);
+    shorts.rate_rps = rng.bernoulli(0.5) ? 0.0 : rng.uniform(2.0, 16.0);
+    shorts.seed = rng.next();
+    serve::StreamOptions longs;
+    longs.n_requests = rng.uniformInt(2, 6);
+    longs.gen_len = rng.uniformInt(4, 18);
+    longs.rate_rps = rng.bernoulli(0.5) ? 0.0 : rng.uniform(1.0, 8.0);
+    const int prompt_choices[] = {0, 512, 2048, 4096};
+    longs.prompt_len = prompt_choices[rng.uniformInt(0, 3)];
+    longs.priority = serve::Priority::Batch;
+    longs.id_base = 100;
+    longs.seed = rng.next();
+    if (rng.bernoulli(0.4)) {
+        // Tight-ish deadlines: some requests will drop, queued or
+        // mid-flight — both paths must stay invariant-clean.
+        longs.deadline_s = rng.uniform(0.2, 2.0);
+        sc.has_deadlines = true;
+    }
+    sc.stream = serve::mergeStreams(serve::synthesizeStream(shorts),
+                                    serve::synthesizeStream(longs));
+
+    // --- scheduler knobs -------------------------------------------
+    sc.opts.engine = engines::EngineConfig::huggingFace().withSpecEE();
+    sc.opts.spec = hw::HardwareSpec::a100();
+    sc.opts.sched.max_batch = rng.uniformInt(2, 8);
+    const int chunk_choices[] = {0, 64, 256, 1 << 20};
+    sc.opts.sched.prefill.chunk_tokens =
+        chunk_choices[rng.uniformInt(0, 3)];
+    if (sc.opts.sched.prefill.chunk_tokens > 0 && rng.bernoulli(0.5)) {
+        sc.opts.sched.prefill.max_tokens_per_iteration =
+            2 * std::min(sc.opts.sched.prefill.chunk_tokens, 4096);
+    }
+    // Biased toward pressure: an unconstrained fleet exercises none
+    // of the preemption machinery.
+    const int budget_choices[] = {0, 110, 140, 180};
+    sc.opts.sched.kv_budget_blocks =
+        budget_choices[rng.uniformInt(0, 3)];
+    if (sc.opts.sched.kv_budget_blocks > 0)
+        sc.opts.sched.max_batch = std::max(sc.opts.sched.max_batch, 5);
+    const serve::PreemptMode modes[] = {serve::PreemptMode::Recompute,
+                                        serve::PreemptMode::Swap,
+                                        serve::PreemptMode::Auto};
+    sc.opts.sched.preempt_mode = modes[rng.uniformInt(0, 2)];
+    if (sc.opts.sched.kv_budget_blocks > 0 && rng.bernoulli(0.4))
+        sc.opts.sched.kv_watermark = rng.uniform(0.6, 1.0);
+
+    // --- streaming backpressure ------------------------------------
+    if (rng.bernoulli(0.3)) {
+        const auto &victim =
+            sc.stream[static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int>(sc.stream.size()) - 1))];
+        sc.cancel_id = victim.id;
+        sc.cancel_after = rng.uniformInt(1, 4);
+    }
+    return sc;
+}
+
+/** Everything one drain produced, plus the delivered token streams. */
+struct RunCapture
+{
+    serve::ServeReport rep;
+    std::map<uint64_t, std::vector<int>> delivered;
+};
+
+RunCapture
+runScenario(const Scenario &sc, int workers)
+{
+    serve::ServerOptions opts = sc.opts;
+    opts.workers = workers;
+    RunCapture cap;
+    opts.on_token = [&cap, &sc](const serve::TokenEvent &ev) {
+        auto &d = cap.delivered[ev.request_id];
+        // In-order, gap-free, duplicate-free delivery.
+        EXPECT_EQ(ev.index, static_cast<int>(d.size()))
+            << "request " << ev.request_id;
+        d.push_back(ev.token);
+        if (sc.cancel_after > 0 && ev.request_id == sc.cancel_id)
+            return static_cast<int>(d.size()) < sc.cancel_after;
+        return true;
+    };
+    serve::Server server(testutil::tinyPipeline(), opts);
+    server.submit(sc.stream);
+    cap.rep = server.drain();
+    return cap;
+}
+
+/** Per-scenario cache of isolated reference decodes, by request id
+ * (ids are unique within a stream and the stream is shared by every
+ * run of one scenario, so each ground truth decodes once, not once
+ * per worker-count / preempt-mode run). */
+using ReferenceCache = std::map<uint64_t, std::vector<int>>;
+
+/** Isolated single-request reference decode (the ground truth). */
+const std::vector<int> &
+referenceTokens(const serve::Request &r, ReferenceCache &cache)
+{
+    const auto it = cache.find(r.id);
+    if (it != cache.end())
+        return it->second;
+    const auto &pipe = testutil::tinyPipeline();
+    static std::unique_ptr<engines::Engine> engine;
+    if (!engine) {
+        engine = pipe.makeEngine(
+            engines::EngineConfig::huggingFace().withSpecEE(),
+            hw::HardwareSpec::a100());
+    }
+    workload::GenOptions gen = r.gen;
+    gen.n_instances = 1;
+    const auto w = pipe.makeWorkload(r.dataset, gen,
+                                     engine->config().q4Calibrated());
+    auto ref = engine->runOne(w, 0, r.seed);
+    return cache.emplace(r.id, std::move(ref.emissions[0].tokens))
+        .first->second;
+}
+
+void
+checkInvariants(const Scenario &sc, const RunCapture &cap,
+                ReferenceCache &refs)
+{
+    const auto &rep = cap.rep;
+    const auto &fleet = rep.fleet;
+
+    // (4) every request accounted for, in exactly one terminal state.
+    ASSERT_EQ(rep.outcomes.size(), sc.stream.size());
+    long done = 0, dropped = 0, cancelled = 0;
+    for (const auto &o : rep.outcomes) {
+        EXPECT_FALSE(o.dropped && o.cancelled)
+            << "request " << o.request.id << " in two terminal states";
+        if (o.dropped) {
+            ++dropped;
+        } else if (o.cancelled) {
+            ++cancelled;
+        } else {
+            ++done;
+            ASSERT_EQ(o.result.emissions.size(), 1u)
+                << "completed request " << o.request.id
+                << " has no finalized emission";
+        }
+    }
+    EXPECT_EQ(dropped, fleet.dropped);
+    EXPECT_EQ(cancelled, fleet.cancelled);
+    EXPECT_EQ(done + dropped + cancelled,
+              static_cast<long>(sc.stream.size()));
+    EXPECT_EQ(fleet.rejected, 0); // unbounded ingress in this harness
+
+    // (3) device KV occupancy bounded; host pool only under swap.
+    if (sc.opts.sched.kv_budget_blocks > 0) {
+        EXPECT_LE(fleet.peak_kv_blocks,
+                  sc.opts.sched.kv_budget_blocks);
+    }
+    if (sc.opts.sched.preempt_mode == serve::PreemptMode::Recompute) {
+        EXPECT_EQ(fleet.swaps_out, 0);
+        EXPECT_EQ(fleet.peak_host_kv_blocks, 0);
+    }
+    EXPECT_GE(fleet.swaps_out, fleet.swaps_in);
+    if (sc.opts.sched.kv_watermark <= 0.0)
+        EXPECT_EQ(fleet.watermark_rejections, 0);
+
+    // (2) delivered streams are exact prefixes of the isolated
+    // decode; completed requests deliver it in full.
+    long delivered_total = 0;
+    for (const auto &o : rep.outcomes) {
+        const auto it = cap.delivered.find(o.request.id);
+        const std::vector<int> empty;
+        const auto &got = it == cap.delivered.end() ? empty : it->second;
+        delivered_total += static_cast<long>(got.size());
+        const auto &ref = referenceTokens(o.request, refs);
+        ASSERT_LE(got.size(), ref.size())
+            << "request " << o.request.id << " over-delivered";
+        EXPECT_TRUE(std::equal(got.begin(), got.end(), ref.begin()))
+            << "request " << o.request.id << " diverged from its "
+            << "isolated decode";
+        if (!o.dropped && !o.cancelled) {
+            EXPECT_EQ(got, ref) << "completed request " << o.request.id
+                                << " lost tokens";
+            EXPECT_EQ(o.result.emissions[0].tokens, ref);
+        }
+    }
+    EXPECT_EQ(delivered_total, fleet.tokens);
+}
+
+/** What the sweep exercised, summed over seeds (coverage guard). */
+struct Coverage
+{
+    long preemptions = 0;
+    long swaps = 0;
+    long dropped = 0;
+    long cancelled = 0;
+    long watermark = 0;
+    long prefill_chunks = 0;
+};
+
+/**
+ * Directed high-pressure scenarios run ahead of the random sweep:
+ * they pin the swap / auto / watermark machinery under guaranteed KV
+ * pressure, so the coverage guard below cannot be starved by an
+ * unlucky random draw while every scenario still flows through the
+ * exact same invariant checks.
+ */
+std::vector<Scenario>
+directedScenarios()
+{
+    std::vector<Scenario> out;
+    for (const auto mode :
+         {serve::PreemptMode::Swap, serve::PreemptMode::Auto}) {
+        serve::StreamOptions shorts;
+        shorts.n_requests = 3;
+        shorts.gen_len = 16;
+        shorts.seed = 0xbeef;
+        serve::StreamOptions longs;
+        longs.n_requests = 3;
+        longs.gen_len = 16;
+        longs.prompt_len = 2048;
+        longs.priority = serve::Priority::Batch;
+        longs.id_base = 100;
+        longs.seed = 0xf00d;
+        Scenario sc;
+        sc.stream = serve::mergeStreams(serve::synthesizeStream(shorts),
+                                        serve::synthesizeStream(longs));
+        sc.opts.engine =
+            engines::EngineConfig::huggingFace().withSpecEE();
+        sc.opts.spec = hw::HardwareSpec::a100();
+        sc.opts.sched.max_batch = 6;
+        sc.opts.sched.prefill.chunk_tokens = 128;
+        sc.opts.sched.kv_budget_blocks = 150;
+        sc.opts.sched.preempt_mode = mode;
+        if (mode == serve::PreemptMode::Auto)
+            sc.opts.sched.kv_watermark = 0.85;
+        out.push_back(std::move(sc));
+    }
+    {
+        // Deadline + cancellation coverage: one long prompt expires
+        // mid-prefill, one interactive stream is cancelled by its
+        // consumer after three tokens.
+        serve::StreamOptions so;
+        so.n_requests = 4;
+        so.gen_len = 12;
+        so.prompt_len = 4096;
+        so.seed = 0xd00d;
+        Scenario sc;
+        sc.stream = serve::synthesizeStream(so);
+        sc.stream[1].deadline_s = 1e-6;
+        sc.has_deadlines = true;
+        sc.cancel_id = sc.stream[2].id;
+        sc.cancel_after = 3;
+        sc.opts.engine =
+            engines::EngineConfig::huggingFace().withSpecEE();
+        sc.opts.spec = hw::HardwareSpec::a100();
+        sc.opts.sched.max_batch = 4;
+        sc.opts.sched.prefill.chunk_tokens = 256;
+        out.push_back(std::move(sc));
+    }
+    return out;
+}
+
+void
+fuzzScenario(const Scenario &sc, Coverage &cov)
+{
+
+    // (1) worker-count bit-determinism.
+    ReferenceCache refs;
+    const RunCapture r1 = runScenario(sc, 1);
+    const RunCapture r3 = runScenario(sc, 3);
+    checkInvariants(sc, r1, refs);
+    checkInvariants(sc, r3, refs);
+    cov.preemptions += r1.rep.fleet.preemptions;
+    cov.swaps += r1.rep.fleet.swaps_out;
+    cov.dropped += r1.rep.fleet.dropped;
+    cov.cancelled += r1.rep.fleet.cancelled;
+    cov.watermark += r1.rep.fleet.watermark_rejections;
+    cov.prefill_chunks += r1.rep.fleet.prefill_chunks;
+    EXPECT_DOUBLE_EQ(r1.rep.fleet.makespan_s, r3.rep.fleet.makespan_s);
+    EXPECT_DOUBLE_EQ(r1.rep.fleet.energy_j, r3.rep.fleet.energy_j);
+    EXPECT_EQ(r1.rep.fleet.tokens, r3.rep.fleet.tokens);
+    EXPECT_EQ(r1.rep.fleet.iterations, r3.rep.fleet.iterations);
+    EXPECT_EQ(r1.rep.fleet.preemptions, r3.rep.fleet.preemptions);
+    EXPECT_EQ(r1.rep.fleet.swaps_out, r3.rep.fleet.swaps_out);
+    EXPECT_EQ(r1.rep.fleet.swaps_in, r3.rep.fleet.swaps_in);
+    EXPECT_EQ(r1.rep.fleet.watermark_rejections,
+              r3.rep.fleet.watermark_rejections);
+    EXPECT_EQ(r1.rep.fleet.dropped, r3.rep.fleet.dropped);
+    EXPECT_EQ(r1.rep.fleet.cancelled, r3.rep.fleet.cancelled);
+    EXPECT_EQ(r1.delivered, r3.delivered);
+    ASSERT_EQ(r1.rep.outcomes.size(), r3.rep.outcomes.size());
+    for (size_t i = 0; i < r1.rep.outcomes.size(); ++i) {
+        const auto &a = r1.rep.outcomes[i];
+        const auto &b = r3.rep.outcomes[i];
+        EXPECT_DOUBLE_EQ(a.ttft_s, b.ttft_s);
+        EXPECT_DOUBLE_EQ(a.finish_s, b.finish_s);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.swaps, b.swaps);
+    }
+
+    // (5) auto is never worse than the dearer fixed mechanism on the
+    // same stream (comparable only when no deadline/cancel path can
+    // change WHAT runs between modes).
+    if (sc.opts.sched.kv_budget_blocks > 0 && !sc.has_deadlines &&
+        sc.cancel_after == 0) {
+        Scenario fixed = sc;
+        fixed.opts.sched.preempt_mode = serve::PreemptMode::Recompute;
+        const RunCapture rec = runScenario(fixed, 1);
+        fixed.opts.sched.preempt_mode = serve::PreemptMode::Swap;
+        const RunCapture swp = runScenario(fixed, 1);
+        fixed.opts.sched.preempt_mode = serve::PreemptMode::Auto;
+        const RunCapture aut = runScenario(fixed, 1);
+        checkInvariants(fixed, rec, refs);
+        checkInvariants(fixed, swp, refs);
+        checkInvariants(fixed, aut, refs);
+        cov.swaps += swp.rep.fleet.swaps_out;
+        const double dearer = std::max(rec.rep.fleet.makespan_s,
+                                       swp.rep.fleet.makespan_s);
+        EXPECT_LE(aut.rep.fleet.makespan_s, dearer * (1.0 + 1e-9))
+            << "auto lost to both fixed preempt modes";
+        EXPECT_EQ(aut.delivered, rec.delivered);
+        EXPECT_EQ(aut.delivered, swp.delivered);
+    }
+}
+
+} // namespace
+
+TEST(ServeFuzz, RandomizedSchedulerInvariants)
+{
+    // Fixed CI seed set; SPECEE_FUZZ_SEEDS widens the sweep locally.
+    int n_seeds = 8;
+    if (const char *env = std::getenv("SPECEE_FUZZ_SEEDS"))
+        n_seeds = std::max(1, std::atoi(env));
+    Coverage cov;
+    for (const Scenario &sc : directedScenarios()) {
+        SCOPED_TRACE("directed scenario");
+        fuzzScenario(sc, cov);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    for (uint64_t seed = 1; seed <= static_cast<uint64_t>(n_seeds);
+         ++seed) {
+        SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+        fuzzScenario(drawScenario(seed), cov);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    // The sweep must actually exercise every mechanism it claims to
+    // stress — a harness whose random draws stopped reaching the
+    // preemption / swap / drop / cancel / watermark paths would pass
+    // vacuously.
+    EXPECT_GT(cov.preemptions, 0);
+    EXPECT_GT(cov.swaps, 0);
+    EXPECT_GT(cov.dropped, 0);
+    EXPECT_GT(cov.cancelled, 0);
+    EXPECT_GT(cov.watermark, 0);
+    EXPECT_GT(cov.prefill_chunks, 0);
+}
