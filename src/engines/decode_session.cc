@@ -92,22 +92,63 @@ DecodeSession::DecodeSession(Engine &eng, workload::Workload w,
 void
 DecodeSession::prefill()
 {
-    specee_assert(!prefilled_ && !prefillStarted_,
-                  "prefill() after prefill began");
+    specee_assert(!prefilled_, "prefill() after prefill done");
     const auto &inst = w_->instances[instance_];
     BindGuard bind(*eng_.tm_, &seq_);
-    // fork() keeps the decode rng stream untouched (draft draws stay
-    // comparable across engine configs); the instance index makes the
-    // noise substreams distinct even for engines whose decode never
-    // advances the parent rng.
-    eng_.tm_->reset(rng_->fork(0x7e5e + instance_).next());
-    std::vector<int> prefix(inst.prompt.begin(), inst.prompt.end() - 1);
-    eng_.tm_->prefill(prefix);
+    if (!prefillStarted_) {
+        // fork() keeps the decode rng stream untouched (draft draws
+        // stay comparable across engine configs); the instance index
+        // makes the noise substreams distinct even for engines whose
+        // decode never advances the parent rng.
+        eng_.tm_->reset(rng_->fork(0x7e5e + instance_).next());
+        prefillStarted_ = true;
+    }
+    // After adoptCachedPrefix() only the uncached tail is appended;
+    // cold sessions start at simFilled_ = 0 — the legacy path.
+    const int prefix_len = static_cast<int>(inst.prompt.size()) - 1;
+    if (prefix_len > simFilled_) {
+        std::vector<int> slice(inst.prompt.begin() + simFilled_,
+                               inst.prompt.end() - 1);
+        eng_.tm_->prefill(slice);
+        simFilled_ = prefix_len;
+    }
     input_ = inst.prompt.back();
-    prefillStarted_ = true;
     prefillTrue_ = prefillTotal();
-    simFilled_ = static_cast<int>(prefix.size());
     prefilled_ = true;
+}
+
+void
+DecodeSession::adoptCachedPrefix(
+    const std::vector<std::vector<int>> &table, int true_matched,
+    int sim_matched)
+{
+    specee_assert(!prefillStarted_ && !prefilled_,
+                  "adoptCachedPrefix() after prefill began");
+    specee_assert(canSwap(),
+                  "adoptCachedPrefix() needs a paged fleet-pool KV");
+    const auto &inst = w_->instances[instance_];
+    const int prefix_len = static_cast<int>(inst.prompt.size()) - 1;
+    specee_assert(true_matched > 0 && true_matched <= prefillTotal(),
+                  "adopted true span %d outside prompt of %d",
+                  true_matched, prefillTotal());
+    specee_assert(sim_matched > 0 && sim_matched <= prefix_len,
+                  "adopted sim span %d outside prefix of %d",
+                  sim_matched, prefix_len);
+    BindGuard bind(*eng_.tm_, &seq_);
+    // Same sequence initialization (and rng fork) as a cold
+    // prefill, so the resumed decode is bit-identical to a cold run.
+    eng_.tm_->reset(rng_->fork(0x7e5e + instance_).next());
+    prefillStarted_ = true;
+    kvView_->adoptPrefix(table, sim_matched);
+    seq_.pos = sim_matched;
+    simFilled_ = sim_matched;
+    prefillTrue_ = true_matched;
+    if (prefillTrue_ >= prefillTotal()) {
+        // Full-prompt hit: nothing left to ingest, TTFT is
+        // decode-only.
+        input_ = inst.prompt.back();
+        prefilled_ = true;
+    }
 }
 
 int
@@ -228,6 +269,14 @@ int
 DecodeSession::hostBlocks() const
 {
     return kvView_ != nullptr ? kvView_->hostBlocks() : 0;
+}
+
+int
+DecodeSession::kvSeqId() const
+{
+    specee_assert(kvView_ != nullptr,
+                  "kvSeqId() needs a paged fleet-pool KV");
+    return kvView_->seqId();
 }
 
 double

@@ -81,8 +81,27 @@ class DecodeSession
     DecodeSession(const DecodeSession &) = delete;
     DecodeSession &operator=(const DecodeSession &) = delete;
 
-    /** Ingest the prompt (fresh sequence state). Call exactly once. */
+    /**
+     * Ingest the prompt (fresh sequence state, or the part left
+     * after adoptCachedPrefix()). Call exactly once.
+     */
     void prefill();
+
+    /**
+     * Resume mid-prompt from a cached prefix: initialize the
+     * sequence exactly like a cold prefill (same rng fork), map the
+     * paged KV onto the shared block chains (`table[layer]`,
+     * `sim_matched` rows, one reference retained per block) and
+     * mark the first `true_matched` TRUE-dims prompt tokens as
+     * already ingested — the cached span charges no PrefillWeights /
+     * PrefillCompute. The cached rows hold exactly what this
+     * session's own prefill would have written (prefill is a pure
+     * function of the tokens), so subsequent chunks, decode and
+     * emissions are bit-identical to a cold run. Call before
+     * prefill() / prefillChunk(); requires a paged fleet-pool KV.
+     */
+    void adoptCachedPrefix(const std::vector<std::vector<int>> &table,
+                           int true_matched, int sim_matched);
 
     /**
      * Chunked prefill: ingest up to `n_tokens` prompt tokens at the
@@ -176,6 +195,9 @@ class DecodeSession
      * uniformly.
      */
     int kvBlocks() const;
+
+    /** Pool sequence id of the paged KV view. @pre canSwap() */
+    int kvSeqId() const;
 
     /** Modeled cached positions at TRUE dims (prompt + emitted). */
     long modeledPositions() const;

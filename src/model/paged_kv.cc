@@ -13,6 +13,7 @@ PagedKvCache::PagedKvCache(int n_layers, int n_blocks, int hidden)
                   "bad paged KV pool shape");
     kPool_.reserve(static_cast<size_t>(n_blocks));
     vPool_.reserve(static_cast<size_t>(n_blocks));
+    refs_.assign(static_cast<size_t>(n_blocks), 0);
     for (int b = 0; b < n_blocks; ++b) {
         kPool_.emplace_back(static_cast<size_t>(kKvBlockSize),
                             static_cast<size_t>(hidden));
@@ -69,13 +70,101 @@ PagedKvCache::allocBlock()
     specee_assert(!freeList_.empty(), "paged KV pool exhausted");
     int b = freeList_.back();
     freeList_.pop_back();
+    // A block on the free list with live references would mean the
+    // allocator is about to hand out memory another holder still
+    // reads — the exact corruption the refcounted tier must rule out.
+    specee_assert(refs_[static_cast<size_t>(b)] == 0,
+                  "allocator handed out referenced block %d (refs %d)",
+                  b, refs_[static_cast<size_t>(b)]);
+    refs_[static_cast<size_t>(b)] = 1;
     return b;
 }
 
 void
-PagedKvCache::freeBlock(int b)
+PagedKvCache::releaseBlock(int b)
 {
-    freeList_.push_back(b);
+    specee_assert(b >= 0 && b < nBlocks_, "bad block id %d", b);
+    specee_assert(refs_[static_cast<size_t>(b)] > 0,
+                  "double free of paged KV block %d", b);
+    if (--refs_[static_cast<size_t>(b)] == 0)
+        freeList_.push_back(b);
+}
+
+void
+PagedKvCache::retainBlock(int b)
+{
+    specee_assert(b >= 0 && b < nBlocks_, "bad block id %d", b);
+    specee_assert(refs_[static_cast<size_t>(b)] > 0,
+                  "retain of a free paged KV block %d", b);
+    ++refs_[static_cast<size_t>(b)];
+}
+
+int
+PagedKvCache::blockRefs(int b) const
+{
+    specee_assert(b >= 0 && b < nBlocks_, "bad block id %d", b);
+    return refs_[static_cast<size_t>(b)];
+}
+
+std::vector<int>
+PagedKvCache::retainRows(int seq, int layer, int row_begin, int row_end)
+{
+    specee_assert(layer >= 0 && layer < nLayers_, "bad layer");
+    const SeqState &ss = seqState(seq);
+    specee_assert(!ss.swapped, "retainRows on swapped-out sequence %d",
+                  seq);
+    const LayerState &st = ss.layers[static_cast<size_t>(layer)];
+    specee_assert(row_begin >= 0 && row_begin <= row_end &&
+                      row_end <= st.len,
+                  "retainRows range [%d, %d) outside 0..%d", row_begin,
+                  row_end, st.len);
+    std::vector<int> out;
+    if (row_begin >= row_end)
+        return out;
+    for (int blk = row_begin / kKvBlockSize;
+         blk <= (row_end - 1) / kKvBlockSize; ++blk) {
+        const int b = st.blockTable[static_cast<size_t>(blk)];
+        retainBlock(b);
+        out.push_back(b);
+    }
+    return out;
+}
+
+int
+PagedKvCache::releaseBlocks(const std::vector<int> &blocks)
+{
+    int freed = 0;
+    for (int b : blocks) {
+        releaseBlock(b);
+        if (refs_[static_cast<size_t>(b)] == 0)
+            ++freed;
+    }
+    return freed;
+}
+
+void
+PagedKvCache::adoptPrefix(int seq, int layer,
+                          const std::vector<int> &blocks, int rows)
+{
+    specee_assert(layer >= 0 && layer < nLayers_, "bad layer");
+    SeqState &ss = seqState(seq);
+    specee_assert(!ss.swapped, "adoptPrefix on swapped-out sequence %d",
+                  seq);
+    LayerState &st = ss.layers[static_cast<size_t>(layer)];
+    specee_assert(st.len == 0 && st.blockTable.empty(),
+                  "adoptPrefix into non-empty (seq %d, layer %d)", seq,
+                  layer);
+    specee_assert(rows > 0 &&
+                      static_cast<int>(blocks.size()) ==
+                          (rows + kKvBlockSize - 1) / kKvBlockSize,
+                  "adoptPrefix chain of %zu blocks does not cover %d "
+                  "rows",
+                  blocks.size(), rows);
+    for (int b : blocks) {
+        retainBlock(b);
+        st.blockTable.push_back(b);
+    }
+    st.len = rows;
 }
 
 bool
@@ -83,7 +172,15 @@ PagedKvCache::wouldOverflow(int seq, int layer) const
 {
     const LayerState &st =
         seqState(seq).layers[static_cast<size_t>(layer)];
-    return st.len % kKvBlockSize == 0 && freeList_.empty();
+    if (!freeList_.empty())
+        return false;
+    if (st.len % kKvBlockSize == 0)
+        return true;
+    // A shared tail block needs a copy-on-write fork to accept the
+    // next position, which also requires a free block.
+    const int tail =
+        st.blockTable[static_cast<size_t>(st.len / kKvBlockSize)];
+    return refs_[static_cast<size_t>(tail)] > 1;
 }
 
 int
@@ -99,8 +196,30 @@ PagedKvCache::append(int seq, int layer, tensor::CSpan k, tensor::CSpan v)
     if (st.len % kKvBlockSize == 0)
         st.blockTable.push_back(allocBlock());
     const int pos = st.len++;
-    const int block = st.blockTable[static_cast<size_t>(pos / kKvBlockSize)];
+    const size_t blk = static_cast<size_t>(pos / kKvBlockSize);
+    int block = st.blockTable[blk];
     const int off = pos % kKvBlockSize;
+    if (refs_[static_cast<size_t>(block)] > 1) {
+        // Copy-on-write fork: another sequence (or the prefix cache)
+        // still reads this block, so the write lands in a private
+        // copy seeded with the rows below the write position — the
+        // shared prefix content both holders agree on.
+        const int fork = allocBlock();
+        for (int r = 0; r < off; ++r) {
+            const auto row = static_cast<size_t>(r);
+            const auto src_k =
+                kPool_[static_cast<size_t>(block)].row(row);
+            const auto src_v =
+                vPool_[static_cast<size_t>(block)].row(row);
+            std::copy(src_k.begin(), src_k.end(),
+                      kPool_[static_cast<size_t>(fork)].row(row).begin());
+            std::copy(src_v.begin(), src_v.end(),
+                      vPool_[static_cast<size_t>(fork)].row(row).begin());
+        }
+        releaseBlock(block);
+        st.blockTable[blk] = fork;
+        block = fork;
+    }
     std::copy(k.begin(), k.end(),
               kPool_[static_cast<size_t>(block)]
                   .row(static_cast<size_t>(off)).begin());
@@ -164,8 +283,12 @@ PagedKvCache::swapOut(int seq)
                       st.hostV.row(static_cast<size_t>(pos)).begin());
         }
         hostBlocks_ += static_cast<int>(st.blockTable.size());
+        // Shared blocks (cached prefix) just drop this sequence's
+        // reference — the cache keeps them device-resident; the host
+        // copy above already captured the rows, so swap-in restores
+        // into private blocks (prefix sharing ends at swap-out).
         for (int b : st.blockTable)
-            freeBlock(b);
+            releaseBlock(b);
         st.blockTable.clear();
     }
     ss.swapped = true;
@@ -241,7 +364,7 @@ PagedKvCache::truncate(int seq, int new_len)
         const int keep_blocks =
             new_len == 0 ? 0 : (new_len + kKvBlockSize - 1) / kKvBlockSize;
         while (static_cast<int>(st.blockTable.size()) > keep_blocks) {
-            freeBlock(st.blockTable.back());
+            releaseBlock(st.blockTable.back());
             st.blockTable.pop_back();
         }
         st.len = new_len;

@@ -10,6 +10,16 @@
  * continuous batching is a real allocator quantity the serving layer
  * can budget and preempt against. SequenceKv is the single-sequence
  * KvStore view the attention math reads through.
+ *
+ * Blocks are refcounted so prefix caching can share one physical
+ * block across sequences (SGLang-style): retainRows() hands an
+ * external holder references on the blocks backing a row range,
+ * adoptPrefix() maps an empty sequence layer onto an existing chain,
+ * and append() forks a copy-on-write duplicate before writing into
+ * any block another holder still references. A block returns to the
+ * free list only when its last reference is released, so the
+ * allocator can never hand out a block that is still referenced —
+ * double-release and referenced-handout are fatal, not silent reuse.
  */
 
 #ifndef SPECEE_MODEL_PAGED_KV_HH
@@ -46,10 +56,17 @@ class PagedKvCache
     /** Register a new sequence (empty block tables). @return seq id */
     int createSequence();
 
-    /** Free every block of `seq` and recycle its id. */
+    /** Release every block of `seq` and recycle its id. */
     void dropSequence(int seq);
 
-    /** Append k/v for the next position of (seq, layer). @return pos */
+    /**
+     * Append k/v for the next position of (seq, layer). If the
+     * destination block is shared (refcount > 1), it is forked
+     * copy-on-write first: the rows below the write position are
+     * copied into a fresh block, this sequence's reference moves to
+     * the copy, and other holders keep the original untouched.
+     * @return pos
+     */
     int append(int seq, int layer, tensor::CSpan k, tensor::CSpan v);
 
     tensor::CSpan key(int seq, int layer, int pos) const;
@@ -92,6 +109,39 @@ class PagedKvCache
 
     /** True if appending one position to (seq, layer) would fail. */
     bool wouldOverflow(int seq, int layer) const;
+
+    /**
+     * Hand an external holder (the prefix cache) one reference on
+     * each physical block backing rows [row_begin, row_end) of
+     * (seq, layer). The blocks stay pinned — they cannot return to
+     * the free list — until releaseBlocks() drops the references.
+     * @return the retained block ids in table order
+     */
+    std::vector<int> retainRows(int seq, int layer, int row_begin,
+                                int row_end);
+
+    /** Add one reference to an already-referenced block. */
+    void retainBlock(int b);
+
+    /**
+     * Drop one reference per listed block (a block listed twice
+     * loses two). Releasing an unreferenced block is fatal (double
+     * free). @return blocks whose last reference dropped (freed)
+     */
+    int releaseBlocks(const std::vector<int> &blocks);
+
+    /**
+     * Map the empty (seq, layer) onto an existing chain: the layer's
+     * block table becomes `blocks` (one reference retained on each)
+     * and its length `rows`. Reads below `rows` see the shared
+     * content; the first append into a shared block forks it
+     * copy-on-write, so the donor chain is never mutated.
+     */
+    void adoptPrefix(int seq, int layer, const std::vector<int> &blocks,
+                     int rows);
+
+    /** References currently held on block `b` (0 = free). */
+    int blockRefs(int b) const;
 
     /** Physical blocks held by `seq` across all layers. */
     int seqBlocks(int seq) const;
@@ -136,7 +186,7 @@ class PagedKvCache
     std::pair<int, int> locate(int seq, int layer, int pos) const;
 
     int allocBlock();
-    void freeBlock(int b);
+    void releaseBlock(int b);
 
     int nLayers_;
     int nBlocks_;
@@ -145,6 +195,7 @@ class PagedKvCache
     std::vector<tensor::Matrix> kPool_;
     std::vector<tensor::Matrix> vPool_;
     std::vector<int> freeList_;
+    std::vector<int> refs_; ///< per-block reference counts
     std::vector<SeqState> seqs_;
     std::vector<int> freeSeqIds_; ///< recycled ids, LIFO
     int hostBlocks_ = 0; ///< block-equivalents in the host pool
@@ -212,6 +263,19 @@ class SequenceKv : public KvStore
 
     /** Device blocks a swapIn() must be able to allocate. */
     int hostBlocks() const { return pool_->seqHostBlocks(seq_); }
+
+    /**
+     * Map this (empty) sequence onto cached prefix chains:
+     * `table[layer]` lists the shared blocks backing the first
+     * `rows` positions of every layer (see PagedKvCache::adoptPrefix).
+     */
+    void
+    adoptPrefix(const std::vector<std::vector<int>> &table, int rows)
+    {
+        for (int l = 0; l < pool_->nLayers(); ++l)
+            pool_->adoptPrefix(seq_, l, table[static_cast<size_t>(l)],
+                               rows);
+    }
 
     int seqId() const { return seq_; }
     const PagedKvCache &pool() const { return *pool_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "hw/memory_tracker.hh"
@@ -28,6 +29,9 @@ BatchScheduler::BatchScheduler(const SchedulerOptions &opts) : opts_(opts)
     specee_assert(opts.kv_watermark >= 0.0 && opts.kv_watermark <= 1.0,
                   "kv_watermark must be in [0, 1], got %f",
                   opts.kv_watermark);
+    specee_assert(opts.prefix_cache.capacity_blocks >= 0,
+                  "prefix_cache.capacity_blocks must be >= 0, got %d",
+                  opts.prefix_cache.capacity_blocks);
     PrefillPlanner(opts.prefill); // validates the prefill knobs
 }
 
@@ -56,6 +60,11 @@ struct Entry
     int granted = 0; ///< prompt tokens granted this iteration
     int swaps = 0;   ///< times swapped to the host pool
     bool cancel = false; ///< consumer returned false from on_token
+
+    /** Derived true-dims prompt (shared specs under the cache). */
+    std::vector<int> true_toks;
+    int cached = 0; ///< cached tokens adopted by the current run
+    bool cache_inserted = false; ///< this run's prompt is in the tree
 
     engines::StepCost cost; ///< most recent iteration's step cost
 };
@@ -106,14 +115,30 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     // backs the block tables.
     const int per_seq_blocks =
         mcfg.n_layers * (mcfg.context_len / model::kKvBlockSize + 2);
+    // Prefix-cache headroom: the cache may hold up to its capacity
+    // in blocks that no live session references, plus one prompt's
+    // worth of transient overshoot before the post-insert trim, plus
+    // copy-on-write forks. Sized into the pool so the third
+    // residency tier can never physically starve admissions.
+    const bool cache_on = opts_.prefix_cache.enabled;
+    const int cache_capacity =
+        cache_on ? (opts_.prefix_cache.capacity_blocks > 0
+                        ? opts_.prefix_cache.capacity_blocks
+                        : per_seq_blocks)
+                 : 0;
+    const int pool_blocks =
+        static_cast<int>(slots) * per_seq_blocks +
+        (cache_on ? cache_capacity + per_seq_blocks : 0);
     std::vector<std::shared_ptr<model::PagedKvCache>> pools;
     pools.reserve(engines.size());
     for (size_t e = 0; e < engines.size(); ++e) {
         pools.push_back(std::make_shared<model::PagedKvCache>(
-            mcfg.n_layers,
-            static_cast<int>(slots) * per_seq_blocks,
-            mcfg.sim.hidden));
+            mcfg.n_layers, pool_blocks, mcfg.sim.hidden));
     }
+    std::optional<PrefixCache> cache;
+    if (cache_on)
+        cache.emplace(mcfg.n_layers, pools);
+    uint64_t cache_stamp = 0; ///< fleet-global LRU clock
 
     const PrefillPlanner planner(opts_.prefill);
     const bool chunked = planner.enabled();
@@ -124,14 +149,9 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     const int tokens_per_step =
         ecfg.spec_decode ? ecfg.tree.depth() + 1 : 1;
     int iter_growth = mcfg.n_layers * tokens_per_step;
-    if (chunked) {
-        iter_growth = std::max(
-            iter_growth,
-            mcfg.n_layers * ((workload::kSimPromptLen +
-                              model::kKvBlockSize - 1) /
-                                 model::kKvBlockSize +
-                             1));
-    }
+    // (The chunked growth reserve is finalized below, once the
+    // workloads exist: shared prompts can carry sim prefixes longer
+    // than kSimPromptLen.)
 
     // Fleet memory at TRUE dims: weights/draft/predictors once,
     // per-session KV and activations summed. Same deployment model
@@ -144,13 +164,44 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     std::deque<Entry> waiting;
     for (size_t i = 0; i < n; ++i) {
         Entry e;
-        e.w = pipe.makeWorkload(requests[i].dataset, requests[i].gen,
-                                ecfg.q4Calibrated());
+        // buildPromptWorkload reconciles the prompt-identity knobs:
+        // an unshared spec reproduces the legacy makeWorkload call
+        // bit-identically; a shared spec derives its true tokens and
+        // the stride-derived sim prompt the cache can share.
+        e.w = buildPromptWorkload(pipe, requests[i],
+                                  ecfg.q4Calibrated());
+        if (cache_on && requests[i].prompt.shared())
+            e.true_toks = resolvePromptTokens(requests[i].prompt);
         e.req = std::move(requests[i]);
         e.outcome = i;
         outcomes[i].request = e.req;
         waiting.push_back(std::move(e));
     }
+
+    if (chunked) {
+        // A prefill chunk can append up to the whole sim prefix in
+        // one iteration. Legacy prompts all run kSimPromptLen sim
+        // rows (so this reduces to the pre-PromptSpec constant);
+        // shared prompts derive one row per kPromptSimStride true
+        // tokens and can be longer.
+        int max_rows = workload::kSimPromptLen;
+        for (const auto &e : waiting) {
+            max_rows = std::max(
+                max_rows,
+                static_cast<int>(e.w.instances.front().prompt.size()) -
+                    1);
+        }
+        iter_growth = std::max(
+            iter_growth,
+            mcfg.n_layers *
+                ((max_rows + model::kKvBlockSize - 1) /
+                     model::kKvBlockSize +
+                 1));
+    }
+    // A write into a shared cached block forks a copy-on-write
+    // duplicate: one extra block per layer of worst-case growth.
+    if (cache_on)
+        iter_growth += mcfg.n_layers;
 
     const double t0 = waiting.front().req.arrival_s;
     double clock = t0;
@@ -180,6 +231,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         o.prefill_chunks = e.chunks;
         o.preemptions = e.preemptions;
         o.swaps = e.swaps;
+        o.cached_tokens = e.cached;
     };
     const auto drop = [&](Entry &e) {
         RequestOutcome &o = outcomes[e.outcome];
@@ -192,10 +244,33 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         itl_gaps += e.itl_gaps;
     };
     const auto fleetBlocks = [&] {
+        // With the cache on, budget occupancy is the real allocator
+        // state: distinct physical blocks, counting a block shared
+        // by several sessions (or by a session and the cache) once.
+        // Sharing only happens within a pinned engine, so the sum is
+        // identical across worker counts. Cache-off keeps the legacy
+        // per-session sum bit-identically.
+        if (cache_on) {
+            long b = 0;
+            for (const auto &p : pools)
+                b += p->blocksInUse();
+            return b;
+        }
         long b = 0;
         for (const auto &a : active)
             b += a.sess->kvBlocks();
         return b;
+    };
+    // Cache the finished prompt's KV at the prefill-done boundary —
+    // the one moment every layer holds exactly the prompt's sim rows.
+    // Idempotent per run; a recompute preemption clears the flag so
+    // the re-run re-inserts (its fresh blocks replace freed ones).
+    const auto cacheInsert = [&](Entry &e) {
+        if (!cache_on || e.true_toks.empty() || e.cache_inserted)
+            return;
+        e.cache_inserted = true;
+        cache->insert(e.true_toks, e.engine, e.sess->kvSeqId(),
+                      cache_stamp++);
     };
     // Device KV of the candidate's FULL working set (sim dims): the
     // whole prompt — not the first chunk's share chunked admission
@@ -352,14 +427,40 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             }
             Entry e = std::move(head);
             waiting.erase(waiting.begin() + static_cast<long>(cand));
-            e.engine = admit_seq++ % engines.size();
+            // Template-affinity pinning: requests sharing a root
+            // template land on one engine, so their physical blocks
+            // live in one pool and can actually be shared. Unshared
+            // requests keep the legacy round-robin. Cache decisions
+            // stay deterministic across worker counts because a
+            // template's tree is the same tree wherever it lives.
+            if (cache_on && !e.true_toks.empty()) {
+                e.engine = static_cast<size_t>(
+                    e.req.prompt.rootTemplate() % engines.size());
+            } else {
+                e.engine = admit_seq++ % engines.size();
+            }
             e.sess = engines[e.engine]->makeSession(
                 e.w, e.req.seed,
                 std::make_unique<model::SequenceKv>(pools[e.engine]));
+            e.cached = 0;
+            if (cache_on && !e.true_toks.empty()) {
+                const PrefixCache::Match m = cache->match(
+                    e.true_toks, e.engine, cache_stamp++);
+                if (m.sim_matched > 0) {
+                    e.sess->adoptCachedPrefix(m.table, m.true_matched,
+                                              m.sim_matched);
+                    e.cached = m.true_matched;
+                    ++fleet.prefix_hits;
+                    fleet.cached_tokens += m.true_matched;
+                }
+            }
             if (!chunked) {
-                // Atomic legacy prefill: free and instantaneous.
-                e.sess->prefill();
+                // Atomic legacy prefill: free and instantaneous. A
+                // full-prompt cache hit already completed it.
+                if (!e.sess->prefillDone())
+                    e.sess->prefill();
                 e.prefill_ready_s = clock;
+                cacheInsert(e);
             }
             if (e.first_admit_s < 0.0)
                 e.first_admit_s = clock;
@@ -386,10 +487,19 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         // it in the host pool with all progress intact, and auto
         // compares the modeled swap round trip against the modeled
         // cost of replaying the victim's work so far.
-        while (opts_.kv_budget_blocks > 0 && active.size() > 1 &&
+        while (opts_.kv_budget_blocks > 0 &&
                fleetBlocks() +
                        iter_growth * static_cast<long>(active.size()) >
                    opts_.kv_budget_blocks) {
+            // Cached blocks are the lowest residency tier: drain the
+            // cache LRU-first before preempting any live session. An
+            // eviction may free no physical blocks (a session still
+            // shares them) — the loop keeps draining until pressure
+            // clears or the cache is empty.
+            if (cache_on && cache->evictLru())
+                continue;
+            if (active.size() <= 1)
+                break;
             size_t vi = active.size() - 1;
             for (size_t i = active.size(); i-- > 1;) {
                 if (active[i].req.priority == Priority::Batch) {
@@ -420,6 +530,12 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 victim.sess.reset(); // frees the KV blocks
                 victim.prefill_ready_s = -1.0;
                 victim.chunks = 0;
+                // The tree's references on this prompt's blocks (if
+                // it was inserted) survive the session — cached
+                // content stays valid — but the re-run re-matches
+                // and, if needed, re-inserts fresh tail blocks.
+                victim.cached = 0;
+                victim.cache_inserted = false;
                 // Recompute preemption: back to the head of the wait
                 // queue (tier-aware admission keeps a batch victim
                 // from blocking interactive peers) and re-run from
@@ -514,8 +630,20 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 ++fleet.prefill_chunks;
                 fleet.prefill_tokens += a.granted;
             }
-            if (a.sess->prefillDone() && a.prefill_ready_s < 0.0)
+            if (a.sess->prefillDone() && a.prefill_ready_s < 0.0) {
                 a.prefill_ready_s = clock;
+                cacheInsert(a);
+            }
+        }
+        // Enforce the cache capacity after this boundary's inserts
+        // (transient overshoot is covered by the pool's headroom),
+        // and track the cache's footprint at its per-iteration peak.
+        if (cache_on) {
+            while (cache->heldBlocks() > cache_capacity &&
+                   cache->evictLru()) {
+            }
+            fleet.peak_cached_blocks = std::max(
+                fleet.peak_cached_blocks, cache->heldBlocks());
         }
 
         // --- stream new tokens, track TTFT / inter-token gaps ------
@@ -551,11 +679,13 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         }
 
         // --- fleet KV / memory census (peak over iterations) -------
-        long blocks = 0, positions = 0;
-        for (const auto &a : active) {
-            blocks += a.sess->kvBlocks();
+        long positions = 0;
+        for (const auto &a : active)
             positions += a.sess->modeledPositions();
-        }
+        // With the cache on, peak occupancy is physical (shared and
+        // cached blocks counted once) — the same quantity the budget
+        // gates read.
+        long blocks = fleetBlocks();
         fleet.peak_kv_blocks = std::max(fleet.peak_kv_blocks, blocks);
         fleet.peak_fleet_mem_gb = std::max(
             fleet.peak_fleet_mem_gb,
@@ -613,6 +743,21 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             itl_gaps += a.itl_gaps;
         }
         active.resize(keep);
+    }
+
+    // --- drain the cache: reference-count conservation -------------
+    // Every session has retired, so after the cache releases its
+    // references every pool must be empty — a leftover block means a
+    // retain/release imbalance somewhere in the sharing machinery.
+    if (cache_on) {
+        fleet.cache_evictions = cache->evictions();
+        cache->clear();
+        for (const auto &p : pools) {
+            specee_assert(p->blocksInUse() == 0,
+                          "prefix cache drained but %d paged KV "
+                          "blocks are still referenced",
+                          p->blocksInUse());
+        }
     }
 
     // --- reduce fleet metrics over the finished timeline -----------

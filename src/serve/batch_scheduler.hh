@@ -55,6 +55,7 @@
 #include "engines/pipeline.hh"
 #include "hw/cost_model.hh"
 #include "serve/prefill_planner.hh"
+#include "serve/prefix_cache.hh"
 #include "serve/request.hh"
 
 namespace specee::serve {
@@ -109,6 +110,19 @@ struct SchedulerOptions
      * victim from the modeled costs.
      */
     PreemptMode preempt_mode = PreemptMode::Recompute;
+
+    /**
+     * Radix prefix cache over prompt token sequences (SGLang-style).
+     * When enabled, retired prompts' KV blocks stay cached as a
+     * third, lowest residency tier: requests with a shared
+     * PromptSpec match their longest cached prefix at admission,
+     * adopt the shared blocks and start prefill mid-prompt (the
+     * cached span charges no prefill weight stream or compute).
+     * Cached blocks count against kv_budget_blocks and evict LRU
+     * before any session is preempted. Disabled (default) is
+     * bit-identical to the cache-less scheduler.
+     */
+    PrefixCacheOptions prefix_cache;
 
     /**
      * Prefill-aware admission watermark (Sarathi/vllm-style), as a
@@ -212,6 +226,19 @@ struct FleetStats
     long swaps_in = 0;
     long peak_host_kv_blocks = 0;   ///< peak host-pool occupancy
     double peak_host_mem_gb = 0.0;  ///< true-dims bytes of that KV
+
+    /**
+     * Prefix-cache accounting (all zero while the cache is off).
+     * prefix_hits counts admissions that adopted a cached prefix;
+     * cached_tokens sums the true-dims prompt tokens those
+     * admissions skipped prefilling (re-admissions after a
+     * recompute preemption count again — like prefill_tokens, this
+     * is work executed, or here avoided, not goodput).
+     */
+    long prefix_hits = 0;
+    long cached_tokens = 0;
+    long cache_evictions = 0;    ///< LRU leaves evicted
+    long peak_cached_blocks = 0; ///< peak blocks held by the cache
 
     /**
      * Admission deferrals charged to the prefill-aware watermark:

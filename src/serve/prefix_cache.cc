@@ -1,0 +1,346 @@
+#include "serve/prefix_cache.hh"
+
+#include <algorithm>
+
+#include "serve/prompt_spec.hh"
+#include "util/logging.hh"
+
+namespace specee::serve {
+
+namespace {
+
+constexpr int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+/**
+ * One radix node. The edge is a run of true-dims tokens; the node
+ * owns the sim KV rows [sim_begin, sim_end) — the stride marks
+ * falling inside its true span — as per-layer chains of physical
+ * block ids covering block indices sim_begin/16 .. (sim_end-1)/16.
+ * Consecutive path nodes may share a boundary block (a row range
+ * ending mid-block); match assembly resolves those deepest-wins.
+ */
+struct PrefixCache::Node
+{
+    std::vector<int> edge; ///< true tokens (empty only for roots)
+    int start_true = 0;    ///< absolute true position of edge[0]
+    int sim_begin = 0;     ///< first sim row owned
+    int sim_end = 0;       ///< one past the last sim row owned
+    /** Per-layer block ids covering this node's sim rows. */
+    std::vector<std::vector<int>> chain;
+    std::map<int, std::unique_ptr<Node>> children; ///< by first token
+    Node *parent = nullptr;
+    uint64_t last_use = 0; ///< fleet-global LRU stamp
+    uint64_t birth = 0;    ///< creation order (LRU tie-break)
+};
+
+PrefixCache::PrefixCache(
+    int n_layers, std::vector<std::shared_ptr<model::PagedKvCache>> pools)
+    : nLayers_(n_layers), pools_(std::move(pools))
+{
+    specee_assert(nLayers_ > 0, "prefix cache needs layers");
+    specee_assert(!pools_.empty(), "prefix cache needs engine pools");
+    for (const auto &p : pools_) {
+        specee_assert(p != nullptr, "prefix cache needs live pools");
+        specee_assert(p->nLayers() == nLayers_,
+                      "pool layer count %d != cache layer count %d",
+                      p->nLayers(), nLayers_);
+    }
+    roots_.reserve(pools_.size());
+    for (size_t e = 0; e < pools_.size(); ++e)
+        roots_.push_back(std::make_unique<Node>());
+}
+
+PrefixCache::~PrefixCache() { clear(); }
+
+void
+PrefixCache::retainChain(size_t engine,
+                         const std::vector<std::vector<int>> &chain)
+{
+    for (const auto &layer : chain) {
+        for (int b : layer) {
+            pools_[engine]->retainBlock(b);
+            ++holds_[{engine, b}];
+        }
+    }
+}
+
+void
+PrefixCache::releaseChain(size_t engine,
+                          const std::vector<std::vector<int>> &chain)
+{
+    for (const auto &layer : chain) {
+        pools_[engine]->releaseBlocks(layer);
+        for (int b : layer) {
+            auto it = holds_.find({engine, b});
+            specee_assert(it != holds_.end() && it->second > 0,
+                          "prefix cache released block %d it never held",
+                          b);
+            if (--it->second == 0)
+                holds_.erase(it);
+        }
+    }
+}
+
+PrefixCache::Match
+PrefixCache::match(const std::vector<int> &tokens, size_t engine,
+                   uint64_t stamp)
+{
+    specee_assert(engine < roots_.size(), "engine %zu out of range",
+                  engine);
+    Match m;
+    Node *node = roots_[engine].get();
+    std::vector<Node *> path;
+    size_t pos = 0;
+    while (pos < tokens.size()) {
+        auto it = node->children.find(tokens[pos]);
+        if (it == node->children.end())
+            break;
+        Node *child = it->second.get();
+        size_t k = 0;
+        while (k < child->edge.size() && pos + k < tokens.size() &&
+               child->edge[k] == tokens[pos + k])
+            ++k;
+        path.push_back(child);
+        pos += k;
+        if (k < child->edge.size())
+            break; // diverged (or ran out) mid-edge
+        node = child;
+    }
+    m.true_matched = static_cast<int>(pos);
+    m.sim_matched = simRowsForSpan(m.true_matched);
+    if (m.sim_matched == 0) {
+        m.true_matched = 0;
+        return m;
+    }
+    // Deepest-wins table assembly: walk the matched path shallow to
+    // deep; a deeper node's boundary-block copy overwrites its
+    // ancestor's, and by copy-on-write construction that copy holds
+    // every shared row below its own span.
+    const int need_blks = (m.sim_matched - 1) / model::kKvBlockSize + 1;
+    m.table.assign(static_cast<size_t>(nLayers_),
+                   std::vector<int>(static_cast<size_t>(need_blks), -1));
+    for (Node *n : path) {
+        n->last_use = stamp;
+        if (n->sim_end <= n->sim_begin)
+            continue;
+        const int first = n->sim_begin / model::kKvBlockSize;
+        const int last = (n->sim_end - 1) / model::kKvBlockSize;
+        for (int b = first; b <= last && b < need_blks; ++b) {
+            for (int l = 0; l < nLayers_; ++l)
+                m.table[static_cast<size_t>(l)][static_cast<size_t>(b)] =
+                    n->chain[static_cast<size_t>(l)]
+                            [static_cast<size_t>(b - first)];
+        }
+    }
+    for (const auto &layer : m.table) {
+        for (int b : layer)
+            specee_assert(b >= 0,
+                          "matched prefix left a block table gap");
+    }
+    return m;
+}
+
+PrefixCache::Node *
+PrefixCache::splitEdge(size_t engine, Node *child, int k)
+{
+    specee_assert(k > 0 && k < static_cast<int>(child->edge.size()),
+                  "split point %d outside edge of %zu tokens", k,
+                  child->edge.size());
+    Node *parent = child->parent;
+    auto mid = std::make_unique<Node>();
+    mid->edge.assign(child->edge.begin(), child->edge.begin() + k);
+    mid->start_true = child->start_true;
+    mid->sim_begin = child->sim_begin;
+    mid->sim_end = ceilDiv(child->start_true + k, kPromptSimStride);
+    mid->parent = parent;
+    mid->birth = births_++;
+    mid->last_use = child->last_use;
+
+    // Redistribute the chain: both new slices are sub-ranges of the
+    // old chain (sharing the boundary block when the split lands
+    // mid-block). Retain the new slices first, then release the
+    // original chain, so no block's reference count transits zero.
+    const std::vector<std::vector<int>> old_chain =
+        std::move(child->chain);
+    const int old_first = child->sim_begin / model::kKvBlockSize;
+    auto slice = [&](int row_begin, int row_end) {
+        std::vector<std::vector<int>> c(static_cast<size_t>(nLayers_));
+        if (row_end > row_begin) {
+            const int f = row_begin / model::kKvBlockSize;
+            const int l2 = (row_end - 1) / model::kKvBlockSize;
+            for (int l = 0; l < nLayers_; ++l) {
+                const auto &src = old_chain[static_cast<size_t>(l)];
+                c[static_cast<size_t>(l)].assign(
+                    src.begin() + (f - old_first),
+                    src.begin() + (l2 - old_first + 1));
+            }
+        }
+        return c;
+    };
+    mid->chain = slice(mid->sim_begin, mid->sim_end);
+    std::vector<std::vector<int>> tail =
+        slice(mid->sim_end, child->sim_end);
+    retainChain(engine, mid->chain);
+    retainChain(engine, tail);
+    releaseChain(engine, old_chain);
+
+    child->chain = std::move(tail);
+    child->edge.erase(child->edge.begin(), child->edge.begin() + k);
+    child->start_true += k;
+    child->sim_begin = mid->sim_end;
+
+    auto &slot = parent->children.at(mid->edge.front());
+    std::unique_ptr<Node> owned = std::move(slot);
+    child->parent = mid.get();
+    mid->children.emplace(child->edge.front(), std::move(owned));
+    Node *raw = mid.get();
+    slot = std::move(mid);
+    return raw;
+}
+
+void
+PrefixCache::insert(const std::vector<int> &tokens, size_t engine,
+                    int seq, uint64_t stamp)
+{
+    specee_assert(engine < roots_.size(), "engine %zu out of range",
+                  engine);
+    specee_assert(!tokens.empty(), "cannot cache an empty prompt");
+    model::PagedKvCache &pool = *pools_[engine];
+    for (int l = 0; l < nLayers_; ++l) {
+        specee_assert(
+            pool.length(seq, l) ==
+                simRowsForSpan(static_cast<int>(tokens.size())),
+            "insert needs a fully prefilled prompt: layer %d has %d "
+            "rows, prompt spans %d",
+            l, pool.length(seq, l),
+            simRowsForSpan(static_cast<int>(tokens.size())));
+    }
+    Node *node = roots_[engine].get();
+    size_t pos = 0;
+    while (true) {
+        if (pos == tokens.size())
+            return; // path already cached; stamps refreshed on the way
+        auto it = node->children.find(tokens[pos]);
+        if (it == node->children.end())
+            break;
+        Node *child = it->second.get();
+        size_t k = 0;
+        while (k < child->edge.size() && pos + k < tokens.size() &&
+               child->edge[k] == tokens[pos + k])
+            ++k;
+        if (k == child->edge.size()) {
+            child->last_use = stamp;
+            node = child;
+            pos += k;
+            continue;
+        }
+        if (pos + k == tokens.size()) {
+            // Prompt ends mid-edge: already covered, nothing to add.
+            child->last_use = stamp;
+            return;
+        }
+        node = splitEdge(engine, child, static_cast<int>(k));
+        node->last_use = stamp;
+        pos += k;
+        break;
+    }
+    // New leaf: the unmatched tail, holding references on the
+    // sequence's own blocks for the rows it covers. Those blocks are
+    // valid cached content for the whole range — any row the session
+    // wrote into a shared block went through a copy-on-write fork.
+    auto leaf = std::make_unique<Node>();
+    leaf->edge.assign(tokens.begin() + static_cast<long>(pos),
+                      tokens.end());
+    leaf->start_true = static_cast<int>(pos);
+    leaf->sim_begin = ceilDiv(static_cast<int>(pos), kPromptSimStride);
+    leaf->sim_end = simRowsForSpan(static_cast<int>(tokens.size()));
+    leaf->parent = node;
+    leaf->birth = births_++;
+    leaf->last_use = stamp;
+    leaf->chain.assign(static_cast<size_t>(nLayers_), {});
+    if (leaf->sim_end > leaf->sim_begin) {
+        for (int l = 0; l < nLayers_; ++l) {
+            leaf->chain[static_cast<size_t>(l)] =
+                pool.retainRows(seq, l, leaf->sim_begin, leaf->sim_end);
+            for (int b : leaf->chain[static_cast<size_t>(l)])
+                ++holds_[{engine, b}];
+        }
+    }
+    node->children.emplace(tokens[pos], std::move(leaf));
+}
+
+bool
+PrefixCache::evictLru()
+{
+    Node *best = nullptr;
+    size_t best_engine = 0;
+    for (size_t e = 0; e < roots_.size(); ++e) {
+        std::vector<Node *> stack{roots_[e].get()};
+        while (!stack.empty()) {
+            Node *n = stack.back();
+            stack.pop_back();
+            for (auto &[tok, child] : n->children)
+                stack.push_back(child.get());
+            if (n->parent == nullptr || !n->children.empty())
+                continue; // roots and interior nodes are not evictable
+            if (best == nullptr ||
+                std::pair(n->last_use, n->birth) <
+                    std::pair(best->last_use, best->birth)) {
+                best = n;
+                best_engine = e;
+            }
+        }
+    }
+    if (best == nullptr)
+        return false;
+    releaseChain(best_engine, best->chain);
+    best->parent->children.erase(best->edge.front());
+    ++evictions_;
+    return true;
+}
+
+void
+PrefixCache::clear()
+{
+    for (size_t e = 0; e < roots_.size(); ++e) {
+        std::vector<Node *> stack{roots_[e].get()};
+        while (!stack.empty()) {
+            Node *n = stack.back();
+            stack.pop_back();
+            for (auto &[tok, child] : n->children)
+                stack.push_back(child.get());
+            if (n->parent != nullptr)
+                releaseChain(e, n->chain);
+        }
+        roots_[e]->children.clear();
+    }
+    specee_assert(holds_.empty(),
+                  "prefix cache still holds %zu blocks after clear",
+                  holds_.size());
+}
+
+long
+PrefixCache::nodes() const
+{
+    long count = 0;
+    for (const auto &root : roots_) {
+        std::vector<const Node *> stack{root.get()};
+        while (!stack.empty()) {
+            const Node *n = stack.back();
+            stack.pop_back();
+            for (const auto &[tok, child] : n->children)
+                stack.push_back(child.get());
+            if (n->parent != nullptr)
+                ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace specee::serve

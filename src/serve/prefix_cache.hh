@@ -1,0 +1,152 @@
+/**
+ * @file
+ * PrefixCache — SGLang-style radix tree over prompt token sequences
+ * whose nodes map to refcounted paged-KV block chains.
+ *
+ * Each node's edge is a run of TRUE-dims prompt tokens; the node
+ * owns the sim-dims KV rows whose stride marks fall inside its true
+ * span (see prompt_spec.hh) as per-layer chains of physical block
+ * ids, each holding one allocator reference. Admission matches a
+ * request's derived tokens against the tree: the matched span's
+ * rows are adopted by the new session (one more reference per
+ * block), its prefill starts mid-prompt, and any later write into a
+ * shared block forks copy-on-write — so divergent continuations
+ * never observe each other.
+ *
+ * Chains at edge splits overlap on boundary blocks (a divergence
+ * inside a block gives each continuation its own forked copy of
+ * that block, holding the shared rows below the split plus its own
+ * rows above it). Adoption therefore assembles the block table
+ * deepest-wins along the matched path: the deepest node's boundary
+ * copy contains every shared row below its span, by construction of
+ * the copy-on-write fork.
+ *
+ * Eviction is LRU over leaves (fleet-wide stamps, creation-order
+ * tie-break). Releasing a leaf only drops the cache's references;
+ * blocks still referenced by live sessions stay pinned and return
+ * to the free list when the last holder lets go — the cache can
+ * never free memory out from under a session.
+ *
+ * All calls run on the scheduler thread; the cache is fleet-level
+ * with one tree per worker engine (blocks are engine-local), and
+ * shared prompts are pinned to engines by root template, so cache
+ * decisions are bit-deterministic across worker counts.
+ */
+
+#ifndef SPECEE_SERVE_PREFIX_CACHE_HH
+#define SPECEE_SERVE_PREFIX_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "model/paged_kv.hh"
+
+namespace specee::serve {
+
+/** Prefix-cache knobs (scheduler policy). */
+struct PrefixCacheOptions
+{
+    /**
+     * Master switch. Off (default) is bit-identical to the
+     * pre-cache scheduler: no matching, no insertion, no extra
+     * residency tier.
+     */
+    bool enabled = false;
+
+    /**
+     * Cap on distinct physical blocks the cache may hold references
+     * on across the fleet; LRU leaves evict past it. 0 derives a
+     * default (one max-context sequence's worth of blocks). The
+     * cache additionally evicts under fleet KV pressure, before any
+     * session is preempted — cached blocks are the third, lowest
+     * residency tier beside device-active and host-swapped KV.
+     */
+    int capacity_blocks = 0;
+};
+
+/** Fleet-level radix prefix cache over per-engine paged-KV pools. */
+class PrefixCache
+{
+  public:
+    PrefixCache(int n_layers,
+                std::vector<std::shared_ptr<model::PagedKvCache>> pools);
+    ~PrefixCache();
+
+    PrefixCache(const PrefixCache &) = delete;
+    PrefixCache &operator=(const PrefixCache &) = delete;
+
+    /** Longest-prefix match result (empty table on a miss). */
+    struct Match
+    {
+        int true_matched = 0; ///< true-dims tokens covered
+        int sim_matched = 0;  ///< sim KV rows adoptable
+        /** Per-layer shared block chain covering the matched rows. */
+        std::vector<std::vector<int>> table;
+    };
+
+    /**
+     * Longest cached prefix of `tokens` on `engine`'s tree. A hit
+     * refreshes the LRU stamps of the matched path. The returned
+     * table is valid until the next insert/evict — adopt it
+     * immediately (DecodeSession::adoptCachedPrefix retains the
+     * blocks).
+     */
+    Match match(const std::vector<int> &tokens, size_t engine,
+                uint64_t stamp);
+
+    /**
+     * Insert the prefilled prompt of pool sequence `seq` (its sim
+     * rows must exactly cover simRowsForSpan(tokens.size()) — i.e.
+     * prefill just completed): the unmatched tail becomes a new
+     * leaf holding references on the sequence's blocks. Re-inserting
+     * an existing path just refreshes its stamps.
+     */
+    void insert(const std::vector<int> &tokens, size_t engine, int seq,
+                uint64_t stamp);
+
+    /**
+     * Evict the least-recently-used leaf (any engine), releasing its
+     * block references. @return false when no leaf remains
+     */
+    bool evictLru();
+
+    /** Release every node and reference (the tree ends empty). */
+    void clear();
+
+    /** Distinct physical blocks the cache holds references on. */
+    long heldBlocks() const
+    {
+        return static_cast<long>(holds_.size());
+    }
+
+    /** Leaves evicted so far. */
+    long evictions() const { return evictions_; }
+
+    /** Radix nodes across all engines (roots excluded). */
+    long nodes() const;
+
+    bool empty() const { return nodes() == 0; }
+
+  private:
+    struct Node;
+
+    void retainChain(size_t engine,
+                     const std::vector<std::vector<int>> &chain);
+    void releaseChain(size_t engine,
+                      const std::vector<std::vector<int>> &chain);
+    Node *splitEdge(size_t engine, Node *child, int k);
+
+    int nLayers_;
+    std::vector<std::shared_ptr<model::PagedKvCache>> pools_;
+    std::vector<std::unique_ptr<Node>> roots_; ///< one tree per engine
+    /** (engine, block) -> cache-held reference count. */
+    std::map<std::pair<size_t, int>, int> holds_;
+    long evictions_ = 0;
+    uint64_t births_ = 0;
+};
+
+} // namespace specee::serve
+
+#endif // SPECEE_SERVE_PREFIX_CACHE_HH

@@ -1,0 +1,84 @@
+#include "serve/prompt_spec.hh"
+
+#include "util/logging.hh"
+
+namespace specee::serve {
+
+namespace {
+
+/**
+ * Deterministic token at position `pos` of stream `stream`
+ * (splitmix64 finalizer). 30-bit so true tokens stay positive ints
+ * with negligible cross-stream collision probability — a collision
+ * would only shorten or lengthen a radix match by a token, never
+ * corrupt content (matched tokens are equal by construction).
+ */
+int
+streamToken(uint64_t stream, int pos)
+{
+    uint64_t z = stream + 0x9e3779b97f4a7c15ull *
+                              (static_cast<uint64_t>(pos) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<int>(z & 0x3fffffffull);
+}
+
+} // namespace
+
+int
+PromptSpec::totalLen() const
+{
+    const int base = parent != nullptr ? parent->totalLen() : 0;
+    return base + prefix_len + suffix_len;
+}
+
+uint64_t
+PromptSpec::rootTemplate() const
+{
+    const PromptSpec *s = this;
+    while (s->parent != nullptr)
+        s = s->parent.get();
+    // An all-suffix root (template_id 0) still needs a stable
+    // affinity key; its suffix seed is one.
+    return s->template_id != 0 ? s->template_id : s->suffix_seed;
+}
+
+std::vector<int>
+resolvePromptTokens(const PromptSpec &spec)
+{
+    specee_assert(spec.shared(),
+                  "resolvePromptTokens on an unshared PromptSpec");
+    specee_assert(spec.prefix_len >= 0 && spec.suffix_len >= 0,
+                  "negative PromptSpec lengths");
+    std::vector<int> toks;
+    if (spec.parent != nullptr)
+        toks = resolvePromptTokens(*spec.parent);
+    // Template tokens continue the chain at absolute positions, so a
+    // longer prefix_len of the same template extends — never
+    // diverges from — a shorter one.
+    const int base = static_cast<int>(toks.size());
+    for (int p = 0; p < spec.prefix_len; ++p)
+        toks.push_back(streamToken(spec.template_id, base + p));
+    for (int p = 0; p < spec.suffix_len; ++p)
+        toks.push_back(streamToken(spec.suffix_seed ^ 0x5afef00dull, p));
+    specee_assert(!toks.empty(), "PromptSpec derives an empty prompt");
+    return toks;
+}
+
+std::vector<int>
+derivePromptSim(const std::vector<int> &true_tokens, int sim_vocab)
+{
+    specee_assert(!true_tokens.empty() && sim_vocab > 0,
+                  "derivePromptSim needs tokens and a sim vocab");
+    const int len = static_cast<int>(true_tokens.size());
+    std::vector<int> sim;
+    sim.reserve(static_cast<size_t>(simRowsForSpan(len)) + 1);
+    for (int p = 0; p < len; p += kPromptSimStride)
+        sim.push_back(true_tokens[static_cast<size_t>(p)] % sim_vocab);
+    // Decode input: the prompt's final token (never prefilled).
+    sim.push_back(true_tokens.back() % sim_vocab);
+    return sim;
+}
+
+} // namespace specee::serve

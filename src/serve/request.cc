@@ -4,6 +4,8 @@
 #include <cmath>
 #include <iterator>
 
+#include "engines/pipeline.hh"
+#include "oracle/profiles.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -16,11 +18,27 @@ synthesizeStream(const StreamOptions &opts)
     specee_assert(opts.n_requests > 0, "stream needs requests");
     specee_assert(opts.gen_len > 0, "stream needs gen_len > 0, got %d",
                   opts.gen_len);
+    specee_assert(opts.prefix_reuse >= 0.0 && opts.prefix_reuse <= 1.0,
+                  "prefix_reuse must be in [0, 1], got %f",
+                  opts.prefix_reuse);
+    specee_assert(opts.turns >= 1, "turns must be >= 1, got %d",
+                  opts.turns);
 
     Rng rng(opts.seed);
+    // Sharing decisions draw from a side stream so a stream with
+    // prefix_reuse = 0 / turns = 1 is bit-identical to the legacy
+    // generator (same gen/decode seeds, same arrival gaps).
+    Rng share_rng(opts.seed ^ 0x51a2edull);
+    const bool conversational = opts.prefix_reuse > 0.0 || opts.turns > 1;
+    const uint64_t stream_template =
+        (opts.seed ^ 0x7e3a91c2b5ull) | 1ull;
+
     std::vector<Request> reqs;
     reqs.reserve(static_cast<size_t>(opts.n_requests));
     double clock = 0.0;
+    std::shared_ptr<const PromptSpec> prev_turn;
+    uint64_t prev_id = 0;
+    bool conv_shared = false;
     for (int i = 0; i < opts.n_requests; ++i) {
         Request r;
         r.id = opts.id_base + static_cast<uint64_t>(i);
@@ -41,6 +59,62 @@ synthesizeStream(const StreamOptions &opts)
         }
         if (opts.deadline_s > 0.0)
             r.deadline_s = r.arrival_s + opts.deadline_s;
+
+        if (conversational) {
+            const int turn = i % opts.turns;
+            const int prompt_len =
+                opts.prompt_len > 0
+                    ? opts.prompt_len
+                    : oracle::profileByName(r.dataset).prompt_len;
+            specee_assert(prompt_len >= 2,
+                          "conversational streams need prompt_len >= 2, "
+                          "got %d",
+                          prompt_len);
+            int tpl_len = opts.template_prefix_len > 0
+                              ? opts.template_prefix_len
+                              : 3 * prompt_len / 4;
+            tpl_len = std::clamp(tpl_len, 1, prompt_len - 1);
+            if (turn == 0) {
+                conv_shared = opts.prefix_reuse >= 1.0 ||
+                              (opts.prefix_reuse > 0.0 &&
+                               share_rng.bernoulli(opts.prefix_reuse));
+                prev_turn.reset();
+                prev_id = 0;
+            }
+            if (turn == 0 && !conv_shared && opts.turns == 1) {
+                // Standalone unshared prompt: the legacy path, with
+                // the spec as deprecated-shim mirror of prompt_len.
+                r.prompt = PromptSpec{};
+                r.prompt.suffix_len = opts.prompt_len;
+                r.prompt.suffix_seed = r.gen.seed;
+            } else if (turn == 0) {
+                // Conversation root. A non-shared conversation gets
+                // a private template so its own later turns still
+                // chain (and re-use their history), without
+                // cross-conversation sharing.
+                r.prompt.template_id =
+                    conv_shared
+                        ? stream_template
+                        : ((opts.seed ^
+                            (0x9e3779b97f4a7c15ull *
+                             (static_cast<uint64_t>(i) + 11ull))) |
+                           1ull);
+                r.prompt.prefix_len = tpl_len;
+                r.prompt.suffix_len = prompt_len - tpl_len;
+                r.prompt.suffix_seed = r.gen.seed;
+            } else {
+                // Continuation turn: extend the parent's full prompt
+                // with this turn's fresh text.
+                r.prompt.parent = prev_turn;
+                r.prompt.parent_id = prev_id;
+                r.prompt.suffix_len = std::max(1, prompt_len - tpl_len);
+                r.prompt.suffix_seed = r.gen.seed;
+            }
+            if (r.prompt.shared()) {
+                prev_turn = std::make_shared<PromptSpec>(r.prompt);
+                prev_id = r.id;
+            }
+        }
         reqs.push_back(std::move(r));
     }
     return reqs;
@@ -70,6 +144,36 @@ mergeStreams(std::vector<Request> a, std::vector<Request> b)
                       static_cast<unsigned long long>(ids[i]));
     }
     return a;
+}
+
+workload::Workload
+buildPromptWorkload(const engines::Pipeline &pipe, const Request &r,
+                    bool quantized_cal)
+{
+    if (!r.prompt.shared()) {
+        workload::GenOptions gen = r.gen;
+        // Deprecated-shim reconciliation: an unshared spec with an
+        // explicit length behaves exactly like the old
+        // prompt_len_override knob (pinned by test); a
+        // default-constructed spec leaves the legacy path untouched.
+        if (r.prompt.suffix_len > 0)
+            gen.prompt_len_override = r.prompt.suffix_len;
+        return pipe.makeWorkload(r.dataset, gen, quantized_cal);
+    }
+    const std::vector<int> toks = resolvePromptTokens(r.prompt);
+    workload::GenOptions gen = r.gen;
+    gen.prompt_len_override = static_cast<int>(toks.size());
+    workload::Workload w =
+        pipe.makeWorkload(r.dataset, gen, quantized_cal);
+    specee_assert(w.instances.size() == 1,
+                  "shared prompts need single-instance workloads");
+    // The sim prompt becomes the stride-derived view of the true
+    // tokens, so any two requests sharing K true tokens share their
+    // first simRowsForSpan(K) sim tokens — the property that makes
+    // cross-request KV block sharing bit-safe.
+    w.instances.front().prompt =
+        derivePromptSim(toks, pipe.modelConfig().sim.vocab);
+    return w;
 }
 
 } // namespace specee::serve

@@ -18,7 +18,12 @@
 #include <vector>
 
 #include "engines/engine.hh"
+#include "serve/prompt_spec.hh"
 #include "workload/datasets.hh"
+
+namespace specee::engines {
+class Pipeline;
+}
 
 namespace specee::serve {
 
@@ -40,6 +45,17 @@ struct Request
 
     /** Per-request generation options (n_instances is forced to 1). */
     workload::GenOptions gen;
+
+    /**
+     * Prompt identity (template + suffix + parent turn). The
+     * default-constructed spec is unshared: the request's prompt
+     * length falls back to the deprecated knobs
+     * (gen.prompt_len_override, then the dataset profile) and the
+     * request never matches the prefix cache. buildPromptWorkload()
+     * is the single place the three legacy length knobs and this
+     * spec are reconciled.
+     */
+    PromptSpec prompt;
 
     double arrival_s = 0.0; ///< simulated arrival time
     uint64_t seed = 1;      ///< per-request decode seed
@@ -81,6 +97,14 @@ struct RequestOutcome
     int swaps = 0;         ///< preemptions served by swap-to-host
     bool dropped = false;  ///< deadline expired before completion
     bool cancelled = false; ///< stream consumer returned false
+
+    /**
+     * True-dims prompt tokens served from the prefix cache at
+     * admission: their KV was adopted from cached blocks and their
+     * prefill charged nothing. 0 on a cache miss or while the cache
+     * is disabled.
+     */
+    int cached_tokens = 0;
 };
 
 /** Options for synthesizing a request stream. */
@@ -107,9 +131,35 @@ struct StreamOptions
     /**
      * Prompt length override (true dims) for every request; <= 0
      * keeps each dataset profile's prompt length. Long-prompt sweeps
-     * set this to stress chunked prefill.
+     * set this to stress chunked prefill. DEPRECATED as a prompt
+     * identity: it is mirrored into each request's PromptSpec, which
+     * is what the serving layer now reads.
      */
     int prompt_len = 0;
+
+    /**
+     * Fraction of conversations whose prompt begins with the
+     * stream's shared template (system prompt / few-shot header).
+     * Shared prompts carry a PromptSpec and can hit the scheduler's
+     * prefix cache; 0 (default) synthesizes the legacy stream of
+     * fully independent prompts, bit-identically.
+     */
+    double prefix_reuse = 0.0;
+
+    /**
+     * True-dims length of the shared template; <= 0 derives 3/4 of
+     * the prompt length. Ignored while prefix_reuse = 0 and
+     * turns = 1.
+     */
+    int template_prefix_len = 0;
+
+    /**
+     * Turns per conversation. > 1 chains consecutive requests with
+     * PromptSpec::parent / parent_id: each turn's prompt extends the
+     * previous turn's full prompt with a fresh suffix, the
+     * multi-turn traffic shape prefix caching serves best.
+     */
+    int turns = 1;
 
     /** First request id (merge streams with disjoint id ranges). */
     uint64_t id_base = 0;
@@ -132,6 +182,20 @@ std::vector<Request> synthesizeStream(const StreamOptions &opts);
  */
 std::vector<Request> mergeStreams(std::vector<Request> a,
                                   std::vector<Request> b);
+
+/**
+ * Build the single-instance workload a request decodes — the one
+ * place the prompt-identity knobs are reconciled. An unshared spec
+ * follows the legacy path exactly (prompt_len_override, then the
+ * dataset profile default), so pre-PromptSpec callers are
+ * bit-identical; a shared spec derives its true-token sequence,
+ * overrides the cost model's true prompt length with it and replaces
+ * the sim prompt with the stride-derived tokens (see prompt_spec.hh)
+ * so equal true prefixes produce equal sim KV.
+ */
+workload::Workload buildPromptWorkload(const engines::Pipeline &pipe,
+                                       const Request &r,
+                                       bool quantized_cal);
 
 } // namespace specee::serve
 

@@ -5,8 +5,9 @@
  * Every seed synthesizes a random serving scenario — arrivals,
  * tiers, deadlines, prompt lengths (GenOptions::prompt_len_override),
  * chunk sizes, iteration budgets, KV budgets, watermarks, preempt
- * modes, batch widths, consumer cancellation — and asserts the
- * scheduler's hard invariants on the result:
+ * modes, batch widths, consumer cancellation, prefix-cache state
+ * (shared templates, multi-turn chains, tight cache capacities) —
+ * and asserts the scheduler's hard invariants on the result:
  *
  *  1. bit-determinism across worker counts (timeline, counters and
  *     emissions identical for 1 vs 3 workers);
@@ -80,6 +81,21 @@ drawScenario(uint64_t seed)
         longs.deadline_s = rng.uniform(0.2, 2.0);
         sc.has_deadlines = true;
     }
+    // Prefix-cache traffic: shared templates and/or multi-turn
+    // chains on either substream. Shared prompts must stay
+    // invariant-clean whether or not the cache is on (and a run with
+    // the cache off but shared prompts present must behave exactly
+    // like any other stream).
+    const bool cache_on = rng.bernoulli(0.5);
+    if (rng.bernoulli(0.5)) {
+        shorts.prefix_reuse = rng.uniform(0.3, 1.0);
+        if (rng.bernoulli(0.5))
+            shorts.turns = rng.uniformInt(2, 3);
+    }
+    if (rng.bernoulli(0.4)) {
+        longs.prefix_reuse = rng.uniform(0.3, 1.0);
+        longs.turns = rng.uniformInt(1, 2);
+    }
     sc.stream = serve::mergeStreams(serve::synthesizeStream(shorts),
                                     serve::synthesizeStream(longs));
 
@@ -107,6 +123,12 @@ drawScenario(uint64_t seed)
     sc.opts.sched.preempt_mode = modes[rng.uniformInt(0, 2)];
     if (sc.opts.sched.kv_budget_blocks > 0 && rng.bernoulli(0.4))
         sc.opts.sched.kv_watermark = rng.uniform(0.6, 1.0);
+    sc.opts.sched.prefix_cache.enabled = cache_on;
+    if (cache_on) {
+        const int cap_choices[] = {0, 24, 64};
+        sc.opts.sched.prefix_cache.capacity_blocks =
+            cap_choices[rng.uniformInt(0, 2)];
+    }
 
     // --- streaming backpressure ------------------------------------
     if (rng.bernoulli(0.3)) {
@@ -168,10 +190,14 @@ referenceTokens(const serve::Request &r, ReferenceCache &cache)
             engines::EngineConfig::huggingFace().withSpecEE(),
             hw::HardwareSpec::a100());
     }
-    workload::GenOptions gen = r.gen;
-    gen.n_instances = 1;
-    const auto w = pipe.makeWorkload(r.dataset, gen,
-                                     engine->config().q4Calibrated());
+    serve::Request rr = r;
+    rr.gen.n_instances = 1;
+    // buildPromptWorkload is the prompt-identity authority: it
+    // resolves shared PromptSpecs (template/parent chains) the same
+    // way the scheduler does, and reduces to the legacy
+    // prompt_len_override path for unshared requests.
+    const auto w = serve::buildPromptWorkload(
+        pipe, rr, engine->config().q4Calibrated());
     auto ref = engine->runOne(w, 0, r.seed);
     return cache.emplace(r.id, std::move(ref.emissions[0].tokens))
         .first->second;
@@ -217,8 +243,30 @@ checkInvariants(const Scenario &sc, const RunCapture &cap,
         EXPECT_EQ(fleet.peak_host_kv_blocks, 0);
     }
     EXPECT_GE(fleet.swaps_out, fleet.swaps_in);
-    if (sc.opts.sched.kv_watermark <= 0.0)
+    if (sc.opts.sched.kv_watermark <= 0.0) {
         EXPECT_EQ(fleet.watermark_rejections, 0);
+    }
+    if (!sc.opts.sched.prefix_cache.enabled) {
+        // Cache off must be inert, even on streams full of shared
+        // prompts.
+        EXPECT_EQ(fleet.prefix_hits, 0);
+        EXPECT_EQ(fleet.cached_tokens, 0);
+        EXPECT_EQ(fleet.cache_evictions, 0);
+        EXPECT_EQ(fleet.peak_cached_blocks, 0);
+        for (const auto &o : rep.outcomes)
+            EXPECT_EQ(o.cached_tokens, 0);
+    } else {
+        EXPECT_GE(fleet.cached_tokens, 0);
+        long hit_outcomes = 0;
+        for (const auto &o : rep.outcomes) {
+            EXPECT_GE(o.cached_tokens, 0);
+            if (o.cached_tokens > 0)
+                ++hit_outcomes;
+        }
+        // Every outcome that kept an adopted prefix came from a hit
+        // admission (re-admissions may add more fleet-level hits).
+        EXPECT_LE(hit_outcomes, fleet.prefix_hits);
+    }
 
     // (2) delivered streams are exact prefixes of the isolated
     // decode; completed requests deliver it in full.
@@ -252,6 +300,8 @@ struct Coverage
     long cancelled = 0;
     long watermark = 0;
     long prefill_chunks = 0;
+    long prefix_hits = 0;
+    long cache_evictions = 0;
 };
 
 /**
@@ -290,6 +340,28 @@ directedScenarios()
         sc.opts.sched.preempt_mode = mode;
         if (mode == serve::PreemptMode::Auto)
             sc.opts.sched.kv_watermark = 0.85;
+        out.push_back(std::move(sc));
+    }
+    {
+        // Prefix-cache coverage: full template reuse plus multi-turn
+        // chains under a tiny cache capacity guarantees both hits
+        // and LRU evictions.
+        serve::StreamOptions so;
+        so.n_requests = 10;
+        so.gen_len = 10;
+        so.prompt_len = 512;
+        so.prefix_reuse = 1.0;
+        so.turns = 2;
+        so.seed = 0xca5e;
+        Scenario sc;
+        sc.stream = serve::synthesizeStream(so);
+        sc.opts.engine =
+            engines::EngineConfig::huggingFace().withSpecEE();
+        sc.opts.spec = hw::HardwareSpec::a100();
+        sc.opts.sched.max_batch = 2;
+        sc.opts.sched.prefill.chunk_tokens = 64;
+        sc.opts.sched.prefix_cache.enabled = true;
+        sc.opts.sched.prefix_cache.capacity_blocks = 16;
         out.push_back(std::move(sc));
     }
     {
@@ -333,6 +405,8 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
     cov.cancelled += r1.rep.fleet.cancelled;
     cov.watermark += r1.rep.fleet.watermark_rejections;
     cov.prefill_chunks += r1.rep.fleet.prefill_chunks;
+    cov.prefix_hits += r1.rep.fleet.prefix_hits;
+    cov.cache_evictions += r1.rep.fleet.cache_evictions;
     EXPECT_DOUBLE_EQ(r1.rep.fleet.makespan_s, r3.rep.fleet.makespan_s);
     EXPECT_DOUBLE_EQ(r1.rep.fleet.energy_j, r3.rep.fleet.energy_j);
     EXPECT_EQ(r1.rep.fleet.tokens, r3.rep.fleet.tokens);
@@ -344,6 +418,12 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
               r3.rep.fleet.watermark_rejections);
     EXPECT_EQ(r1.rep.fleet.dropped, r3.rep.fleet.dropped);
     EXPECT_EQ(r1.rep.fleet.cancelled, r3.rep.fleet.cancelled);
+    EXPECT_EQ(r1.rep.fleet.prefix_hits, r3.rep.fleet.prefix_hits);
+    EXPECT_EQ(r1.rep.fleet.cached_tokens, r3.rep.fleet.cached_tokens);
+    EXPECT_EQ(r1.rep.fleet.cache_evictions,
+              r3.rep.fleet.cache_evictions);
+    EXPECT_EQ(r1.rep.fleet.peak_cached_blocks,
+              r3.rep.fleet.peak_cached_blocks);
     EXPECT_EQ(r1.delivered, r3.delivered);
     ASSERT_EQ(r1.rep.outcomes.size(), r3.rep.outcomes.size());
     for (size_t i = 0; i < r1.rep.outcomes.size(); ++i) {
@@ -353,6 +433,7 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
         EXPECT_DOUBLE_EQ(a.finish_s, b.finish_s);
         EXPECT_EQ(a.preemptions, b.preemptions);
         EXPECT_EQ(a.swaps, b.swaps);
+        EXPECT_EQ(a.cached_tokens, b.cached_tokens);
     }
 
     // (5) auto is never worse than the dearer fixed mechanism on the
@@ -412,4 +493,6 @@ TEST(ServeFuzz, RandomizedSchedulerInvariants)
     EXPECT_GT(cov.cancelled, 0);
     EXPECT_GT(cov.watermark, 0);
     EXPECT_GT(cov.prefill_chunks, 0);
+    EXPECT_GT(cov.prefix_hits, 0);
+    EXPECT_GT(cov.cache_evictions, 0);
 }
