@@ -41,6 +41,17 @@
  * stalls every peer for the whole prompt. The sweep quantifies the
  * TTFT-vs-ITL tradeoff the chunk size buys.
  *
+ * A sixth sweep shards the fleet: the engine's step is priced as a
+ * DAG of layer-range stages (pipeline parallelism assigns contiguous
+ * layer ranges to stages with activation handoffs over the
+ * interconnect; tensor parallelism splits each stage's weight stream
+ * and pays a per-layer all-reduce). Early exit at layer k releases
+ * the stages past k, and the scheduler backfills queued prefill
+ * chunks into the stages the previous iteration left idle. The sweep
+ * compares backfill on/off per sharding and gates on the pipeline
+ * utilization win; a deployment-arithmetic point shows the 70B-class
+ * model that overflows one device fitting a tp2 x pp2 fleet.
+ *
  * Every sweep point is also written to BENCH_serving.json so the
  * serving perf trajectory is tracked machine-readably across PRs.
  *
@@ -50,6 +61,8 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "hw/memory_tracker.hh"
+#include "model/stage_graph.hh"
 #include "serve/server.hh"
 
 using namespace specee;
@@ -623,6 +636,141 @@ main(int argc, char **argv)
                 metrics::Table::num(hit_p50_ttft, 2).c_str(),
                 prefix_wins ? "MET" : "MISSED");
 
+    // --- sharded-fleet sweep: TP/PP stage graph + backfill ---------
+    // Burst arrival so every stage fight happens at once; chunked
+    // prefill under an iteration budget tighter than the decode
+    // batch (3 tokens vs up to 3 decode peers), so once decodes
+    // occupy the slots a queued prompt is starved — the only way its
+    // chunks land is through stages the previous iteration's early
+    // exits left idle. One decode slot + one prefill slot under a
+    // one-token budget is the sharpest version of that contention:
+    // the decoder eats the whole budget, so without backfill the
+    // queued prompt makes zero progress until the decoder finishes.
+    struct ShardPoint
+    {
+        int tp;
+        int pp;
+    };
+    const ShardPoint shard_points[] = {{1, 1}, {2, 2}, {1, 4}};
+
+    serve::StreamOptions shs;
+    shs.n_requests = 8;
+    shs.gen_len = 24;
+    shs.prompt_len = 96;
+    shs.rate_rps = 0.0;
+    shs.seed = 0x5a7d;
+    const auto shard_stream = serve::synthesizeStream(shs);
+
+    metrics::Table sht("Sharded-fleet sweep: HF+SpecEE, 8x96-token "
+                       "prompts, chunked prefill 32, iteration budget "
+                       "1, max_batch 2");
+    sht.header({"tp x pp", "backfill", "tok/s", "stages", "pipe util",
+                "grants", "extra tok", "p50 TTFT (s)", "p99 lat (s)"});
+
+    double util_on = 0.0, util_off = 0.0;
+    long grants_on = 0;
+    for (const auto &sp : shard_points) {
+        for (const bool backfill : {false, true}) {
+            // At pp = 1 there is one stage and backfill is inert;
+            // one row carries the unsharded baseline.
+            if (sp.pp == 1 && !backfill)
+                continue;
+            serve::ServerOptions sopts;
+            sopts.engine = EngineConfig::huggingFace()
+                               .withSpecEE()
+                               .withSharding(sp.tp, sp.pp);
+            sopts.spec = spec;
+            sopts.workers = 2;
+            sopts.sched.max_batch = 2;
+            sopts.sched.prefill.chunk_tokens = 32;
+            sopts.sched.prefill.max_tokens_per_iteration = 1;
+            sopts.sched.stage_backfill = backfill;
+            serve::Server server(pipe, sopts);
+            server.submit(shard_stream);
+            auto rep = server.drain();
+
+            if (sp.pp == 4) {
+                (backfill ? util_on : util_off) =
+                    rep.fleet.pipeline_utilization;
+                if (backfill)
+                    grants_on = rep.fleet.backfill_grants;
+            }
+            const std::string shard_label =
+                std::to_string(sp.tp) + " x " + std::to_string(sp.pp);
+            sht.row({shard_label, sp.pp == 1 ? "-" : backfill ? "on" : "off",
+                     metrics::Table::num(rep.fleet.tokens_per_s, 1),
+                     std::to_string(rep.fleet.n_stages),
+                     metrics::Table::num(rep.fleet.pipeline_utilization,
+                                         3),
+                     std::to_string(rep.fleet.backfill_grants),
+                     std::to_string(rep.fleet.backfill_tokens),
+                     metrics::Table::num(rep.fleet.p50_ttft_s, 2),
+                     metrics::Table::num(rep.fleet.p99_latency_s, 2)});
+
+            JsonPoint p;
+            p.sweep = "sharded";
+            p.integer("tp", sp.tp)
+                .integer("pp", sp.pp)
+                .str("backfill", backfill ? "on" : "off")
+                .integer("n_stages", rep.fleet.n_stages)
+                .num("pipeline_utilization",
+                     rep.fleet.pipeline_utilization, 5)
+                .integer("peak_stage_occupancy",
+                         rep.fleet.peak_stage_occupancy)
+                .integer("backfill_grants", rep.fleet.backfill_grants)
+                .integer("backfill_tokens", rep.fleet.backfill_tokens);
+            latencyFields(p, rep.fleet);
+            json.push_back(std::move(p));
+        }
+    }
+    sht.print();
+
+    // Single-device fit: the 70B-class deployment that motivates the
+    // sharding. Pure deployment arithmetic on the modeled config —
+    // no pipeline is trained for it here.
+    const auto big = model::ModelConfig::llama2_70b();
+    const hw::MemoryTracker bigmem(big, tensor::WeightBackend::Fp32,
+                                   /*with_draft_model=*/true,
+                                   /*n_predictors=*/big.n_layers,
+                                   /*predictor_params=*/5200);
+    const model::StageGraph mono_graph(big.n_layers, 1);
+    const model::StageGraph pp2_graph(big.n_layers, 2);
+    const long fit_tokens = 8192;
+    const double mono_gib = hw::MemoryTracker::toGiB(
+        bigmem.maxDeviceBytes(mono_graph, 1, fit_tokens, 4));
+    const double tp2pp2_gib = hw::MemoryTracker::toGiB(
+        bigmem.maxDeviceBytes(pp2_graph, 2, fit_tokens, 4));
+    const bool big_fits = mono_gib > spec.vram_gb &&
+                          tp2pp2_gib < spec.vram_gb;
+    {
+        JsonPoint p;
+        p.sweep = "sharded";
+        p.str("backfill", "n/a")
+            .str("check", "70b_device_fit")
+            .num("mono_device_gib", mono_gib, 5)
+            .num("tp2pp2_device_gib", tp2pp2_gib, 5)
+            .num("vram_gb", spec.vram_gb, 5);
+        json.push_back(std::move(p));
+    }
+
+    const bool sharded_wins = util_on > util_off && grants_on > 0;
+    std::printf("\nEarly exits free the trailing pipeline stages and "
+                "backfill slots queued\nprefill chunks into them: "
+                "pipeline utilization %s (off) -> %s (on) at\n1 x 4, "
+                "%ld granted backfills.\nbackfill-on utilization > "
+                "backfill-off: %s\n",
+                metrics::Table::num(util_off, 3).c_str(),
+                metrics::Table::num(util_on, 3).c_str(), grants_on,
+                sharded_wins ? "MET" : "MISSED");
+    std::printf("%s at fp16 needs %s GiB on its tightest device as "
+                "one stage (vram %s GiB);\na tp2 x pp2 fleet's "
+                "tightest device holds %s GiB.\n70B overflows one "
+                "device but fits tp2 x pp2: %s\n",
+                big.name.c_str(), metrics::Table::num(mono_gib, 1).c_str(),
+                metrics::Table::num(spec.vram_gb, 0).c_str(),
+                metrics::Table::num(tp2pp2_gib, 1).c_str(),
+                big_fits ? "MET" : "MISSED");
+
     writeJson("BENCH_serving.json", model, spec.name, json);
 
     std::printf("\nbatched SpecEE serving vs sequential: %s aggregate "
@@ -638,7 +786,7 @@ main(int argc, char **argv)
                 "monolithic: %s\n",
                 chunking_wins ? "MET" : "MISSED");
     return specee_batch_tps > specee_seq_tps && chunking_wins &&
-                   swap_wins && prefix_wins
+                   swap_wins && prefix_wins && sharded_wins && big_fits
                ? 0
                : 1;
 }

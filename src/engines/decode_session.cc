@@ -197,6 +197,10 @@ DecodeSession::prefillChunk(int n_tokens)
         input_ = inst.prompt.back();
         prefilled_ = true;
     }
+    // A prefill chunk streams every layer's weights: it occupies the
+    // whole pipeline and skips no KV.
+    lastDeepest_ = eng_.mcfg_.n_layers;
+    lastFillLo_ = eng_.mcfg_.n_layers;
     captureCost(before, 0);
     return take;
 }
@@ -225,8 +229,35 @@ DecodeSession::captureCost(
         &before,
     int tokens)
 {
+    const model::StageGraph &g = eng_.stages_;
+    const int n_stages = g.nStages();
+    const int L = g.nLayers();
+
     last_ = StepCost{};
     last_.tokens = tokens;
+    last_.deepest_layer = lastDeepest_;
+    last_.stages_used = g.stagesForDepth(lastDeepest_);
+    if (n_stages > 1) {
+        last_.stage_shared_s.assign(static_cast<size_t>(n_stages), 0.0);
+        last_.stage_shared_j.assign(static_cast<size_t>(n_stages), 0.0);
+    }
+    // Apportion a layer-range charge across the stages it overlaps.
+    const auto spread = [&](double dt, double de, int lo, int hi) {
+        const int span = hi - lo;
+        if (span <= 0)
+            return;
+        for (int s = 0; s < n_stages; ++s) {
+            const double f =
+                static_cast<double>(g.overlapLayers(s, lo, hi)) /
+                static_cast<double>(span);
+            last_.stage_shared_s[static_cast<size_t>(s)] += dt * f;
+            last_.stage_shared_j[static_cast<size_t>(s)] += de * f;
+        }
+    };
+    const auto onStage = [&](double dt, double de, int s) {
+        last_.stage_shared_s[static_cast<size_t>(s)] += dt;
+        last_.stage_shared_j[static_cast<size_t>(s)] += de;
+    };
     for (int c = 0; c < hw::kNumOpClasses; ++c) {
         const auto cls = static_cast<hw::OpClass>(c);
         const auto &tot = out_->stats.oplog.totals(cls);
@@ -234,12 +265,41 @@ DecodeSession::captureCost(
             tot.time_s - before[static_cast<size_t>(c)].first;
         const double de =
             tot.energy_j - before[static_cast<size_t>(c)].second;
-        if (hw::isBatchAmortized(cls)) {
-            last_.shared_s += dt;
-            last_.shared_j += de;
-        } else {
+        if (!hw::isBatchAmortized(cls)) {
             last_.private_s += dt;
             last_.private_j += de;
+            continue;
+        }
+        last_.shared_s += dt;
+        last_.shared_j += de;
+        if (n_stages <= 1 || (dt == 0.0 && de == 0.0))
+            continue;
+        switch (cls) {
+        case hw::OpClass::DecoderLayer:
+        case hw::OpClass::Sync:
+            // Per-layer work of the traversed range.
+            spread(dt, de, 0, lastDeepest_);
+            break;
+        case hw::OpClass::KvFill:
+            // k/v projections of the skipped tail — the downstream
+            // stages still stream these thin weights after an exit,
+            // which is why occupancy (stages_used) tracks only the
+            // full-weight decoder stream.
+            spread(dt, de, lastFillLo_, L);
+            break;
+        case hw::OpClass::PrefillWeights:
+            spread(dt, de, 0, L);
+            break;
+        case hw::OpClass::LmHeadFull:
+            // The head applies where the pass stopped (EE-LLM
+            // replicates it at exit points).
+            onStage(dt, de,
+                    g.stageOfLayer(std::max(lastDeepest_, 1) - 1));
+            break;
+        default:
+            // Embed, Draft, Overhead: front-of-pipeline work.
+            onStage(dt, de, 0);
+            break;
         }
     }
 }
@@ -337,6 +397,10 @@ DecodeSession::stepAutoregressive()
     ++out_->stats.tokens;
     input_ = o.token;
     ++stepIdx_;
+    // An exited token streams weights down to its exit layer only
+    // and back-fills KV for the skipped tail.
+    lastDeepest_ = o.layers_used;
+    lastFillLo_ = o.layers_used;
     return !finished();
 }
 
@@ -360,6 +424,8 @@ DecodeSession::stepSpeculative()
         out.stats.avg_forward_layers += o.layers_used;
         ++out.stats.tokens;
         ++stepIdx_;
+        lastDeepest_ = o.layers_used;
+        lastFillLo_ = o.layers_used;
         return !finished();
     }
 
@@ -468,6 +534,11 @@ DecodeSession::stepSpeculative()
     ++out.stats.passes;
     committed_ += committed_this_pass;
     stepIdx_ = step;
+    // The pass's weight stream runs to the Cannikin cut; KV back-fill
+    // covers the layers below the shallowest exit (empty when no node
+    // exited — min_exit_layers stays at full depth).
+    lastDeepest_ = pass_layers;
+    lastFillLo_ = min_exit_layers;
     return !finished();
 }
 

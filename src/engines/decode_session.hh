@@ -27,6 +27,7 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/features.hh"
 #include "core/online_scheduler.hh"
@@ -52,6 +53,33 @@ struct StepCost
     double shared_j = 0.0;
     double private_j = 0.0;
     int tokens = 0; ///< tokens committed by this step
+
+    /**
+     * Deepest decoder layer this step's full-weight stream reached
+     * (the early-exit depth for decode, full depth for a prefill
+     * chunk; 0 for an idle step).
+     */
+    int deepest_layer = 0;
+
+    /**
+     * Pipeline stages the weight stream occupied — stagesForDepth
+     * (deepest_layer) on the engine's stage graph. An early exit at
+     * layer k occupies only the stages up to k; the scheduler can
+     * backfill the rest. 1 (or 0 when idle) on unsharded engines.
+     */
+    int stages_used = 0;
+
+    /**
+     * Per-stage split of the shared (weight-bound) roofline time and
+     * energy, apportioned by each charge's layer range: decoder
+     * stream over the traversed layers, KV fill over the skipped
+     * tail, prefill weights over the full depth, embed/draft on
+     * stage 0, the LM head on the exit stage. Sums to shared_s /
+     * shared_j. Empty on single-stage engines — the scalar fields
+     * are the legacy pricing inputs.
+     */
+    std::vector<double> stage_shared_s;
+    std::vector<double> stage_shared_j;
 };
 
 /** Stepwise decode of one workload instance on one Engine. */
@@ -258,6 +286,10 @@ class DecodeSession
     int prefillTrue_ = 0;         ///< true-dims prompt tokens ingested
     int simFilled_ = 0;           ///< sim prefix tokens appended to KV
     bool emissionDone_ = false;
+    /** Deepest layer the last step's weight stream traversed. */
+    int lastDeepest_ = 0;
+    /** First layer of the last step's KV-fill range ([lo, L)). */
+    int lastFillLo_ = 0;
     StepCost last_;
 };
 

@@ -22,12 +22,31 @@ constexpr double kQ4Factor = 4.5 / 16.0; ///< Q4 bytes per fp16 byte
 Engine::Engine(const EngineConfig &ecfg, const model::ModelConfig &mcfg,
                const hw::HardwareSpec &spec,
                const oracle::SyntheticCorpus &corpus)
-    : ecfg_(ecfg), mcfg_(mcfg), hwspec_(spec), corpus_(corpus)
+    : ecfg_(ecfg), mcfg_(mcfg), hwspec_(spec), corpus_(corpus),
+      stages_(mcfg.n_layers, ecfg.pp)
 {
     specee_assert(!ecfg.quantized ||
                   ecfg.weight_backend == tensor::WeightBackend::Fp32,
                   "legacy `quantized` and `weight_backend` are "
                   "mutually exclusive");
+    specee_assert(ecfg.tp >= 1, "tp must be >= 1, got %d", ecfg.tp);
+    if (ecfg.tp > 1 || ecfg.pp > 1) {
+        // Stage-level sharding composes tp x pp single-device specs;
+        // the legacy monolithic multi-GPU presets (a100x4's
+        // n_devices / sync_us_per_layer) model the whole node in one
+        // spec and would double-count collectives.
+        specee_assert(spec.n_devices == 1,
+                      "tp/pp sharding cannot combine with the "
+                      "monolithic multi-device preset %s",
+                      spec.name.c_str());
+        specee_assert(spec.interconnect_gbs > 0.0,
+                      "tp/pp sharding on platform %s, which has no "
+                      "peer link (interconnect_gbs = 0)",
+                      spec.name.c_str());
+        specee_assert(!ecfg.allow_offload,
+                      "tp/pp sharding cannot combine with host "
+                      "weight offload");
+    }
     model::TargetModelOptions opts;
     opts.quantized = ecfg.quantized;
     opts.weight_backend = ecfg.weight_backend;
@@ -68,7 +87,23 @@ Engine::Engine(const EngineConfig &ecfg, const model::ModelConfig &mcfg,
             devWeightFrac_ = std::min(1.0, usable / weight_gb);
         }
     }
-    cost_ = std::make_unique<hw::CostModel>(spec, ecfg.bw_efficiency,
+    // Tensor parallelism splits every stage's weight/KV stream and
+    // GEMM across tp concurrently-running devices: time divides by
+    // tp while per-class power multiplies by tp (tp boards drawing
+    // together), so modeled energy is conserved. The per-layer
+    // all-reduce traffic this buys is charged at the call sites over
+    // the interconnect. tp = 1 leaves the spec bit-identical.
+    hw::HardwareSpec priced = spec;
+    if (ecfg.tp > 1) {
+        const double t = static_cast<double>(ecfg.tp);
+        priced.mem_bw_gbs *= t;
+        priced.compute_tflops *= t;
+        priced.swap_bw_gbs *= t; // per-device PCIe, KV sharded too
+        priced.tdp_w *= t;
+        for (double &p : priced.power_w)
+            p *= t;
+    }
+    cost_ = std::make_unique<hw::CostModel>(priced, ecfg.bw_efficiency,
                                             devWeightFrac_,
                                             backendCompression_);
 }
@@ -176,6 +211,36 @@ Engine::chargeLayers(hw::OpLog &log, int n_layers, int batch,
         cost_->accountFixed(log, hw::OpClass::Sync,
                             hwspec_.sync_us_per_layer * 1e-6 * n_layers);
     }
+    chargeTpAllReduce(log, n_layers, batch);
+    chargePpHandoff(log, n_layers, batch);
+}
+
+void
+Engine::chargeTpAllReduce(hw::OpLog &log, int n_layers,
+                          double tokens) const
+{
+    if (ecfg_.tp <= 1 || n_layers <= 0)
+        return;
+    const double t = static_cast<double>(ecfg_.tp);
+    const double h = mcfg_.truth.hidden;
+    // Ring all-reduce moves 2(t-1)/t of the payload per collective;
+    // two collectives per layer (post-attention, post-FFN).
+    const double ring = 2.0 * (t - 1.0) / t * h * kFp16 * tokens;
+    cost_->accountInterconnect(log, hw::OpClass::TpAllReduce,
+                               2.0 * ring * n_layers, 2 * n_layers);
+}
+
+void
+Engine::chargePpHandoff(hw::OpLog &log, int layers_used,
+                        double tokens) const
+{
+    const int crossings = stages_.handoffs(layers_used);
+    if (crossings <= 0)
+        return;
+    const double h = mcfg_.truth.hidden;
+    cost_->accountInterconnect(log, hw::OpClass::PpHandoff,
+                               h * kFp16 * tokens * crossings,
+                               crossings);
 }
 
 void
@@ -313,6 +378,8 @@ Engine::chargePrefillChunk(hw::OpLog &log, int n_tokens,
         cost_->accountFixed(log, hw::OpClass::Sync,
                             hwspec_.sync_us_per_layer * 1e-6 * L);
     }
+    chargeTpAllReduce(log, L, nt);
+    chargePpHandoff(log, L, nt);
 }
 
 double

@@ -28,6 +28,7 @@
 #include "hw/hardware_model.hh"
 #include "hw/memory_tracker.hh"
 #include "model/draft_model.hh"
+#include "model/stage_graph.hh"
 #include "model/target_model.hh"
 #include "oracle/corpus.hh"
 #include "workload/datasets.hh"
@@ -140,6 +141,18 @@ class Engine
      */
     hw::MemoryTracker makeMemoryTracker() const;
 
+    /**
+     * Layer-range stage partition of this engine's deployment
+     * (EngineConfig::pp contiguous stages; a single stage when
+     * unsharded). Shared by the cost charges (handoff crossings),
+     * the per-stage StepCost split and the serving scheduler's
+     * stage-occupancy tracking.
+     */
+    const model::StageGraph &stageGraph() const { return stages_; }
+
+    /** Tensor-parallel ways each stage's weights split across. */
+    int tpDegree() const { return ecfg_.tp; }
+
     /** Exitable layers (n_layers - 1). */
     int nExitLayers() const { return mcfg_.n_layers - 1; }
 
@@ -202,6 +215,25 @@ class Engine
     void chargeOverhead(hw::OpLog &log) const;
 
     /**
+     * Tensor-parallel collective traffic of `n_layers` decoder
+     * layers over `tokens` activation rows: two ring all-reduces per
+     * layer (post-attention, post-FFN) at 2(t-1)/t of the activation
+     * bytes each, priced over the interconnect. No-op at tp = 1.
+     */
+    void chargeTpAllReduce(hw::OpLog &log, int n_layers,
+                           double tokens) const;
+
+    /**
+     * Pipeline activation handoffs of a step that traversed
+     * `layers_used` layers: one residual-stream transfer per stage
+     * boundary crossed, over `tokens` activation rows. An early exit
+     * crosses only the boundaries up to its exit stage. No-op at
+     * pp = 1.
+     */
+    void chargePpHandoff(hw::OpLog &log, int layers_used,
+                         double tokens) const;
+
+    /**
      * Modeled host-link time to move the KV of `positions` cached
      * positions (true dims) one way. Pure pricing — the scheduler's
      * swap-vs-recompute policy calls this without charging.
@@ -233,6 +265,7 @@ class Engine
     EngineConfig ecfg_;
     model::ModelConfig mcfg_;
     hw::HardwareSpec hwspec_;
+    model::StageGraph stages_;
     const oracle::SyntheticCorpus &corpus_;
     std::unique_ptr<model::TargetModel> tm_;
     const core::ExitPredictor *preds_ = nullptr;

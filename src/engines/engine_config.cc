@@ -144,6 +144,22 @@ EngineConfig::withWeightBackend(tensor::WeightBackend backend) const
 }
 
 EngineConfig
+EngineConfig::withSharding(int tp_degree, int pp_degree) const
+{
+    specee_assert(tp_degree >= 1 && pp_degree >= 1,
+                  "sharding degrees must be >= 1, got tp=%d pp=%d",
+                  tp_degree, pp_degree);
+    EngineConfig c = *this;
+    c.tp = tp_degree;
+    c.pp = pp_degree;
+    if (tp_degree > 1 || pp_degree > 1) {
+        c.name = name + "[tp" + std::to_string(tp_degree) + "pp" +
+                 std::to_string(pp_degree) + "]";
+    }
+    return c;
+}
+
+EngineConfig
 EngineConfig::withSpecDecode() const
 {
     EngineConfig c = *this;

@@ -94,6 +94,28 @@ struct EngineConfig
     /** Draft hit-rate override (<0: use the dataset profile). */
     double draft_hit_override = -1.0;
 
+    // --- sharding ----------------------------------------------------------
+    /**
+     * Tensor-parallel degree: each pipeline stage's weights, KV and
+     * GEMMs split across `tp` devices, which adds two ring
+     * all-reduces of the activations per layer over the platform's
+     * interconnect. 1 (default) is bit-identical to the unsharded
+     * engine. Orthogonal to the legacy monolithic multi-GPU presets
+     * (a100x4's n_devices/sync_us_per_layer), which stay untouched.
+     */
+    int tp = 1;
+
+    /**
+     * Pipeline-parallel degree: decoder layers partition into `pp`
+     * contiguous stages (model::StageGraph), one device group per
+     * stage; each stage boundary a token crosses moves its residual
+     * activation over the interconnect. An early exit at layer k
+     * only traverses (and under a stage-aware scheduler only
+     * occupies) the stages up to k. 1 (default) is bit-identical to
+     * the unsharded engine.
+     */
+    int pp = 1;
+
     // --- presets -------------------------------------------------------------
     static EngineConfig huggingFace();
     static EngineConfig vllm();
@@ -119,6 +141,13 @@ struct EngineConfig
      * the legacy `quantized` flag to be off.
      */
     EngineConfig withWeightBackend(tensor::WeightBackend backend) const;
+
+    /**
+     * Derive a TP x PP sharded variant (suffixes the name, e.g.
+     * "vllm[tp2pp2]"). tp = pp = 1 returns the config unchanged —
+     * the degenerate fleet is the monolithic engine.
+     */
+    EngineConfig withSharding(int tp_degree, int pp_degree) const;
 
     /**
      * True when workloads should use the AWQ accuracy-calibration

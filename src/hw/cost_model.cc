@@ -132,6 +132,30 @@ CostModel::accountSwap(OpLog &log, OpClass cls, double bytes,
 }
 
 double
+CostModel::interconnectSeconds(double bytes, int kernels) const
+{
+    specee_assert(spec_.interconnect_gbs > 0.0,
+                  "sharded collective on a platform without a peer "
+                  "link (interconnect_gbs = 0)");
+    return bytes / (spec_.interconnect_gbs * 1e9) +
+           kernels * spec_.launch_overhead_us * 1e-6;
+}
+
+double
+CostModel::accountInterconnect(OpLog &log, OpClass cls, double bytes,
+                               int kernels) const
+{
+    specee_assert(cls == OpClass::TpAllReduce ||
+                      cls == OpClass::PpHandoff,
+                  "accountInterconnect() prices collective classes "
+                  "only");
+    const double t = interconnectSeconds(bytes, kernels);
+    const double p = spec_.power_w[static_cast<size_t>(cls)];
+    log.add(cls, t, t * p, 0.0, bytes);
+    return t;
+}
+
+double
 CostModel::accountFixed(OpLog &log, OpClass cls, double seconds) const
 {
     const double p = spec_.power_w[static_cast<size_t>(cls)];

@@ -112,6 +112,25 @@ class CostModel
     double accountSwap(OpLog &log, OpClass cls, double bytes,
                        int kernels = 1) const;
 
+    /**
+     * Time to move `bytes` over the device-to-device interconnect
+     * (NVLink-class link), one collective launch per `kernels`.
+     * Like swap, the copy engines drive the link at its effective
+     * rate — the framework's kernel bandwidth efficiency does not
+     * apply. Pure pricing.
+     */
+    double interconnectSeconds(double bytes, int kernels = 1) const;
+
+    /**
+     * Price one sharded-fleet collective (cls must be TpAllReduce or
+     * PpHandoff) of `bytes` over the interconnect and append it to
+     * `log`. Collective volume scales with the activations moved, so
+     * the traffic is private per-request bytes — it never amortizes
+     * across the batch the way a weight stream does.
+     */
+    double accountInterconnect(OpLog &log, OpClass cls, double bytes,
+                               int kernels = 1) const;
+
     double bwEfficiency() const { return bwEff_; }
     double deviceWeightFrac() const { return devFrac_; }
     double weightCompression() const { return wComp_; }

@@ -22,6 +22,8 @@ opClassName(OpClass cls)
       case OpClass::PrefillCompute: return "prefill_compute";
       case OpClass::KvSwapOut: return "kv_swap_out";
       case OpClass::KvSwapIn: return "kv_swap_in";
+      case OpClass::TpAllReduce: return "tp_all_reduce";
+      case OpClass::PpHandoff: return "pp_handoff";
       default: return "unknown";
     }
 }
@@ -83,6 +85,11 @@ powerTable(double layer, double kv_read, double kv_fill, double head,
     // housekeeping (embed/sync/overhead) classes do.
     p[static_cast<int>(OpClass::KvSwapOut)] = misc;
     p[static_cast<int>(OpClass::KvSwapIn)] = misc;
+    // Sharded-fleet collectives are link-bound: NCCL ring all-reduce
+    // and stage activation handoffs keep the SMs mostly idle, like
+    // the other housekeeping classes.
+    p[static_cast<int>(OpClass::TpAllReduce)] = misc;
+    p[static_cast<int>(OpClass::PpHandoff)] = misc;
     return p;
 }
 
@@ -98,6 +105,7 @@ HardwareSpec::a100()
     s.launch_overhead_us = 5.0;
     s.vram_gb = 80.0;
     s.swap_bw_gbs = 25.0; // PCIe 4.0 x16, effective
+    s.interconnect_gbs = 600.0; // NVLink 3.0, per-GPU aggregate
     s.tdp_w = 400.0;
     // Dense decode averages ~201 W (§7.3.1); the predictor is a tiny
     // memory-bound kernel that leaves compute idle (~142 W, §7.3.2),
@@ -117,6 +125,7 @@ HardwareSpec::rtx4090()
     s.launch_overhead_us = 4.0;
     s.vram_gb = 24.0;
     s.swap_bw_gbs = 25.0; // PCIe 4.0 x16, effective
+    s.interconnect_gbs = 25.0; // no NVLink: peer copies ride PCIe
     s.tdp_w = 450.0;
     s.power_w = powerTable(270, 255, 195, 285, 155, 160, 195, 140);
     return s;

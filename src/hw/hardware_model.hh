@@ -32,6 +32,8 @@ enum class OpClass : int {
     PrefillCompute,   ///< chunk-scaled prefill GEMMs / attention / KV
     KvSwapOut,        ///< KV blocks DMA'd device -> host (preemption)
     KvSwapIn,         ///< KV blocks DMA'd host -> device (resume)
+    TpAllReduce,      ///< tensor-parallel ring all-reduce per layer
+    PpHandoff,        ///< pipeline activation handoff between stages
     NumClasses
 };
 
@@ -72,6 +74,16 @@ struct HardwareSpec
      * path. 0 = no swap path on this platform.
      */
     double swap_bw_gbs = 0.0;
+
+    /**
+     * Device-to-device (NVLink-class) link bandwidth (GB/s) for
+     * sharded fleets: tensor-parallel all-reduce traffic and
+     * pipeline-parallel activation handoffs are priced over this
+     * link. Distinct from swap_bw_gbs (the host PCIe path): intra-
+     * node collectives never touch host memory. 0 = no peer link
+     * (single-device platforms); sharded engine configs require it.
+     */
+    double interconnect_gbs = 0.0;
 
     /**
      * Pipeline-stall cost of interrupting the GPU graph for one

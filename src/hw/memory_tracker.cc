@@ -1,5 +1,7 @@
 #include "hw/memory_tracker.hh"
 
+#include <algorithm>
+
 namespace specee::hw {
 
 MemoryTracker::MemoryTracker(const model::ModelConfig &cfg,
@@ -77,6 +79,53 @@ MemoryTracker::fleetTotalBytes(long fleet_tokens, int n_sessions) const
            cfg_.truthKvBytesPerToken() *
                static_cast<double>(fleet_tokens) +
            activationBytesPerSession() * n_sessions;
+}
+
+double
+MemoryTracker::stageWeightBytes(const model::StageGraph &g,
+                                int stage) const
+{
+    const double comp = tensor::weightCompression(backend_);
+    const model::StageRange &r = g.stage(stage);
+    double b = cfg_.truthLayerBytes() * comp * r.n_layers;
+    // The tied embedding feeds the first stage; the LM head lives on
+    // the last (tied weights are replicated, not shared, across a
+    // pipeline — both ends pay). The draft model runs ahead of the
+    // target pass, so it sits with the embedding on stage 0.
+    if (stage == 0)
+        b += cfg_.truthLmHeadBytes() * comp + draftModelBytes();
+    if (stage == g.nStages() - 1)
+        b += cfg_.truthLmHeadBytes() * comp;
+    // Exit predictors deploy beside the layers they probe.
+    b += predictorBytes() * static_cast<double>(r.n_layers) /
+         static_cast<double>(g.nLayers());
+    return b;
+}
+
+double
+MemoryTracker::deviceBytes(const model::StageGraph &g, int stage,
+                           int tp, long fleet_tokens,
+                           int n_sessions) const
+{
+    const model::StageRange &r = g.stage(stage);
+    // KV is per-layer state: a stage holds its layer range's share,
+    // head-sharded tp ways like the projections that produce it.
+    const double kv = kvBytes(fleet_tokens) *
+                      static_cast<double>(r.n_layers) /
+                      static_cast<double>(g.nLayers());
+    return (stageWeightBytes(g, stage) + kv) /
+               static_cast<double>(tp) +
+           activationBytesPerSession() * n_sessions;
+}
+
+double
+MemoryTracker::maxDeviceBytes(const model::StageGraph &g, int tp,
+                              long fleet_tokens, int n_sessions) const
+{
+    double m = 0.0;
+    for (int s = 0; s < g.nStages(); ++s)
+        m = std::max(m, deviceBytes(g, s, tp, fleet_tokens, n_sessions));
+    return m;
 }
 
 } // namespace specee::hw

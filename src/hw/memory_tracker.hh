@@ -12,6 +12,7 @@
 #define SPECEE_HW_MEMORY_TRACKER_HH
 
 #include "model/config.hh"
+#include "model/stage_graph.hh"
 #include "tensor/weight_store.hh"
 
 namespace specee::hw {
@@ -100,6 +101,31 @@ class MemoryTracker
      * session) and activation scratch per active session.
      */
     double fleetTotalBytes(long fleet_tokens, int n_sessions) const;
+
+    /**
+     * Weight bytes pipeline stage `stage` hosts (before the
+     * tensor-parallel split): its layer range's projections, plus
+     * the embedding table and draft model on stage 0, the LM head on
+     * the last stage, and the exit predictors apportioned to the
+     * stages hosting their layers. Sums over stages to weightBytes()
+     * + draftModelBytes() + predictorBytes() exactly, so the shard
+     * partition conserves the deployment.
+     */
+    double stageWeightBytes(const model::StageGraph &g, int stage) const;
+
+    /**
+     * Device-resident bytes of ONE device of a tp x pp fleet: stage
+     * `stage`'s weight share and its layer range's share of the
+     * fleet KV, both split `tp` ways, plus per-session activation
+     * scratch. The single-device fit question — does a 70B-class
+     * deployment fit an 80 GB card — is maxDeviceBytes() vs vram.
+     */
+    double deviceBytes(const model::StageGraph &g, int stage, int tp,
+                       long fleet_tokens, int n_sessions) const;
+
+    /** Max over stages of deviceBytes() — the fleet's tightest device. */
+    double maxDeviceBytes(const model::StageGraph &g, int tp,
+                          long fleet_tokens, int n_sessions) const;
 
     /** Convenience: GiB for plotting. */
     static double toGiB(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }

@@ -1,0 +1,71 @@
+#include "model/stage_graph.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specee::model {
+
+StageGraph::StageGraph(int n_layers, int pp) : nLayers_(n_layers)
+{
+    specee_assert(n_layers >= 1, "stage graph over %d layers", n_layers);
+    specee_assert(pp >= 1 && pp <= n_layers,
+                  "pp must be in [1, %d], got %d", n_layers, pp);
+    stages_.reserve(static_cast<size_t>(pp));
+    const int base = n_layers / pp;
+    const int extra = n_layers % pp;
+    int first = 0;
+    for (int s = 0; s < pp; ++s) {
+        StageRange r;
+        r.first_layer = first;
+        r.n_layers = base + (s < extra ? 1 : 0);
+        first += r.n_layers;
+        stages_.push_back(r);
+    }
+    specee_assert(first == n_layers, "stage partition lost layers");
+}
+
+const StageRange &
+StageGraph::stage(int s) const
+{
+    specee_assert(s >= 0 && s < nStages(), "stage %d of %d", s,
+                  nStages());
+    return stages_[static_cast<size_t>(s)];
+}
+
+int
+StageGraph::stageOfLayer(int layer) const
+{
+    specee_assert(layer >= 0 && layer < nLayers_,
+                  "layer %d outside [0, %d)", layer, nLayers_);
+    for (int s = 0; s < nStages(); ++s) {
+        if (layer < stages_[static_cast<size_t>(s)].endLayer())
+            return s;
+    }
+    return nStages() - 1; // unreachable: the ranges cover [0, L)
+}
+
+int
+StageGraph::stagesForDepth(int layers_used) const
+{
+    if (layers_used <= 0)
+        return 0;
+    return stageOfLayer(std::min(layers_used, nLayers_) - 1) + 1;
+}
+
+int
+StageGraph::overlapLayers(int s, int lo, int hi) const
+{
+    const StageRange &r = stage(s);
+    const int a = std::max(lo, r.first_layer);
+    const int b = std::min(hi, r.endLayer());
+    return std::max(0, b - a);
+}
+
+int
+StageGraph::handoffs(int layers_used) const
+{
+    return std::max(0, stagesForDepth(layers_used) - 1);
+}
+
+} // namespace specee::model

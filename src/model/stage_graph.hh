@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Stage-level execution graph: the layer-range partition behind
+ * pipeline parallelism.
+ *
+ * A StageGraph splits the decoder's n_layers into `pp` contiguous
+ * stages (Megatron-style: near-even, remainder layers assigned to
+ * the earliest stages). It is pure layer-range arithmetic — which
+ * stage hosts layer l, how many stages a step that traversed k
+ * layers occupied — shared by the cost model (activation handoffs
+ * cross stage boundaries), the memory tracker (per-device weight/KV
+ * shares) and the serving scheduler (early-exit sessions release the
+ * stages past their exit layer, which backfill can reuse).
+ *
+ * pp = 1 is the degenerate single-stage graph: every helper reduces
+ * to the monolithic engine's arithmetic exactly, which is what keeps
+ * the unsharded configuration bit-identical.
+ */
+
+#ifndef SPECEE_MODEL_STAGE_GRAPH_HH
+#define SPECEE_MODEL_STAGE_GRAPH_HH
+
+#include <vector>
+
+namespace specee::model {
+
+/** One contiguous layer range of the pipeline. */
+struct StageRange
+{
+    int first_layer = 0; ///< first decoder layer of the stage
+    int n_layers = 0;    ///< layers hosted by the stage
+
+    int endLayer() const { return first_layer + n_layers; }
+};
+
+/** Contiguous layer-range partition of a decoder into pp stages. */
+class StageGraph
+{
+  public:
+    /**
+     * Partition `n_layers` decoder layers into `pp` contiguous
+     * stages. Stage s gets floor(n_layers/pp) layers plus one of the
+     * remainder when s < n_layers % pp, so earlier stages are never
+     * smaller than later ones. Requires 1 <= pp <= n_layers.
+     */
+    StageGraph(int n_layers, int pp);
+
+    int nLayers() const { return nLayers_; }
+    int nStages() const { return static_cast<int>(stages_.size()); }
+
+    const StageRange &stage(int s) const;
+
+    /** Stage hosting decoder layer `layer`. */
+    int stageOfLayer(int layer) const;
+
+    /**
+     * Stages a step that executed layers [0, layers_used) occupied —
+     * the occupancy an early exit at layer k releases down to.
+     * 0 layers occupy 0 stages; a full-depth step occupies all.
+     */
+    int stagesForDepth(int layers_used) const;
+
+    /**
+     * Layers of stage `s` that fall inside [lo, hi) — the overlap
+     * used to apportion a layer-range charge across stages.
+     */
+    int overlapLayers(int s, int lo, int hi) const;
+
+    /**
+     * Pipeline boundary crossings of a step that traversed
+     * `layers_used` layers: one activation handoff per edge between
+     * consecutive occupied stages (0 at pp = 1 or for shallow steps
+     * confined to stage 0).
+     */
+    int handoffs(int layers_used) const;
+
+  private:
+    int nLayers_;
+    std::vector<StageRange> stages_;
+};
+
+} // namespace specee::model
+
+#endif // SPECEE_MODEL_STAGE_GRAPH_HH

@@ -32,6 +32,9 @@ BatchScheduler::BatchScheduler(const SchedulerOptions &opts) : opts_(opts)
     specee_assert(opts.prefix_cache.capacity_blocks >= 0,
                   "prefix_cache.capacity_blocks must be >= 0, got %d",
                   opts.prefix_cache.capacity_blocks);
+    specee_assert(opts.max_inflight_per_consumer >= 0,
+                  "max_inflight_per_consumer must be >= 0, got %d",
+                  opts.max_inflight_per_consumer);
     PrefillPlanner(opts.prefill); // validates the prefill knobs
 }
 
@@ -95,6 +98,21 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     const engines::EngineConfig &ecfg = engines.front()->config();
     const model::ModelConfig &mcfg = engines.front()->modelConfig();
     const size_t slots = static_cast<size_t>(opts_.max_batch);
+
+    // The fleet's pipeline shape. Workers must shard identically —
+    // stage-split pricing and backfill read one stage graph, and a
+    // heterogeneous fleet would make results depend on which worker
+    // a session landed on (breaking worker-count determinism).
+    const model::StageGraph &sg = engines.front()->stageGraph();
+    const int n_stages = sg.nStages();
+    for (const auto *e : engines) {
+        specee_assert(e->stageGraph().nStages() == n_stages &&
+                          e->tpDegree() == engines.front()->tpDegree(),
+                      "all worker engines must share one tp x pp "
+                      "sharding");
+    }
+    const bool staged = n_stages > 1;
+    fleet.n_stages = n_stages;
 
     // Swap preemption needs a host link. Pure swap mode without one
     // is a configuration error (fail fast, not mid-eviction); auto
@@ -210,6 +228,12 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     long itl_gaps = 0;
     std::vector<double> itl_samples; ///< every delivered gap
     uint64_t admit_seq = 0;
+    // Stages the previous iteration's early exits left idle — the
+    // backfill planner's bubble estimate. Reading LAST iteration's
+    // occupancy keeps the plan causal (it depends only on work
+    // already priced), so results stay bit-identical across worker
+    // counts; the one-iteration lag is the micro-batch pipeline.
+    int free_stages_prev = 0;
     std::vector<Entry> active;
     active.reserve(slots);
     // Sessions preempted by swap-to-host: frozen with their KV in the
@@ -348,22 +372,47 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         // like a recompute victim waiting in the queue. An empty
         // fleet always takes a candidate (progress guarantee: the
         // budget gates below only apply alongside active peers).
+        // Per-consumer backpressure: pass over candidates whose
+        // consumer already decodes max_inflight_per_consumer
+        // sessions. Saturation needs >= 1 active session, so an
+        // empty fleet is never deferred and progress holds.
+        const auto saturated = [&](const Request &r) {
+            if (opts_.max_inflight_per_consumer <= 0)
+                return false;
+            int c = 0;
+            for (const auto &a : active)
+                if (a.req.consumer == r.consumer)
+                    ++c;
+            return c >= opts_.max_inflight_per_consumer;
+        };
+        bool deferred = false;
         while (active.size() < slots) {
             size_t sw = swappedQ.size();
+            size_t sw_any = swappedQ.size();
             for (size_t i = 0; i < swappedQ.size(); ++i) {
+                if (saturated(swappedQ[i].req)) {
+                    deferred = true;
+                    continue;
+                }
                 if (swappedQ[i].req.priority == Priority::Interactive) {
                     sw = i;
                     break;
                 }
+                if (sw_any == swappedQ.size())
+                    sw_any = i;
             }
-            if (sw == swappedQ.size() && !swappedQ.empty())
-                sw = 0;
+            if (sw == swappedQ.size())
+                sw = sw_any;
             size_t cand = waiting.size();
             for (size_t i = 0; i < waiting.size(); ++i) {
                 // Future arrivals are a contiguous sorted tail
                 // (victims re-enter at the front, already arrived).
                 if (waiting[i].req.arrival_s > clock)
                     break;
+                if (saturated(waiting[i].req)) {
+                    deferred = true;
+                    continue;
+                }
                 if (waiting[i].req.priority == Priority::Interactive) {
                     cand = i;
                     break;
@@ -466,6 +515,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 e.first_admit_s = clock;
             active.push_back(std::move(e));
         }
+        if (deferred)
+            ++fleet.backpressure_deferrals;
 
         if (active.empty()) {
             if (waiting.empty())
@@ -559,7 +610,34 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 else
                     pending[i] = active[i].sess->prefillRemaining();
             }
-            grant = planner.plan(pending, rank, decodes);
+            // Pipeline backfill: convert last iteration's idle
+            // stages into extra budget tokens so queued prefill
+            // chunks slot into the bubble the early exits opened.
+            // Rounded up: any free stage admits at least one token,
+            // so tight budgets still backfill.
+            long extra = 0;
+            if (staged && opts_.stage_backfill &&
+                opts_.prefill.max_tokens_per_iteration > 0 &&
+                free_stages_prev > 0) {
+                extra = (static_cast<long>(
+                             opts_.prefill.max_tokens_per_iteration) *
+                             free_stages_prev +
+                         n_stages - 1) /
+                        n_stages;
+            }
+            if (extra > 0) {
+                const std::vector<int> base =
+                    planner.plan(pending, rank, decodes);
+                grant = planner.plan(pending, rank, decodes, extra);
+                for (size_t i = 0; i < grant.size(); ++i) {
+                    if (grant[i] > base[i]) {
+                        ++fleet.backfill_grants;
+                        fleet.backfill_tokens += grant[i] - base[i];
+                    }
+                }
+            } else {
+                grant = planner.plan(pending, rank, decodes);
+            }
         }
 
         // --- step every active session, in parallel by engine ------
@@ -610,18 +688,71 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         }
 
         // --- price the iteration (admission order, deterministic) --
+        // Legacy: the shared weight stream is read once for the whole
+        // batch, so its time is the max over sessions. Stage-split
+        // (pp > 1): each STAGE's weight stream is read once, so the
+        // per-stage maxima sum — sessions with disjoint layer ranges
+        // (a shallow exit beside a deep decode) serialize through the
+        // pipeline instead of riding free under the global max. Never
+        // cheaper than the legacy max; equal for homogeneous batches.
         double shared_t = 0.0, private_t = 0.0;
         double shared_e = 0.0, private_e = 0.0;
+        int busy_stages = 0;
         for (const auto &a : active) {
-            shared_t = std::max(shared_t, a.cost.shared_s);
-            shared_e = std::max(shared_e, a.cost.shared_j);
+            specee_assert(a.cost.stages_used >= 0 &&
+                              a.cost.stages_used <= n_stages,
+                          "session stage span %d outside [0, %d]",
+                          a.cost.stages_used, n_stages);
+            specee_assert(a.cost.stage_shared_s.empty() ||
+                              static_cast<int>(
+                                  a.cost.stage_shared_s.size()) ==
+                                  n_stages,
+                          "stage cost vector does not match the "
+                          "fleet's stage graph");
+            busy_stages = std::max(busy_stages, a.cost.stages_used);
             private_t += a.cost.private_s;
             private_e += a.cost.private_j;
+        }
+        if (staged && opts_.stage_pricing) {
+            std::vector<double> st(static_cast<size_t>(n_stages), 0.0);
+            std::vector<double> se(static_cast<size_t>(n_stages), 0.0);
+            for (const auto &a : active) {
+                // An idle (chunk-starved) session carries an empty
+                // vector and no cost.
+                if (a.cost.stage_shared_s.empty())
+                    continue;
+                for (int s = 0; s < n_stages; ++s) {
+                    st[s] = std::max(
+                        st[s],
+                        a.cost.stage_shared_s[static_cast<size_t>(s)]);
+                    se[s] = std::max(
+                        se[s],
+                        a.cost.stage_shared_j[static_cast<size_t>(s)]);
+                }
+            }
+            for (int s = 0; s < n_stages; ++s) {
+                shared_t += st[s];
+                shared_e += se[s];
+            }
+        } else {
+            for (const auto &a : active) {
+                shared_t = std::max(shared_t, a.cost.shared_s);
+                shared_e = std::max(shared_e, a.cost.shared_j);
+            }
         }
         clock += shared_t + private_t;
         fleet.energy_j += shared_e + private_e;
         occupancy += static_cast<double>(active.size());
         ++fleet.iterations;
+
+        // Stage occupancy: every session's weight stream covers the
+        // contiguous stage prefix [0, stages_used), so the union is
+        // the max span. What's left is next iteration's backfill
+        // bubble.
+        fleet.stage_busy += busy_stages;
+        fleet.peak_stage_occupancy =
+            std::max(fleet.peak_stage_occupancy, busy_stages);
+        free_stages_prev = n_stages - busy_stages;
 
         // --- prefill bookkeeping (chunks land at this boundary) ----
         for (auto &a : active) {
@@ -804,6 +935,11 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     fleet.mean_batch_occupancy =
         fleet.iterations > 0
             ? occupancy / static_cast<double>(fleet.iterations)
+            : 0.0;
+    fleet.pipeline_utilization =
+        fleet.iterations > 0
+            ? static_cast<double>(fleet.stage_busy) /
+                  (static_cast<double>(fleet.iterations) * n_stages)
             : 0.0;
     return fleet;
 }

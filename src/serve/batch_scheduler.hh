@@ -140,6 +140,44 @@ struct SchedulerOptions
      * progress is always possible.
      */
     double kv_watermark = 0.0;
+
+    /**
+     * Stage-split iteration pricing on pipeline-sharded engines
+     * (pp > 1): the shared weight-bound time of each pipeline stage
+     * is maxed over the batch per stage and the stage maxima sum —
+     * sessions whose layer ranges overlap share a stage's weight
+     * stream, sessions on disjoint stages serialize through the
+     * pipeline. This is never cheaper than the legacy whole-model max
+     * (which lets a shallow-exiting session ride free under a deep
+     * peer even when their weight reads don't overlap) and equals it
+     * for homogeneous batches. Off, or on an unsharded engine
+     * (pp = 1, where every session's range is the whole model), the
+     * legacy max is used bit-identically.
+     */
+    bool stage_pricing = true;
+
+    /**
+     * Early-exit-aware pipeline backfill (pp > 1, chunked prefill
+     * with a bounded iteration budget): stages the previous
+     * iteration's early exits left idle are converted into extra
+     * prefill-budget tokens (max_tokens_per_iteration * free_stages /
+     * n_stages), so queued prefill chunks ride the pipeline bubble —
+     * micro-batch pipelining across iterations. Using the PREVIOUS
+     * iteration's occupancy keeps planning causal and bit-identical
+     * across worker counts. No-op at pp = 1 or while the budget is
+     * unbounded.
+     */
+    bool stage_backfill = true;
+
+    /**
+     * Admission-level backpressure: max concurrently decoding
+     * sessions per Request::consumer. A candidate whose consumer is
+     * saturated is passed over (fresh admission and swap-in alike)
+     * until one of its sessions retires; other consumers' requests
+     * admit past it. 0 (default) disables — admission is bit-
+     * identical to the uncapped scheduler.
+     */
+    int max_inflight_per_consumer = 0;
 };
 
 /** One streamed token, delivered at an iteration boundary. */
@@ -247,6 +285,32 @@ struct FleetStats
      * kv_watermark * kv_budget_blocks. 0 while the watermark is off.
      */
     long watermark_rejections = 0;
+
+    /**
+     * Iteration boundaries where at least one arrived candidate was
+     * passed over because its consumer was at
+     * max_inflight_per_consumer. 0 while the cap is off.
+     */
+    long backpressure_deferrals = 0;
+
+    /**
+     * Pipeline-stage accounting (stage graph of the fleet's engines;
+     * n_stages = 1 on unsharded fleets). stage_busy sums, over
+     * iterations, the stages some session's weight stream traversed;
+     * pipeline_utilization = stage_busy / (iterations * n_stages) —
+     * the fraction of stage-iterations doing work, 1.0 when every
+     * stage is busy every iteration. peak_stage_occupancy is the max
+     * stages concurrently occupied in one iteration (<= n_stages by
+     * construction). backfill_grants / backfill_tokens count prefill
+     * grants and tokens awarded ONLY because stage_backfill widened
+     * the budget into last iteration's idle stages.
+     */
+    int n_stages = 1;
+    long stage_busy = 0;
+    int peak_stage_occupancy = 0;
+    double pipeline_utilization = 0.0;
+    long backfill_grants = 0;
+    long backfill_tokens = 0;
 
     /**
      * Merged per-request operator census of COMPLETED requests

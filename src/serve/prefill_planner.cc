@@ -19,7 +19,7 @@ PrefillPlanner::PrefillPlanner(const PrefillOptions &opts) : opts_(opts)
 std::vector<int>
 PrefillPlanner::plan(const std::vector<int> &pending,
                      const std::vector<int> &tier_rank,
-                     int decode_sessions) const
+                     int decode_sessions, long extra_tokens) const
 {
     specee_assert(tier_rank.size() == pending.size(),
                   "tier_rank/pending size mismatch (%zu vs %zu)",
@@ -39,6 +39,11 @@ PrefillPlanner::plan(const std::vector<int> &pending,
             opts_.max_tokens_per_iteration - decode_sessions, 0);
         if (decode_sessions == 0)
             leftover = std::max<long>(leftover, 1);
+        // Backfill bonus: stages idled by last iteration's early
+        // exits, converted to budget tokens by the scheduler. Only a
+        // bounded budget has a bubble to widen.
+        if (extra_tokens > 0)
+            leftover += extra_tokens;
     }
 
     // Serve prompts in (tier, admission) order: a short interactive

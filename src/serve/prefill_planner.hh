@@ -78,10 +78,19 @@ class PrefillPlanner
      * When no decode peer is active, the first-ranked prefilling
      * session is granted at least one token, so mixed iterations
      * always make progress.
+     *
+     * `extra_tokens` widens a bounded iteration budget: pipeline
+     * backfill passes the token-equivalent of the stages last
+     * iteration's early exits left idle, letting extra prefill chunks
+     * ride in the bubble. Ignored while the budget is unbounded (the
+     * budget cannot bind, so there is no bubble to fill) and when <=
+     * 0 — plan(p, r, d, 0) is bit-identical to the three-argument
+     * call.
      */
     std::vector<int> plan(const std::vector<int> &pending,
                           const std::vector<int> &tier_rank,
-                          int decode_sessions) const;
+                          int decode_sessions,
+                          long extra_tokens = 0) const;
 
     /** Chunks a prompt of `prompt_tokens` needs at this chunk size. */
     int chunksFor(int prompt_tokens) const;

@@ -69,6 +69,16 @@ struct Request
 
     /** Latency tier (admission order and preemption preference). */
     Priority priority = Priority::Interactive;
+
+    /**
+     * Originating consumer (tenant / API key) for admission-level
+     * backpressure: SchedulerOptions::max_inflight_per_consumer caps
+     * how many of one consumer's requests decode concurrently, so a
+     * bursty tenant queues behind itself instead of monopolizing the
+     * fleet. 0 (default) is the anonymous consumer — with the cap
+     * unset every request lands there and admission is unchanged.
+     */
+    uint64_t consumer = 0;
 };
 
 /** Functional result + serving timeline of one completed request. */

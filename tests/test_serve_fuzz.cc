@@ -23,7 +23,17 @@
  *  5. on deadline-free scenarios under KV pressure, `auto` preempt
  *     mode never yields a worse modeled makespan than the dearer of
  *     pure swap / pure recompute on the same stream, and all three
- *     mechanisms deliver identical tokens.
+ *     mechanisms deliver identical tokens;
+ *  6. sharded fleets (random tp / pp draws): per-iteration stage
+ *     occupancy never exceeds the stage count, backfill counters
+ *     stay zero whenever the mechanism cannot fire (pp = 1, knob
+ *     off, unbounded budget), delivered streams still match the
+ *     UNSHARDED isolated decode (sharding re-prices, never
+ *     re-tokenizes), and on tp = 1 / pp = 1 draws toggling the
+ *     stage knobs is bit-inert;
+ *  7. per-consumer backpressure: the deferral counter is zero while
+ *     the cap is off, and capped streams still drain to terminal
+ *     states (no starvation).
  *
  * The default seed set is fixed (CI runs it in Release and under
  * TSan); SPECEE_FUZZ_SEEDS=<n> widens the sweep locally.
@@ -128,6 +138,23 @@ drawScenario(uint64_t seed)
         const int cap_choices[] = {0, 24, 64};
         sc.opts.sched.prefix_cache.capacity_blocks =
             cap_choices[rng.uniformInt(0, 2)];
+    }
+
+    // --- sharded fleets --------------------------------------------
+    const int tp = rng.bernoulli(0.35) ? 2 : 1;
+    const int pp_choices[] = {1, 2, 4};
+    const int pp = pp_choices[rng.uniformInt(0, 2)];
+    sc.opts.engine = sc.opts.engine.withSharding(tp, pp);
+    sc.opts.sched.stage_pricing = rng.bernoulli(0.5);
+    sc.opts.sched.stage_backfill = rng.bernoulli(0.5);
+
+    // --- per-consumer backpressure ---------------------------------
+    if (rng.bernoulli(0.35)) {
+        sc.opts.sched.max_inflight_per_consumer = rng.uniformInt(1, 2);
+        const uint64_t consumers =
+            static_cast<uint64_t>(rng.uniformInt(1, 3));
+        for (auto &r : sc.stream)
+            r.consumer = r.id % consumers;
     }
 
     // --- streaming backpressure ------------------------------------
@@ -246,6 +273,26 @@ checkInvariants(const Scenario &sc, const RunCapture &cap,
     if (sc.opts.sched.kv_watermark <= 0.0) {
         EXPECT_EQ(fleet.watermark_rejections, 0);
     }
+
+    // (6) stage occupancy bounded by the fleet's pipeline; backfill
+    // can only fire on a sharded fleet with a bounded budget and the
+    // knob on.
+    EXPECT_EQ(fleet.n_stages, sc.opts.engine.pp);
+    EXPECT_LE(fleet.peak_stage_occupancy, fleet.n_stages);
+    EXPECT_GE(fleet.peak_stage_occupancy, 0);
+    EXPECT_LE(fleet.stage_busy,
+              fleet.iterations * static_cast<long>(fleet.n_stages));
+    EXPECT_GE(fleet.backfill_tokens, fleet.backfill_grants);
+    if (fleet.n_stages == 1 || !sc.opts.sched.stage_backfill ||
+        sc.opts.sched.prefill.max_tokens_per_iteration <= 0) {
+        EXPECT_EQ(fleet.backfill_grants, 0);
+        EXPECT_EQ(fleet.backfill_tokens, 0);
+    }
+
+    // (7) backpressure off must be inert.
+    if (sc.opts.sched.max_inflight_per_consumer <= 0) {
+        EXPECT_EQ(fleet.backpressure_deferrals, 0);
+    }
     if (!sc.opts.sched.prefix_cache.enabled) {
         // Cache off must be inert, even on streams full of shared
         // prompts.
@@ -302,6 +349,8 @@ struct Coverage
     long prefill_chunks = 0;
     long prefix_hits = 0;
     long cache_evictions = 0;
+    long backfill_tokens = 0;
+    long backpressure = 0;
 };
 
 /**
@@ -386,6 +435,43 @@ directedScenarios()
         sc.opts.sched.prefill.chunk_tokens = 256;
         out.push_back(std::move(sc));
     }
+    {
+        // Pipeline-backfill coverage: a pp = 4 SpecEE fleet under a
+        // one-token iteration budget starves prefill chunks behind
+        // any decode peer, so the only extra grants ride the stages
+        // last iteration's early exits freed.
+        serve::StreamOptions so;
+        so.n_requests = 6;
+        so.gen_len = 16;
+        so.prompt_len = 48;
+        so.seed = 0x57a6e;
+        Scenario sc;
+        sc.stream = serve::synthesizeStream(so);
+        sc.opts.engine = engines::EngineConfig::huggingFace()
+                             .withSpecEE()
+                             .withSharding(1, 4);
+        sc.opts.spec = hw::HardwareSpec::a100();
+        sc.opts.sched.max_batch = 2;
+        sc.opts.sched.prefill.chunk_tokens = 4;
+        sc.opts.sched.prefill.max_tokens_per_iteration = 1;
+        out.push_back(std::move(sc));
+    }
+    {
+        // Backpressure coverage: one consumer, cap 1 — every
+        // boundary with queued peers defers, yet the stream drains.
+        serve::StreamOptions so;
+        so.n_requests = 5;
+        so.gen_len = 10;
+        so.seed = 0xcafe;
+        Scenario sc;
+        sc.stream = serve::synthesizeStream(so);
+        sc.opts.engine =
+            engines::EngineConfig::huggingFace().withSpecEE();
+        sc.opts.spec = hw::HardwareSpec::a100();
+        sc.opts.sched.max_batch = 4;
+        sc.opts.sched.max_inflight_per_consumer = 1;
+        out.push_back(std::move(sc));
+    }
     return out;
 }
 
@@ -407,6 +493,8 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
     cov.prefill_chunks += r1.rep.fleet.prefill_chunks;
     cov.prefix_hits += r1.rep.fleet.prefix_hits;
     cov.cache_evictions += r1.rep.fleet.cache_evictions;
+    cov.backfill_tokens += r1.rep.fleet.backfill_tokens;
+    cov.backpressure += r1.rep.fleet.backpressure_deferrals;
     EXPECT_DOUBLE_EQ(r1.rep.fleet.makespan_s, r3.rep.fleet.makespan_s);
     EXPECT_DOUBLE_EQ(r1.rep.fleet.energy_j, r3.rep.fleet.energy_j);
     EXPECT_EQ(r1.rep.fleet.tokens, r3.rep.fleet.tokens);
@@ -424,6 +512,15 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
               r3.rep.fleet.cache_evictions);
     EXPECT_EQ(r1.rep.fleet.peak_cached_blocks,
               r3.rep.fleet.peak_cached_blocks);
+    EXPECT_EQ(r1.rep.fleet.stage_busy, r3.rep.fleet.stage_busy);
+    EXPECT_EQ(r1.rep.fleet.peak_stage_occupancy,
+              r3.rep.fleet.peak_stage_occupancy);
+    EXPECT_EQ(r1.rep.fleet.backfill_grants,
+              r3.rep.fleet.backfill_grants);
+    EXPECT_EQ(r1.rep.fleet.backfill_tokens,
+              r3.rep.fleet.backfill_tokens);
+    EXPECT_EQ(r1.rep.fleet.backpressure_deferrals,
+              r3.rep.fleet.backpressure_deferrals);
     EXPECT_EQ(r1.delivered, r3.delivered);
     ASSERT_EQ(r1.rep.outcomes.size(), r3.rep.outcomes.size());
     for (size_t i = 0; i < r1.rep.outcomes.size(); ++i) {
@@ -458,6 +555,23 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
             << "auto lost to both fixed preempt modes";
         EXPECT_EQ(aut.delivered, rec.delivered);
         EXPECT_EQ(aut.delivered, swp.delivered);
+    }
+
+    // (6) degenerate fleets: on a tp = 1 / pp = 1 draw the stage
+    // knobs must be bit-inert — flipping both changes nothing.
+    if (sc.opts.engine.tp == 1 && sc.opts.engine.pp == 1) {
+        Scenario toggled = sc;
+        toggled.opts.sched.stage_pricing =
+            !sc.opts.sched.stage_pricing;
+        toggled.opts.sched.stage_backfill =
+            !sc.opts.sched.stage_backfill;
+        const RunCapture rt = runScenario(toggled, 1);
+        EXPECT_DOUBLE_EQ(r1.rep.fleet.makespan_s,
+                         rt.rep.fleet.makespan_s);
+        EXPECT_DOUBLE_EQ(r1.rep.fleet.energy_j, rt.rep.fleet.energy_j);
+        EXPECT_EQ(r1.rep.fleet.tokens, rt.rep.fleet.tokens);
+        EXPECT_EQ(r1.rep.fleet.iterations, rt.rep.fleet.iterations);
+        EXPECT_EQ(r1.delivered, rt.delivered);
     }
 }
 
@@ -495,4 +609,6 @@ TEST(ServeFuzz, RandomizedSchedulerInvariants)
     EXPECT_GT(cov.prefill_chunks, 0);
     EXPECT_GT(cov.prefix_hits, 0);
     EXPECT_GT(cov.cache_evictions, 0);
+    EXPECT_GT(cov.backfill_tokens, 0);
+    EXPECT_GT(cov.backpressure, 0);
 }
