@@ -163,6 +163,9 @@ DecodeSession::prefillChunk(int n_tokens)
     specee_assert(n_tokens > 0, "prefillChunk() needs n_tokens > 0");
     specee_assert(!prefilled_, "prefillChunk() after prefill done");
     specee_assert(!swapped_, "prefillChunk() on a swapped-out session");
+    specee_assert(!awaitingTransfer(),
+                  "prefillChunk() on a session with an in-flight KV "
+                  "transfer");
     const auto &inst = w_->instances[instance_];
     const auto before = snapshotOplog();
     BindGuard bind(*eng_.tm_, &seq_);
@@ -339,6 +342,36 @@ DecodeSession::kvSeqId() const
     return kvView_->seqId();
 }
 
+void
+DecodeSession::beginTransfer()
+{
+    specee_assert(canSwap(),
+                  "beginTransfer() needs a paged fleet-pool KV");
+    kvView_->beginTransfer();
+}
+
+void
+DecodeSession::endTransfer()
+{
+    specee_assert(canSwap(), "endTransfer() needs a paged fleet-pool KV");
+    kvView_->endTransfer();
+}
+
+double
+DecodeSession::handoffSeconds() const
+{
+    return eng_.kvHandoffSeconds(modeledPositions());
+}
+
+double
+DecodeSession::chargeHandoff()
+{
+    specee_assert(prefilled_,
+                  "KV handoff of a session that has not finished "
+                  "prefill");
+    return eng_.chargeKvHandoff(out_->stats.oplog, modeledPositions());
+}
+
 double
 DecodeSession::swapRoundTripSeconds() const
 {
@@ -362,6 +395,8 @@ DecodeSession::step()
 {
     specee_assert(prefilled_, "step() before prefill()");
     specee_assert(!swapped_, "step() on a swapped-out session");
+    specee_assert(!awaitingTransfer(),
+                  "step() on a session with an in-flight KV transfer");
     if (finished())
         return false;
 

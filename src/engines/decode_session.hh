@@ -189,6 +189,42 @@ class DecodeSession
     int hostBlocks() const;
 
     /**
+     * Pin this session's KV blocks for an in-flight DMA (see
+     * PagedKvCache::beginTransfer). The functional move (swap or
+     * handoff adoption) happens eagerly before the pin; the transfer
+     * engine prices when the bytes land, and the scheduler keeps the
+     * session out of stepping until then. @pre canSwap()
+     */
+    void beginTransfer();
+
+    /** The transfer landed (or settled at drop): unpin the blocks. */
+    void endTransfer();
+
+    /**
+     * True while this session's KV rides a DMA channel. The session
+     * must not step, prefill, swap or drop until the scheduler
+     * settles the transfer.
+     */
+    bool awaitingTransfer() const
+    {
+        return kvView_ != nullptr && kvView_->inTransfer();
+    }
+
+    /**
+     * Modeled peer-link time to stream this session's KV (at its
+     * current length) from its prefill device to a decode device.
+     * Pure pricing for handoff planning.
+     */
+    double handoffSeconds() const;
+
+    /**
+     * Charge the prefill->decode KV handoff of this session's cached
+     * positions (OpClass::KvHandoff at true dims) into the session's
+     * oplog. @return modeled transfer seconds @pre prefillDone()
+     */
+    double chargeHandoff();
+
+    /**
      * Modeled host-link round trip (swap out + back in) of this
      * session's KV at its current length — the swap side of the
      * scheduler's swap-vs-recompute comparison. Pure pricing.

@@ -146,8 +146,9 @@ CostModel::accountInterconnect(OpLog &log, OpClass cls, double bytes,
                                int kernels) const
 {
     specee_assert(cls == OpClass::TpAllReduce ||
-                      cls == OpClass::PpHandoff,
-                  "accountInterconnect() prices collective classes "
+                      cls == OpClass::PpHandoff ||
+                      cls == OpClass::KvHandoff,
+                  "accountInterconnect() prices peer-link classes "
                   "only");
     const double t = interconnectSeconds(bytes, kernels);
     const double p = spec_.power_w[static_cast<size_t>(cls)];
@@ -161,6 +162,52 @@ CostModel::accountFixed(OpLog &log, OpClass cls, double seconds) const
     const double p = spec_.power_w[static_cast<size_t>(cls)];
     log.add(cls, seconds, seconds * p, 0.0, 0.0);
     return seconds;
+}
+
+TransferEngine::TransferEngine(int n_devices)
+{
+    specee_assert(n_devices >= 1,
+                  "transfer engine needs >= 1 device, got %d",
+                  n_devices);
+    free_at_.resize(static_cast<size_t>(n_devices));
+    reset();
+}
+
+double
+TransferEngine::submit(int device, DmaChannel ch, double now,
+                       double seconds)
+{
+    specee_assert(device >= 0 &&
+                      device < static_cast<int>(free_at_.size()),
+                  "transfer on unknown device %d of %zu", device,
+                  free_at_.size());
+    specee_assert(seconds >= 0.0 && now >= 0.0,
+                  "negative transfer time (%f s at %f)", seconds, now);
+    double &busy_until =
+        free_at_[static_cast<size_t>(device)][static_cast<size_t>(ch)];
+    const double start = std::max(now, busy_until);
+    busy_until = start + seconds;
+    busy_s_ += seconds;
+    return busy_until;
+}
+
+double
+TransferEngine::freeAt(int device, DmaChannel ch) const
+{
+    specee_assert(device >= 0 &&
+                      device < static_cast<int>(free_at_.size()),
+                  "transfer on unknown device %d of %zu", device,
+                  free_at_.size());
+    return free_at_[static_cast<size_t>(device)][static_cast<size_t>(
+        ch)];
+}
+
+void
+TransferEngine::reset()
+{
+    for (auto &d : free_at_)
+        d.fill(0.0);
+    busy_s_ = 0.0;
 }
 
 } // namespace specee::hw

@@ -19,6 +19,7 @@
 #define SPECEE_HW_COST_MODEL_HH
 
 #include <array>
+#include <vector>
 
 #include "hw/hardware_model.hh"
 
@@ -122,11 +123,12 @@ class CostModel
     double interconnectSeconds(double bytes, int kernels = 1) const;
 
     /**
-     * Price one sharded-fleet collective (cls must be TpAllReduce or
-     * PpHandoff) of `bytes` over the interconnect and append it to
-     * `log`. Collective volume scales with the activations moved, so
-     * the traffic is private per-request bytes — it never amortizes
-     * across the batch the way a weight stream does.
+     * Price one peer-link transfer (cls must be TpAllReduce,
+     * PpHandoff or KvHandoff) of `bytes` over the interconnect and
+     * append it to `log`. Collective volume scales with the
+     * activations (or KV blocks) moved, so the traffic is private
+     * per-request bytes — it never amortizes across the batch the
+     * way a weight stream does.
      */
     double accountInterconnect(OpLog &log, OpClass cls, double bytes,
                                int kernels = 1) const;
@@ -140,6 +142,67 @@ class CostModel
     double bwEff_;
     double devFrac_;
     double wComp_;
+};
+
+/** DMA channel kinds one device's copy engines expose. */
+enum class DmaChannel : int {
+    Host = 0, ///< PCIe host link (swap_bw_gbs): swap-to-host traffic
+    Peer = 1, ///< NVLink-class peer link (interconnect_gbs): KV handoff
+};
+
+constexpr int kNumDmaChannels = 2;
+
+/**
+ * Per-device DMA channel timelines: the asynchronous transfer layer
+ * the scheduler overlaps against the iteration clock.
+ *
+ * Each logical device owns one host-link channel and one peer-link
+ * channel. Transfers submitted to a channel serialize FIFO on that
+ * channel (one copy engine drives one link) but advance concurrently
+ * with everything else — compute iterations, other channels, other
+ * devices. submit() models exactly that: a transfer issued at `now`
+ * starts when the channel last frees, finishes `seconds` later, and
+ * the caller gets the completion time to gate the one session whose
+ * blocks are in flight. Nothing here advances a clock — the
+ * scheduler decides what (if anything) waits.
+ *
+ * Pure bookkeeping over (device, channel, seconds): deterministic
+ * for a deterministic caller, which is how fleet results stay
+ * bit-identical across worker counts — channels belong to the
+ * modeled topology's logical devices, not to physical worker
+ * threads.
+ */
+class TransferEngine
+{
+  public:
+    explicit TransferEngine(int n_devices = 1);
+
+    /**
+     * Schedule a transfer of `seconds` on `device`'s `ch` channel,
+     * issued at time `now` (the channel serializes: the transfer
+     * starts at max(now, channel busy-until)). @return completion
+     * time
+     */
+    double submit(int device, DmaChannel ch, double now,
+                  double seconds);
+
+    /** Time `device`'s `ch` channel last frees (0 before any use). */
+    double freeAt(int device, DmaChannel ch) const;
+
+    /** Seconds every channel has spent moving bytes, summed. */
+    double busySeconds() const { return busy_s_; }
+
+    int nDevices() const
+    {
+        return static_cast<int>(free_at_.size());
+    }
+
+    /** Forget all channel history (every channel free at 0). */
+    void reset();
+
+  private:
+    std::vector<std::array<double, kNumDmaChannels>> free_at_;
+    double busy_s_ = 0.0;
 };
 
 } // namespace specee::hw

@@ -24,6 +24,7 @@ opClassName(OpClass cls)
       case OpClass::KvSwapIn: return "kv_swap_in";
       case OpClass::TpAllReduce: return "tp_all_reduce";
       case OpClass::PpHandoff: return "pp_handoff";
+      case OpClass::KvHandoff: return "kv_handoff";
       default: return "unknown";
     }
 }
@@ -90,6 +91,9 @@ powerTable(double layer, double kv_read, double kv_fill, double head,
     // the other housekeeping classes.
     p[static_cast<int>(OpClass::TpAllReduce)] = misc;
     p[static_cast<int>(OpClass::PpHandoff)] = misc;
+    // A prefill->decode KV handoff is a copy-engine stream over the
+    // peer link, SM-idle like the swap DMAs.
+    p[static_cast<int>(OpClass::KvHandoff)] = misc;
     return p;
 }
 

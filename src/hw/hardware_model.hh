@@ -34,6 +34,7 @@ enum class OpClass : int {
     KvSwapIn,         ///< KV blocks DMA'd host -> device (resume)
     TpAllReduce,      ///< tensor-parallel ring all-reduce per layer
     PpHandoff,        ///< pipeline activation handoff between stages
+    KvHandoff,        ///< prefill->decode KV stream over the peer link
     NumClasses
 };
 

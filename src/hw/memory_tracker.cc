@@ -56,6 +56,14 @@ MemoryTracker::hostKvBytes(long positions) const
 }
 
 double
+MemoryTracker::inflightKvBytes(long positions) const
+{
+    // DMA moves the true-dims KV verbatim; in-flight bytes are the
+    // same quantity pinned on a link instead of resident in a pool.
+    return kvBytes(positions);
+}
+
+double
 MemoryTracker::totalBytes(int tokens) const
 {
     return weightBytes() + draftModelBytes() + predictorBytes() +

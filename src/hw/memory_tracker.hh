@@ -83,6 +83,16 @@ class MemoryTracker
      */
     double hostKvBytes(long positions) const;
 
+    /**
+     * KV bytes currently riding a DMA channel (`positions` cached
+     * positions across every sequence with an in-flight transfer:
+     * swap traffic on the host link, prefill->decode handoffs on the
+     * peer link). The overlapped-transfer side of the fleet census —
+     * bytes that are pinned (their blocks cannot be touched) but not
+     * chargeable to either endpoint's working set alone.
+     */
+    double inflightKvBytes(long positions) const;
+
     /** Total device bytes after `tokens` positions. */
     double totalBytes(int tokens) const;
 

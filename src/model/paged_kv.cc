@@ -43,6 +43,10 @@ PagedKvCache::createSequence()
 void
 PagedKvCache::dropSequence(int seq)
 {
+    specee_assert(!seqState(seq).in_transfer,
+                  "drop of sequence %d with an in-flight transfer "
+                  "(settle it first)",
+                  seq);
     clearSeq(seq);
     seqs_[static_cast<size_t>(seq)].live = false;
     freeSeqIds_.push_back(seq);
@@ -192,6 +196,9 @@ PagedKvCache::append(int seq, int layer, tensor::CSpan k, tensor::CSpan v)
                   "paged kv dim mismatch");
     specee_assert(!seqState(seq).swapped,
                   "append to swapped-out sequence %d", seq);
+    specee_assert(!seqState(seq).in_transfer,
+                  "append to sequence %d with an in-flight transfer",
+                  seq);
     LayerState &st = seqState(seq).layers[static_cast<size_t>(layer)];
     if (st.len % kKvBlockSize == 0)
         st.blockTable.push_back(allocBlock());
@@ -266,6 +273,9 @@ PagedKvCache::swapOut(int seq)
 {
     SeqState &ss = seqState(seq);
     specee_assert(!ss.swapped, "double swap-out of sequence %d", seq);
+    specee_assert(!ss.in_transfer,
+                  "swap-out of sequence %d with an in-flight transfer",
+                  seq);
     for (auto &st : ss.layers) {
         st.hostK.resize(static_cast<size_t>(st.len),
                         static_cast<size_t>(hidden_));
@@ -299,6 +309,9 @@ PagedKvCache::swapIn(int seq)
 {
     SeqState &ss = seqState(seq);
     specee_assert(ss.swapped, "swap-in of a device-resident sequence %d",
+                  seq);
+    specee_assert(!ss.in_transfer,
+                  "swap-in of sequence %d with an in-flight transfer",
                   seq);
     for (auto &st : ss.layers) {
         for (int pos = 0; pos < st.len; ++pos) {
@@ -343,6 +356,9 @@ void
 PagedKvCache::truncate(int seq, int new_len)
 {
     SeqState &ss = seqState(seq);
+    specee_assert(!ss.in_transfer,
+                  "truncate of sequence %d with an in-flight transfer",
+                  seq);
     if (ss.swapped) {
         // The only legal truncation of a swapped sequence is a full
         // clear (deadline drop / cancellation while in the host
@@ -383,6 +399,53 @@ PagedKvCache::seqBlocks(int seq) const
     int n = 0;
     for (const auto &st : seqState(seq).layers)
         n += static_cast<int>(st.blockTable.size());
+    return n;
+}
+
+void
+PagedKvCache::beginTransfer(int seq)
+{
+    SeqState &ss = seqState(seq);
+    specee_assert(!ss.in_transfer,
+                  "sequence %d already has an in-flight transfer", seq);
+    ss.in_transfer = true;
+}
+
+void
+PagedKvCache::endTransfer(int seq)
+{
+    SeqState &ss = seqState(seq);
+    specee_assert(ss.in_transfer,
+                  "settling a transfer sequence %d never started", seq);
+    ss.in_transfer = false;
+}
+
+bool
+PagedKvCache::inTransfer(int seq) const
+{
+    return seqState(seq).in_transfer;
+}
+
+int
+PagedKvCache::seqTransferBlocks(int seq) const
+{
+    // Whichever side of the link the blocks sit on (device blocks of
+    // a handoff or a landing swap-in, host-pool block-equivalents of
+    // a departing swap-out), the pinned set is the sequence's whole
+    // footprint.
+    if (!inTransfer(seq))
+        return 0;
+    return seqBlocks(seq) + seqHostBlocks(seq);
+}
+
+long
+PagedKvCache::transferBlocksInFlight() const
+{
+    long n = 0;
+    for (size_t s = 0; s < seqs_.size(); ++s) {
+        if (seqs_[s].live && seqs_[s].in_transfer)
+            n += seqTransferBlocks(static_cast<int>(s));
+    }
     return n;
 }
 

@@ -107,6 +107,31 @@ class PagedKvCache
     /** Host-pool blocks held across all swapped sequences. */
     int hostBlocksInUse() const { return hostBlocks_; }
 
+    /**
+     * Mark every block of `seq` (device- or host-side) as riding an
+     * in-flight DMA: swap traffic on the host link or a prefill->
+     * decode handoff on the peer link. While marked, the sequence is
+     * frozen block-granularly — append, truncate, clear, swap and
+     * drop are fatal, so a scheduler bug that touches KV mid-transfer
+     * dies loudly instead of racing the modeled copy engine. The
+     * functional rows are already in place (the simulation moves data
+     * eagerly; the transfer engine only prices when they arrive), so
+     * reads stay legal for isolation checks.
+     */
+    void beginTransfer(int seq);
+
+    /** Transfer landed (or was settled at drop): unfreeze `seq`. */
+    void endTransfer(int seq);
+
+    /** True while `seq`'s blocks are riding a DMA channel. */
+    bool inTransfer(int seq) const;
+
+    /** Blocks of `seq` pinned by its in-flight transfer (0 if none). */
+    int seqTransferBlocks(int seq) const;
+
+    /** Blocks pinned by in-flight transfers across all sequences. */
+    long transferBlocksInFlight() const;
+
     /** True if appending one position to (seq, layer) would fail. */
     bool wouldOverflow(int seq, int layer) const;
 
@@ -176,7 +201,8 @@ class PagedKvCache
     {
         std::vector<LayerState> layers;
         bool live = false;
-        bool swapped = false; ///< KV lives in the host pool
+        bool swapped = false;     ///< KV lives in the host pool
+        bool in_transfer = false; ///< blocks pinned by in-flight DMA
     };
 
     const SeqState &seqState(int seq) const;
@@ -263,6 +289,15 @@ class SequenceKv : public KvStore
 
     /** Device blocks a swapIn() must be able to allocate. */
     int hostBlocks() const { return pool_->seqHostBlocks(seq_); }
+
+    /** Pin this sequence's blocks for an in-flight DMA. */
+    void beginTransfer() { pool_->beginTransfer(seq_); }
+
+    /** Unpin after the transfer lands (or settles at drop). */
+    void endTransfer() { pool_->endTransfer(seq_); }
+
+    /** True while the sequence's blocks ride a DMA channel. */
+    bool inTransfer() const { return pool_->inTransfer(seq_); }
 
     /**
      * Map this (empty) sequence onto cached prefix chains:

@@ -1,7 +1,9 @@
 #include "serve/batch_scheduler.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -35,6 +37,19 @@ BatchScheduler::BatchScheduler(const SchedulerOptions &opts) : opts_(opts)
     specee_assert(opts.max_inflight_per_consumer >= 0,
                   "max_inflight_per_consumer must be >= 0, got %d",
                   opts.max_inflight_per_consumer);
+    specee_assert(opts.topology.devices >= 1,
+                  "topology.devices must be >= 1, got %d",
+                  opts.topology.devices);
+    specee_assert(opts.topology.prefill_devices >= 0 &&
+                      opts.topology.prefill_devices <
+                          opts.topology.devices,
+                  "topology.prefill_devices must be in [0, devices), "
+                  "got %d of %d",
+                  opts.topology.prefill_devices, opts.topology.devices);
+    specee_assert(opts.topology.prefill_devices == 0 ||
+                      opts.prefill.chunk_tokens > 0,
+                  "disaggregated prefill devices need chunked prefill "
+                  "(prefill.chunk_tokens > 0)");
     PrefillPlanner(opts.prefill); // validates the prefill knobs
 }
 
@@ -48,7 +63,17 @@ struct Entry
     size_t outcome = 0;   ///< index into `outcomes`
 
     std::unique_ptr<engines::DecodeSession> sess;
-    size_t engine = 0;
+    size_t engine = 0; ///< physical worker executing the session
+    size_t device = 0; ///< logical topology device pricing it
+
+    /** Disaggregated-prefill progress (prefill-device entries). */
+    bool pf_done = false;   ///< prompt fully ingested on the device
+    double pf_done_s = 0.0; ///< fleet clock when ingestion completes
+
+    /** In-flight DMA state (overlap) / pending handoff price. */
+    double xfer_ready_s = 0.0; ///< in-flight transfer lands (clock)
+    double xfer_bytes = 0.0;   ///< true-dims bytes riding the link
+    double handoff_s = 0.0;    ///< serialized handoff price (overlap off)
 
     double first_admit_s = -1.0;
     double first_token_s = -1.0;
@@ -125,6 +150,34 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                   "host link (swap_bw_gbs = 0)",
                   engines.front()->platform().name.c_str());
 
+    // Fleet topology: logical devices the pricing spreads over —
+    // independent of the physical worker count, so determinism
+    // across workers is preserved. Decode devices are
+    // [0, n_decode_dev); prefill devices (disaggregation) are the
+    // tail [n_decode_dev, n_devices). A disaggregated fleet needs a
+    // peer link to stream finished prompts' KV over (fail fast, not
+    // at the first handoff).
+    const TopologyOptions &topo = opts_.topology;
+    const int n_devices = topo.devices;
+    const int n_prefill_dev = topo.prefill_devices;
+    const int n_decode_dev = n_devices - n_prefill_dev;
+    const bool disagg = n_prefill_dev > 0;
+    const bool overlap = topo.overlap_transfers;
+    specee_assert(!disagg ||
+                      engines.front()->platform().interconnect_gbs > 0.0,
+                  "disaggregated prefill/decode on platform %s, which "
+                  "has no peer link (interconnect_gbs = 0)",
+                  engines.front()->platform().name.c_str());
+    fleet.n_devices = n_devices;
+    fleet.n_prefill_devices = n_prefill_dev;
+    // Per-device DMA channel timelines (host link, peer link). Only
+    // consulted while overlap_transfers is on.
+    hw::TransferEngine xfer(n_devices);
+    // Busy-until of each prefill device's decoupled compute timeline.
+    std::vector<double> pf_free_at(static_cast<size_t>(
+                                       std::max(n_prefill_dev, 1)),
+                                   0.0);
+
     // One shared physical KV pool per worker engine, sized so a full
     // decode batch of maximum-context sequences can never physically
     // exhaust it even if every session lands on one engine — the
@@ -144,8 +197,16 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                         ? opts_.prefix_cache.capacity_blocks
                         : per_seq_blocks)
                  : 0;
+    // Disaggregation holds sessions outside the decode slots too:
+    // up to one ingesting prompt per prefill device plus a bounded
+    // handoff queue (prefill admission stops once prefill-side
+    // entries reach slots + prefill devices), so the pool backs the
+    // worst case physically and the fleet budget stays pure policy.
+    const int pool_slots =
+        static_cast<int>(slots) +
+        (disagg ? static_cast<int>(slots) + n_prefill_dev : 0);
     const int pool_blocks =
-        static_cast<int>(slots) * per_seq_blocks +
+        pool_slots * per_seq_blocks +
         (cache_on ? cache_capacity + per_seq_blocks : 0);
     std::vector<std::shared_ptr<model::PagedKvCache>> pools;
     pools.reserve(engines.size());
@@ -240,6 +301,14 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     // pool's host side. Resumes compete with fresh admissions
     // tier-first once pressure clears (see the admission loop).
     std::deque<Entry> swappedQ;
+    // Disaggregation: sessions ingesting their prompt on a prefill
+    // device, and finished prompts whose KV is streaming (or queued
+    // to stream) to a decode device.
+    std::vector<Entry> prefilling;
+    std::deque<Entry> handoffQ;
+    // Round-robin decode-device assignment, like admit_seq for
+    // engines; inert at one device.
+    uint64_t dev_seq = 0;
 
     const auto expired = [&](const Request &r) {
         return r.deadline_s > 0.0 && clock > r.deadline_s;
@@ -258,6 +327,13 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         o.cached_tokens = e.cached;
     };
     const auto drop = [&](Entry &e) {
+        if (e.sess && e.sess->awaitingTransfer()) {
+            // The modeled DMA still completes on its channel; settle
+            // it so the byte-conservation census stays exact before
+            // the blocks free with the entry.
+            e.sess->endTransfer();
+            fleet.transfer_bytes_received += e.xfer_bytes;
+        }
         RequestOutcome &o = outcomes[e.outcome];
         o.dropped = true;
         finishTimeline(e, o);
@@ -283,7 +359,40 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         long b = 0;
         for (const auto &a : active)
             b += a.sess->kvBlocks();
+        for (const auto &p : prefilling)
+            b += p.sess->kvBlocks();
+        for (const auto &h : handoffQ)
+            b += h.sess->kvBlocks();
         return b;
+    };
+    // Earliest STRICTLY FUTURE modeled event: an arrival, a prefill
+    // device finishing its chunk (or a finished prompt's completion
+    // time), or an in-flight DMA landing. Already-due events were
+    // handled at this boundary, so only t > clock counts; infinity
+    // means nothing is pending.
+    const auto nextEvent = [&] {
+        double next = std::numeric_limits<double>::infinity();
+        const auto consider = [&](double t) {
+            if (t > clock)
+                next = std::min(next, t);
+        };
+        if (!waiting.empty())
+            consider(waiting.front().req.arrival_s);
+        for (const auto &p : prefilling) {
+            const size_t d = p.device - static_cast<size_t>(n_decode_dev);
+            consider(p.pf_done ? p.pf_done_s : pf_free_at[d]);
+        }
+        const auto landing = [&](const Entry &e) {
+            if (e.sess && e.sess->awaitingTransfer())
+                consider(e.xfer_ready_s);
+        };
+        for (const auto &h : handoffQ)
+            landing(h);
+        for (const auto &s : swappedQ)
+            landing(s);
+        for (const auto &a : active)
+            landing(a);
+        return next;
     };
     // Cache the finished prompt's KV at the prefill-done boundary —
     // the one moment every layer holds exactly the prompt's sim rows.
@@ -335,7 +444,28 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 model::kKvBlockSize);
     };
 
-    while (!waiting.empty() || !active.empty() || !swappedQ.empty()) {
+    while (!waiting.empty() || !active.empty() || !swappedQ.empty() ||
+           !prefilling.empty() || !handoffQ.empty()) {
+        // --- iteration boundary: settle landed DMAs first ----------
+        // A transfer whose channel time has passed unpins its
+        // session's blocks; admission and stepping below then see
+        // the settled state.
+        if (overlap) {
+            const auto settleIfLanded = [&](Entry &e) {
+                if (e.sess && e.sess->awaitingTransfer() &&
+                    clock >= e.xfer_ready_s) {
+                    e.sess->endTransfer();
+                    fleet.transfer_bytes_received += e.xfer_bytes;
+                }
+            };
+            for (auto &a : active)
+                settleIfLanded(a);
+            for (auto &s : swappedQ)
+                settleIfLanded(s);
+            for (auto &h : handoffQ)
+                settleIfLanded(h);
+        }
+
         // --- iteration boundary: deadlines, admission, preemption --
         for (size_t i = 0; i < active.size();) {
             if (expired(active[i].req)) {
@@ -358,6 +488,26 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             if (expired(swappedQ[i].req)) {
                 drop(swappedQ[i]); // host-pool KV frees with the entry
                 swappedQ.erase(swappedQ.begin() + static_cast<long>(i));
+            } else {
+                ++i;
+            }
+        }
+        for (size_t i = 0; i < prefilling.size();) {
+            if (expired(prefilling[i].req)) {
+                // The prefill device stays busy until its in-flight
+                // chunk's modeled end — dead work, like a dropped
+                // decode's last iteration.
+                drop(prefilling[i]);
+                prefilling.erase(prefilling.begin() +
+                                 static_cast<long>(i));
+            } else {
+                ++i;
+            }
+        }
+        for (size_t i = 0; i < handoffQ.size();) {
+            if (expired(handoffQ[i].req)) {
+                drop(handoffQ[i]); // settles any in-flight handoff
+                handoffQ.erase(handoffQ.begin() + static_cast<long>(i));
             } else {
                 ++i;
             }
@@ -385,11 +535,77 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     ++c;
             return c >= opts_.max_inflight_per_consumer;
         };
+        // Disaggregation: finished prompts whose prefill-device
+        // timeline has passed hand their KV off toward the decode
+        // fleet — before admission, so a handoff that just became
+        // ready can take a decode slot at this very boundary and its
+        // freed prefill device can take the next prompt.
+        if (disagg) {
+            for (size_t i = 0; i < prefilling.size();) {
+                Entry &p = prefilling[i];
+                if (!p.pf_done || clock < p.pf_done_s) {
+                    ++i;
+                    continue;
+                }
+                Entry e = std::move(p);
+                prefilling.erase(prefilling.begin() +
+                                 static_cast<long>(i));
+                if (e.prefill_ready_s < 0.0)
+                    e.prefill_ready_s = e.pf_done_s;
+                cacheInsert(e);
+                const double h = e.sess->chargeHandoff();
+                e.xfer_bytes = mem.kvBytes(e.sess->modeledPositions());
+                ++fleet.handoffs;
+                fleet.handoff_gb +=
+                    hw::MemoryTracker::toGiB(e.xfer_bytes);
+                fleet.transfer_bytes_sent += e.xfer_bytes;
+                if (overlap) {
+                    // Stream over the prefill device's peer channel,
+                    // concurrent with its next prompt's chunks and
+                    // with the decode batch.
+                    e.xfer_ready_s =
+                        xfer.submit(static_cast<int>(e.device),
+                                    hw::DmaChannel::Peer, clock, h);
+                    e.sess->beginTransfer();
+                    ++fleet.transfers_overlapped;
+                } else {
+                    e.handoff_s = h;
+                }
+                handoffQ.push_back(std::move(e));
+            }
+        }
+
         bool deferred = false;
-        while (active.size() < slots) {
+        // Restore a swapped candidate into a decode slot. Overlap
+        // off: the host-link DMA serializes on the fleet clock, as
+        // ever. Overlap on: the functional restore happens now (KV
+        // content is a pure function of the tokens, so eager data
+        // movement cannot change emissions), the DMA is submitted on
+        // the session's device host channel, and the session holds
+        // its slot at zero cost until the landing.
+        const auto swapInAdmit = [&](Entry &&e) {
+            const double h = e.sess->swapIn();
+            ++fleet.swaps_in;
+            e.xfer_bytes = mem.kvBytes(e.sess->modeledPositions());
+            fleet.transfer_bytes_sent += e.xfer_bytes;
+            if (overlap) {
+                e.xfer_ready_s =
+                    xfer.submit(static_cast<int>(e.device),
+                                hw::DmaChannel::Host, clock, h);
+                e.sess->beginTransfer();
+                ++fleet.transfers_overlapped;
+            } else {
+                clock += h;
+                fleet.transfer_bytes_received += e.xfer_bytes;
+            }
+            active.push_back(std::move(e));
+        };
+        while (!disagg && active.size() < slots) {
             size_t sw = swappedQ.size();
             size_t sw_any = swappedQ.size();
             for (size_t i = 0; i < swappedQ.size(); ++i) {
+                if (swappedQ[i].sess->awaitingTransfer())
+                    continue; // out-transfer still on the link
                 if (saturated(swappedQ[i].req)) {
                     deferred = true;
                     continue;
@@ -439,9 +655,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     break;
                 Entry e = std::move(head);
                 swappedQ.erase(swappedQ.begin() + static_cast<long>(sw));
-                clock += e.sess->swapIn();
-                ++fleet.swaps_in;
-                active.push_back(std::move(e));
+                swapInAdmit(std::move(e));
                 continue;
             }
             Entry &head = waiting[cand];
@@ -488,6 +702,10 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             } else {
                 e.engine = admit_seq++ % engines.size();
             }
+            // Logical pricing device, independent of the physical
+            // worker pin above; inert at one device.
+            e.device = static_cast<size_t>(
+                dev_seq++ % static_cast<uint64_t>(n_decode_dev));
             e.sess = engines[e.engine]->makeSession(
                 e.w, e.req.seed,
                 std::make_unique<model::SequenceKv>(pools[e.engine]));
@@ -515,15 +733,247 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 e.first_admit_s = clock;
             active.push_back(std::move(e));
         }
+
+        // Disaggregated decode admission: free decode slots are fed
+        // by swap-ins and by finished prompts arriving over the peer
+        // link — never by raw prompts, which ingest on the prefill
+        // devices below. Tier-first everywhere; at equal tier a
+        // swapped session wins (older admitted work, like the
+        // unified rule).
+        while (disagg && active.size() < slots) {
+            size_t sw = swappedQ.size();
+            size_t sw_any = swappedQ.size();
+            for (size_t i = 0; i < swappedQ.size(); ++i) {
+                if (swappedQ[i].sess->awaitingTransfer())
+                    continue; // out-transfer still on the link
+                if (saturated(swappedQ[i].req)) {
+                    deferred = true;
+                    continue;
+                }
+                if (swappedQ[i].req.priority == Priority::Interactive) {
+                    sw = i;
+                    break;
+                }
+                if (sw_any == swappedQ.size())
+                    sw_any = i;
+            }
+            if (sw == swappedQ.size())
+                sw = sw_any;
+            size_t ho = handoffQ.size();
+            size_t ho_any = handoffQ.size();
+            for (size_t i = 0; i < handoffQ.size(); ++i) {
+                if (handoffQ[i].sess->awaitingTransfer())
+                    continue; // KV still streaming to the decode side
+                if (saturated(handoffQ[i].req)) {
+                    deferred = true;
+                    continue;
+                }
+                if (handoffQ[i].req.priority == Priority::Interactive) {
+                    ho = i;
+                    break;
+                }
+                if (ho_any == handoffQ.size())
+                    ho_any = i;
+            }
+            if (ho == handoffQ.size())
+                ho = ho_any;
+            const bool have_sw = sw < swappedQ.size();
+            const bool have_ho = ho < handoffQ.size();
+            if (!have_sw && !have_ho)
+                break;
+            const bool pick_sw =
+                have_sw &&
+                (!have_ho ||
+                 static_cast<int>(swappedQ[sw].req.priority) <=
+                     static_cast<int>(handoffQ[ho].req.priority));
+            if (pick_sw) {
+                Entry &head = swappedQ[sw];
+                if (opts_.kv_budget_blocks > 0 && !active.empty() &&
+                    fleetBlocks() + head.sess->hostBlocks() +
+                            iter_growth *
+                                static_cast<long>(active.size() + 1) >
+                        opts_.kv_budget_blocks)
+                    break;
+                Entry e = std::move(head);
+                swappedQ.erase(swappedQ.begin() + static_cast<long>(sw));
+                swapInAdmit(std::move(e));
+                continue;
+            }
+            // A handoff admission's blocks are already in
+            // fleetBlocks() (they allocated at ingestion); only the
+            // per-iteration growth reserve gates the slot.
+            if (opts_.kv_budget_blocks > 0 && !active.empty() &&
+                fleetBlocks() + iter_growth *
+                                    static_cast<long>(active.size() + 1) >
+                    opts_.kv_budget_blocks)
+                break;
+            Entry e = std::move(handoffQ[ho]);
+            handoffQ.erase(handoffQ.begin() + static_cast<long>(ho));
+            e.device = static_cast<size_t>(
+                dev_seq++ % static_cast<uint64_t>(n_decode_dev));
+            if (!overlap) {
+                // Serialized handoff: the peer-link stream pays on
+                // the fleet clock at the decode boundary, like the
+                // serialized swap DMAs.
+                clock += e.handoff_s;
+                fleet.transfer_bytes_received += e.xfer_bytes;
+            }
+            active.push_back(std::move(e));
+        }
+
+        // Disaggregated prefill admission: arrived requests start
+        // chunked ingestion on a free prefill device. Bounded so the
+        // prefill side (ingesting prompts + queued handoffs) never
+        // outgrows the pool headroom sized above.
+        while (disagg &&
+               static_cast<int>(prefilling.size()) < n_prefill_dev &&
+               prefilling.size() + handoffQ.size() <
+                   slots + static_cast<size_t>(n_prefill_dev)) {
+            size_t cand = waiting.size();
+            for (size_t i = 0; i < waiting.size(); ++i) {
+                if (waiting[i].req.arrival_s > clock)
+                    break;
+                if (saturated(waiting[i].req)) {
+                    deferred = true;
+                    continue;
+                }
+                if (waiting[i].req.priority == Priority::Interactive) {
+                    cand = i;
+                    break;
+                }
+                if (cand == waiting.size())
+                    cand = i;
+            }
+            if (cand == waiting.size())
+                break;
+            Entry &head = waiting[cand];
+            // Progress guarantee: with no session anywhere in the
+            // fleet, admit unconditionally.
+            const bool fleet_empty = active.empty() &&
+                                     prefilling.empty() &&
+                                     handoffQ.empty();
+            const long n_sessions =
+                static_cast<long>(active.size() + prefilling.size());
+            if (opts_.kv_budget_blocks > 0 && !fleet_empty &&
+                fleetBlocks() + admitBlocks(head) +
+                        iter_growth * (n_sessions + 1) >
+                    opts_.kv_budget_blocks)
+                break;
+            if (opts_.kv_watermark > 0.0 && opts_.kv_budget_blocks > 0 &&
+                !fleet_empty) {
+                long committed = fullRequestBlocks(head);
+                for (const auto &a : active)
+                    committed += fullRequestBlocks(a);
+                for (const auto &p : prefilling)
+                    committed += fullRequestBlocks(p);
+                for (const auto &h : handoffQ)
+                    committed += fullRequestBlocks(h);
+                if (static_cast<double>(
+                        committed + iter_growth * (n_sessions + 1)) >
+                    opts_.kv_watermark * opts_.kv_budget_blocks) {
+                    ++fleet.watermark_rejections;
+                    break;
+                }
+            }
+            Entry e = std::move(head);
+            waiting.erase(waiting.begin() + static_cast<long>(cand));
+            // First free prefill device (at most n_prefill_dev
+            // entries ingest at once, so one always exists).
+            int local = -1;
+            for (int d = 0; d < n_prefill_dev && local < 0; ++d) {
+                bool used = false;
+                for (const auto &p : prefilling) {
+                    if (p.device ==
+                        static_cast<size_t>(n_decode_dev + d))
+                        used = true;
+                }
+                if (!used)
+                    local = d;
+            }
+            specee_assert(local >= 0, "no free prefill device");
+            e.device = static_cast<size_t>(n_decode_dev + local);
+            if (cache_on && !e.true_toks.empty()) {
+                e.engine = static_cast<size_t>(
+                    e.req.prompt.rootTemplate() % engines.size());
+            } else {
+                e.engine = admit_seq++ % engines.size();
+            }
+            e.sess = engines[e.engine]->makeSession(
+                e.w, e.req.seed,
+                std::make_unique<model::SequenceKv>(pools[e.engine]));
+            e.cached = 0;
+            if (cache_on && !e.true_toks.empty()) {
+                const PrefixCache::Match m =
+                    cache->match(e.true_toks, e.engine, cache_stamp++);
+                if (m.sim_matched > 0) {
+                    e.sess->adoptCachedPrefix(m.table, m.true_matched,
+                                              m.sim_matched);
+                    e.cached = m.true_matched;
+                    ++fleet.prefix_hits;
+                    fleet.cached_tokens += m.true_matched;
+                }
+            }
+            if (e.first_admit_s < 0.0)
+                e.first_admit_s = clock;
+            e.pf_done = false;
+            // A full-prompt cache hit skips the device entirely: the
+            // prompt is ready now and only the handoff remains.
+            if (e.sess->prefillDone()) {
+                e.pf_done = true;
+                e.pf_done_s = clock;
+            }
+            prefilling.push_back(std::move(e));
+        }
         if (deferred)
             ++fleet.backpressure_deferrals;
 
+        // --- disaggregated prefill devices run their own timelines -
+        if (disagg) {
+            // One chunk per free prefill device, on its decoupled
+            // timeline: issued at this boundary, complete at clock +
+            // chunk time. A device freed between boundaries waits for
+            // the next one — conservative and causal, so results are
+            // bit-identical across worker counts.
+            for (auto &p : prefilling) {
+                const size_t d =
+                    p.device - static_cast<size_t>(n_decode_dev);
+                if (p.pf_done || pf_free_at[d] > clock)
+                    continue;
+                const int remaining = p.sess->prefillRemaining();
+                if (remaining > 0) {
+                    const int chunk =
+                        std::min(opts_.prefill.chunk_tokens, remaining);
+                    const int consumed = p.sess->prefillChunk(chunk);
+                    const auto &c = p.sess->lastStep();
+                    const double dt_pf = c.shared_s + c.private_s;
+                    fleet.energy_j += c.shared_j + c.private_j;
+                    fleet.prefill_busy_s += dt_pf;
+                    pf_free_at[d] = clock + dt_pf;
+                    ++p.chunks;
+                    ++fleet.prefill_chunks;
+                    fleet.prefill_tokens += consumed;
+                }
+                if (p.sess->prefillDone()) {
+                    p.pf_done = true;
+                    p.pf_done_s = remaining > 0 ? pf_free_at[d] : clock;
+                }
+            }
+        }
+
         if (active.empty()) {
-            if (waiting.empty())
+            // Idle decode fleet: jump to the earliest future event —
+            // the next arrival, a prefill device finishing, or an
+            // in-flight DMA landing. (Anything already due was
+            // admitted or settled above, so the event is genuinely
+            // in the future; infinity means the fleet is drained.)
+            const double next = nextEvent();
+            if (!std::isfinite(next)) {
+                specee_assert(waiting.empty() && prefilling.empty() &&
+                                  handoffQ.empty() && swappedQ.empty(),
+                              "idle fleet stalled with pending work");
                 break;
-            // Idle: jump to the next arrival (expired heads were
-            // dropped above, so the head is a genuine future event).
-            clock = std::max(clock, waiting.front().req.arrival_s);
+            }
+            clock = next;
             continue;
         }
 
@@ -540,7 +990,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         // cost of replaying the victim's work so far.
         while (opts_.kv_budget_blocks > 0 &&
                fleetBlocks() +
-                       iter_growth * static_cast<long>(active.size()) >
+                       iter_growth * static_cast<long>(active.size() +
+                                                       prefilling.size()) >
                    opts_.kv_budget_blocks) {
             // Cached blocks are the lowest residency tier: drain the
             // cache LRU-first before preempting any live session. An
@@ -551,13 +1002,19 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 continue;
             if (active.size() <= 1)
                 break;
-            size_t vi = active.size() - 1;
+            size_t vi = active.size();
             for (size_t i = active.size(); i-- > 1;) {
+                if (active[i].sess->awaitingTransfer())
+                    continue; // blocks pinned by an in-flight DMA
+                if (vi == active.size())
+                    vi = i; // youngest evictable fallback
                 if (active[i].req.priority == Priority::Batch) {
                     vi = i;
                     break;
                 }
             }
+            if (vi == active.size())
+                break; // everything evictable is mid-transfer
             Entry victim = std::move(active[vi]);
             active.erase(active.begin() + static_cast<long>(vi));
             ++victim.preemptions;
@@ -571,11 +1028,27 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             if (swap) {
                 // Swap preemption: KV moves to the host pool (device
                 // blocks free), the session freezes with its rng
-                // stream, emission and prefill progress intact, and
-                // the transfer is paid on the fleet clock now.
-                clock += victim.sess->swapOut();
+                // stream, emission and prefill progress intact. The
+                // transfer pays on the fleet clock (overlap off) or
+                // rides the victim's device host channel while the
+                // fleet keeps iterating (overlap on); either way the
+                // session cannot swap back in before it lands.
+                const double h = victim.sess->swapOut();
                 ++victim.swaps;
                 ++fleet.swaps_out;
+                victim.xfer_bytes =
+                    mem.kvBytes(victim.sess->modeledPositions());
+                fleet.transfer_bytes_sent += victim.xfer_bytes;
+                if (overlap) {
+                    victim.xfer_ready_s = xfer.submit(
+                        static_cast<int>(victim.device),
+                        hw::DmaChannel::Host, clock, h);
+                    victim.sess->beginTransfer();
+                    ++fleet.transfers_overlapped;
+                } else {
+                    clock += h;
+                    fleet.transfer_bytes_received += victim.xfer_bytes;
+                }
                 swappedQ.push_back(std::move(victim));
             } else {
                 victim.sess.reset(); // frees the KV blocks
@@ -605,10 +1078,14 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             int decodes = 0;
             for (size_t i = 0; i < active.size(); ++i) {
                 rank[i] = static_cast<int>(active[i].req.priority);
-                if (active[i].sess->prefillDone())
+                if (active[i].sess->awaitingTransfer()) {
+                    // Pinned mid-DMA: neither decodes nor chunks
+                    // this iteration, so no budget is granted to it.
+                } else if (active[i].sess->prefillDone()) {
                     ++decodes;
-                else
+                } else {
                     pending[i] = active[i].sess->prefillRemaining();
+                }
             }
             // Pipeline backfill: convert last iteration's idle
             // stages into extra budget tokens so queued prefill
@@ -655,6 +1132,13 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     Entry &a = active[i];
                     if (a.engine != eng)
                         continue;
+                    if (a.sess->awaitingTransfer()) {
+                        // Blocks still riding the DMA: the session
+                        // idles at zero cost until the link settles.
+                        a.granted = 0;
+                        a.cost = engines::StepCost{};
+                        continue;
+                    }
                     if (chunked && !a.sess->prefillDone()) {
                         if (grant[i] > 0) {
                             a.granted = a.sess->prefillChunk(grant[i]);
@@ -695,8 +1179,6 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         // (a shallow exit beside a deep decode) serialize through the
         // pipeline instead of riding free under the global max. Never
         // cheaper than the legacy max; equal for homogeneous batches.
-        double shared_t = 0.0, private_t = 0.0;
-        double shared_e = 0.0, private_e = 0.0;
         int busy_stages = 0;
         for (const auto &a : active) {
             specee_assert(a.cost.stages_used >= 0 &&
@@ -710,38 +1192,70 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                           "stage cost vector does not match the "
                           "fleet's stage graph");
             busy_stages = std::max(busy_stages, a.cost.stages_used);
-            private_t += a.cost.private_s;
-            private_e += a.cost.private_j;
         }
-        if (staged && opts_.stage_pricing) {
-            std::vector<double> st(static_cast<size_t>(n_stages), 0.0);
-            std::vector<double> se(static_cast<size_t>(n_stages), 0.0);
+        // Each decode device prices its own share of the batch
+        // (per-device shared weight-stream max — or per-stage maxima
+        // when stage pricing is on — plus its private sum) and the
+        // fleet advances in lockstep at the slowest device. One
+        // device reproduces the legacy single-device arithmetic
+        // bit-identically.
+        double dt = 0.0;
+        for (int d = 0; d < n_decode_dev; ++d) {
+            double shared_t = 0.0, private_t = 0.0;
+            double shared_e = 0.0, private_e = 0.0;
             for (const auto &a : active) {
-                // An idle (chunk-starved) session carries an empty
-                // vector and no cost.
-                if (a.cost.stage_shared_s.empty())
+                if (static_cast<int>(a.device) != d)
                     continue;
+                private_t += a.cost.private_s;
+                private_e += a.cost.private_j;
+            }
+            if (staged && opts_.stage_pricing) {
+                std::vector<double> st(static_cast<size_t>(n_stages),
+                                       0.0);
+                std::vector<double> se(static_cast<size_t>(n_stages),
+                                       0.0);
+                for (const auto &a : active) {
+                    // An idle (chunk-starved or mid-DMA) session
+                    // carries an empty vector and no cost.
+                    if (static_cast<int>(a.device) != d ||
+                        a.cost.stage_shared_s.empty())
+                        continue;
+                    for (int s = 0; s < n_stages; ++s) {
+                        st[s] = std::max(
+                            st[s], a.cost.stage_shared_s
+                                       [static_cast<size_t>(s)]);
+                        se[s] = std::max(
+                            se[s], a.cost.stage_shared_j
+                                       [static_cast<size_t>(s)]);
+                    }
+                }
                 for (int s = 0; s < n_stages; ++s) {
-                    st[s] = std::max(
-                        st[s],
-                        a.cost.stage_shared_s[static_cast<size_t>(s)]);
-                    se[s] = std::max(
-                        se[s],
-                        a.cost.stage_shared_j[static_cast<size_t>(s)]);
+                    shared_t += st[s];
+                    shared_e += se[s];
+                }
+            } else {
+                for (const auto &a : active) {
+                    if (static_cast<int>(a.device) != d)
+                        continue;
+                    shared_t = std::max(shared_t, a.cost.shared_s);
+                    shared_e = std::max(shared_e, a.cost.shared_j);
                 }
             }
-            for (int s = 0; s < n_stages; ++s) {
-                shared_t += st[s];
-                shared_e += se[s];
-            }
-        } else {
-            for (const auto &a : active) {
-                shared_t = std::max(shared_t, a.cost.shared_s);
-                shared_e = std::max(shared_e, a.cost.shared_j);
-            }
+            dt = std::max(dt, shared_t + private_t);
+            fleet.energy_j += shared_e + private_e;
         }
-        clock += shared_t + private_t;
-        fleet.energy_j += shared_e + private_e;
+        clock += dt;
+        if (overlap && dt == 0.0) {
+            // Every active session is pinned mid-DMA and nothing
+            // stepped: jump to the next modeled event (a transfer
+            // landing, a prefill device finishing, an arrival) so
+            // the fleet never livelocks at a frozen clock.
+            const double next = nextEvent();
+            specee_assert(std::isfinite(next) && next > clock,
+                          "stalled fleet with no future event at %f",
+                          clock);
+            clock = next;
+        }
         occupancy += static_cast<double>(active.size());
         ++fleet.iterations;
 
@@ -813,6 +1327,13 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         long positions = 0;
         for (const auto &a : active)
             positions += a.sess->modeledPositions();
+        // Disaggregation: ingesting prompts and queued handoffs hold
+        // device KV too (unified fleets keep these empty, so the
+        // census is unchanged there).
+        for (const auto &p : prefilling)
+            positions += p.sess->modeledPositions();
+        for (const auto &h : handoffQ)
+            positions += h.sess->modeledPositions();
         // With the cache on, peak occupancy is physical (shared and
         // cached blocks counted once) — the same quantity the budget
         // gates read.
@@ -821,7 +1342,33 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         fleet.peak_fleet_mem_gb = std::max(
             fleet.peak_fleet_mem_gb,
             hw::MemoryTracker::toGiB(mem.fleetTotalBytes(
-                positions, static_cast<int>(active.size()))));
+                positions, static_cast<int>(active.size() +
+                                            prefilling.size()))));
+        if (overlap) {
+            // In-flight census: blocks (and their true-dims bytes)
+            // pinned on a DMA channel right now — neither endpoint's
+            // settled working set.
+            long infl_blocks = 0;
+            for (const auto &p : pools)
+                infl_blocks += p->transferBlocksInFlight();
+            long infl_pos = 0;
+            const auto inflight = [&](const Entry &e) {
+                if (e.sess && e.sess->awaitingTransfer())
+                    infl_pos += e.sess->modeledPositions();
+            };
+            for (const auto &a : active)
+                inflight(a);
+            for (const auto &s : swappedQ)
+                inflight(s);
+            for (const auto &h : handoffQ)
+                inflight(h);
+            fleet.peak_inflight_kv_blocks =
+                std::max(fleet.peak_inflight_kv_blocks, infl_blocks);
+            fleet.peak_inflight_mem_gb =
+                std::max(fleet.peak_inflight_mem_gb,
+                         hw::MemoryTracker::toGiB(
+                             mem.inflightKvBytes(infl_pos)));
+        }
         if (!swappedQ.empty()) {
             long host_blocks = 0, host_positions = 0;
             for (const auto &s : swappedQ) {
@@ -875,6 +1422,19 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         }
         active.resize(keep);
     }
+
+    // --- transfer-engine conservation ------------------------------
+    // Every transfer initiated either landed or settled at drop, so
+    // the byte census balances exactly (per-transfer bytes are
+    // integer-valued doubles well below 2^53, so both sums are exact
+    // regardless of accumulation order).
+    specee_assert(fleet.transfer_bytes_sent ==
+                      fleet.transfer_bytes_received,
+                  "transfer-byte conservation violated: %f sent, %f "
+                  "received",
+                  fleet.transfer_bytes_sent,
+                  fleet.transfer_bytes_received);
+    fleet.transfer_busy_s = xfer.busySeconds();
 
     // --- drain the cache: reference-count conservation -------------
     // Every session has retired, so after the cache releases its

@@ -43,6 +43,17 @@
  * modeled cost of replaying the victim's work so far and picks per
  * victim. Admission can additionally be gated by a prefill-aware
  * watermark so long prompts only enter when their full KV fits.
+ *
+ * TopologyOptions generalizes the fleet beyond one logical device:
+ * multiple lockstep decode devices (data-parallel pricing),
+ * disaggregated prefill/decode roles — prompts chunk-ingest on
+ * dedicated prefill devices with decoupled timelines and stream
+ * their finished KV to a decode device over the priced peer link —
+ * and overlapped KV transfers, where swaps and handoffs ride
+ * per-device DMA channels concurrent with compute and stall only
+ * the session whose blocks are in flight. All three knobs default
+ * off and are bit-identical to the single-device serialized
+ * scheduler when off.
  */
 
 #ifndef SPECEE_SERVE_BATCH_SCHEDULER_HH
@@ -76,6 +87,57 @@ enum class PreemptMode : int {
     Recompute = 0,
     Swap = 1,
     Auto = 2,
+};
+
+/**
+ * Logical fleet topology: how many modeled devices the fleet's
+ * pricing spreads over, and how they specialize. The physical worker
+ * engines passed to BatchScheduler::run execute the functional work
+ * and may differ in count freely; the topology is what the cost
+ * model prices, so results stay bit-identical for any worker count
+ * at a fixed topology. The defaults (one unified device, serialized
+ * transfers) reproduce the pre-topology scheduler bit-identically.
+ */
+struct TopologyOptions
+{
+    /**
+     * Logical compute devices. Active sessions are assigned round-
+     * robin at admission; each device prices its own share of the
+     * batch (per-device shared weight-stream max plus private sum)
+     * and the fleet advances in lockstep at the slowest device's
+     * iteration time, data-parallel-serving style. 1 (default)
+     * reproduces the single-device scheduler bit-identically.
+     */
+    int devices = 1;
+
+    /**
+     * Devices specialized to prompt ingestion (disaggregated
+     * prefill/decode serving, DistServe/Mooncake-style). 0 (default)
+     * = unified: every device runs mixed decode + prefill-chunk
+     * iterations. > 0 carves the LAST `prefill_devices` devices out
+     * of the lockstep decode batch: each free prefill device starts
+     * one chunked prompt ingestion per boundary on its own
+     * decoupled timeline (decode boundaries no longer wait for
+     * chunk-inflated iterations), and a finished prompt streams its
+     * KV to a decode device over the peer link (OpClass::KvHandoff)
+     * before taking a decode slot. Requires chunked prefill
+     * (prefill.chunk_tokens > 0), a platform peer link
+     * (interconnect_gbs > 0) and prefill_devices < devices.
+     */
+    int prefill_devices = 0;
+
+    /**
+     * Price KV transfers — swap out/in and prefill->decode handoffs
+     * — on per-device DMA channels (hw::TransferEngine) that advance
+     * concurrently with compute, instead of serializing each
+     * transfer on the fleet clock. A transfer stalls only the
+     * session whose blocks ride the link: the session is held in its
+     * slot but skips iterations at zero cost until the modeled DMA
+     * lands. Emissions are bit-identical to the serialized path —
+     * only timing moves. Off (default) keeps every transfer on the
+     * fleet clock bit-identically.
+     */
+    bool overlap_transfers = false;
 };
 
 /** Scheduler knobs. */
@@ -168,6 +230,13 @@ struct SchedulerOptions
      * unbounded.
      */
     bool stage_backfill = true;
+
+    /**
+     * Fleet topology: logical device count, prefill/decode role
+     * split and transfer/compute overlap. Defaults reproduce the
+     * single-device serialized-transfer scheduler bit-identically.
+     */
+    TopologyOptions topology;
 
     /**
      * Admission-level backpressure: max concurrently decoding
@@ -311,6 +380,33 @@ struct FleetStats
     double pipeline_utilization = 0.0;
     long backfill_grants = 0;
     long backfill_tokens = 0;
+
+    /**
+     * Topology / transfer-engine accounting. handoffs counts
+     * prefill->decode KV streams (disaggregated fleets only);
+     * handoff_gb is their true-dims traffic. transfers_overlapped
+     * counts DMA submissions that rode a TransferEngine channel
+     * instead of the fleet clock (0 while overlap_transfers is
+     * off). transfer_bytes_sent / _received census every swap and
+     * handoff at both endpoints — initiation and landing (or
+     * settle-at-drop) — so Σ sent == Σ received is a conservation
+     * invariant of any drained run. prefill_busy_s sums the busy
+     * seconds of the decoupled prefill-device timelines;
+     * transfer_busy_s the busy seconds across all DMA channels.
+     * peak_inflight_kv_blocks / _mem_gb track blocks pinned by
+     * in-flight transfers at the per-iteration peak.
+     */
+    int n_devices = 1;
+    int n_prefill_devices = 0;
+    long handoffs = 0;
+    double handoff_gb = 0.0;
+    long transfers_overlapped = 0;
+    double transfer_bytes_sent = 0.0;
+    double transfer_bytes_received = 0.0;
+    long peak_inflight_kv_blocks = 0;
+    double peak_inflight_mem_gb = 0.0;
+    double prefill_busy_s = 0.0;
+    double transfer_busy_s = 0.0;
 
     /**
      * Merged per-request operator census of COMPLETED requests

@@ -33,7 +33,15 @@
  *     stage knobs is bit-inert;
  *  7. per-consumer backpressure: the deferral counter is zero while
  *     the cap is off, and capped streams still drain to terminal
- *     states (no starvation).
+ *     states (no starvation);
+ *  8. fleet topologies (random device counts, prefill/decode
+ *     disaggregation, transfer overlap): transfer-byte conservation
+ *     (every byte sent over a DMA channel is received, none lost or
+ *     duplicated), in-flight accounting engages only while overlap
+ *     is on, handoff accounting only on disaggregated draws, every
+ *     completed request on a disaggregated fleet crossed the peer
+ *     link at least once, and worker-count bit-determinism holds
+ *     with all knobs on.
  *
  * The default seed set is fixed (CI runs it in Release and under
  * TSan); SPECEE_FUZZ_SEEDS=<n> widens the sweep locally.
@@ -139,6 +147,17 @@ drawScenario(uint64_t seed)
         sc.opts.sched.prefix_cache.capacity_blocks =
             cap_choices[rng.uniformInt(0, 2)];
     }
+
+    // --- fleet topology --------------------------------------------
+    // Disaggregation needs chunked prefill; unified multi-device and
+    // overlapped-transfer draws are unconstrained.
+    if (sc.opts.sched.prefill.chunk_tokens > 0 && rng.bernoulli(0.35)) {
+        sc.opts.sched.topology.devices = rng.uniformInt(2, 3);
+        sc.opts.sched.topology.prefill_devices = 1;
+    } else if (rng.bernoulli(0.2)) {
+        sc.opts.sched.topology.devices = 2;
+    }
+    sc.opts.sched.topology.overlap_transfers = rng.bernoulli(0.4);
 
     // --- sharded fleets --------------------------------------------
     const int tp = rng.bernoulli(0.35) ? 2 : 1;
@@ -289,6 +308,32 @@ checkInvariants(const Scenario &sc, const RunCapture &cap,
         EXPECT_EQ(fleet.backfill_tokens, 0);
     }
 
+    // (8) transfer-byte conservation and topology-knob gating.
+    EXPECT_EQ(fleet.transfer_bytes_sent, fleet.transfer_bytes_received)
+        << "DMA byte census out of balance";
+    EXPECT_EQ(fleet.n_devices, sc.opts.sched.topology.devices);
+    EXPECT_EQ(fleet.n_prefill_devices,
+              sc.opts.sched.topology.prefill_devices);
+    if (!sc.opts.sched.topology.overlap_transfers) {
+        EXPECT_EQ(fleet.transfers_overlapped, 0);
+        EXPECT_EQ(fleet.peak_inflight_kv_blocks, 0);
+        EXPECT_DOUBLE_EQ(fleet.peak_inflight_mem_gb, 0.0);
+        EXPECT_DOUBLE_EQ(fleet.transfer_busy_s, 0.0);
+    }
+    if (sc.opts.sched.topology.prefill_devices == 0) {
+        EXPECT_EQ(fleet.handoffs, 0);
+        EXPECT_DOUBLE_EQ(fleet.handoff_gb, 0.0);
+        EXPECT_DOUBLE_EQ(fleet.prefill_busy_s, 0.0);
+    } else {
+        // Every completed request crossed the peer link at least
+        // once (re-admissions hand off again).
+        EXPECT_GE(fleet.handoffs, done);
+        if (done > 0) {
+            EXPECT_GT(fleet.handoffs, 0);
+            EXPECT_GT(fleet.handoff_gb, 0.0);
+        }
+    }
+
     // (7) backpressure off must be inert.
     if (sc.opts.sched.max_inflight_per_consumer <= 0) {
         EXPECT_EQ(fleet.backpressure_deferrals, 0);
@@ -351,6 +396,8 @@ struct Coverage
     long cache_evictions = 0;
     long backfill_tokens = 0;
     long backpressure = 0;
+    long handoffs = 0;
+    long overlapped = 0;
 };
 
 /**
@@ -457,6 +504,35 @@ directedScenarios()
         out.push_back(std::move(sc));
     }
     {
+        // Disaggregation + overlap coverage: a 1-prefill/2-decode
+        // fleet with overlapped transfers under swap pressure
+        // guarantees handoffs, overlapped swaps and the in-flight
+        // census all engage.
+        serve::StreamOptions shorts;
+        shorts.n_requests = 3;
+        shorts.gen_len = 16;
+        shorts.seed = 0xd15a;
+        serve::StreamOptions longs;
+        longs.n_requests = 3;
+        longs.gen_len = 16;
+        longs.prompt_len = 2048;
+        longs.priority = serve::Priority::Batch;
+        longs.id_base = 100;
+        longs.seed = 0x66a0;
+        Scenario sc;
+        sc.stream = serve::mergeStreams(serve::synthesizeStream(shorts),
+                                        serve::synthesizeStream(longs));
+        sc.opts.engine =
+            engines::EngineConfig::huggingFace().withSpecEE();
+        sc.opts.spec = hw::HardwareSpec::a100();
+        sc.opts.sched.max_batch = 6;
+        sc.opts.sched.prefill.chunk_tokens = 128;
+        sc.opts.sched.kv_budget_blocks = 220;
+        sc.opts.sched.preempt_mode = serve::PreemptMode::Swap;
+        sc.opts.disaggregate(1, 2);
+        out.push_back(std::move(sc));
+    }
+    {
         // Backpressure coverage: one consumer, cap 1 — every
         // boundary with queued peers defers, yet the stream drains.
         serve::StreamOptions so;
@@ -495,6 +571,8 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
     cov.cache_evictions += r1.rep.fleet.cache_evictions;
     cov.backfill_tokens += r1.rep.fleet.backfill_tokens;
     cov.backpressure += r1.rep.fleet.backpressure_deferrals;
+    cov.handoffs += r1.rep.fleet.handoffs;
+    cov.overlapped += r1.rep.fleet.transfers_overlapped;
     EXPECT_DOUBLE_EQ(r1.rep.fleet.makespan_s, r3.rep.fleet.makespan_s);
     EXPECT_DOUBLE_EQ(r1.rep.fleet.energy_j, r3.rep.fleet.energy_j);
     EXPECT_EQ(r1.rep.fleet.tokens, r3.rep.fleet.tokens);
@@ -521,6 +599,18 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
               r3.rep.fleet.backfill_tokens);
     EXPECT_EQ(r1.rep.fleet.backpressure_deferrals,
               r3.rep.fleet.backpressure_deferrals);
+    EXPECT_EQ(r1.rep.fleet.handoffs, r3.rep.fleet.handoffs);
+    EXPECT_DOUBLE_EQ(r1.rep.fleet.handoff_gb, r3.rep.fleet.handoff_gb);
+    EXPECT_EQ(r1.rep.fleet.transfers_overlapped,
+              r3.rep.fleet.transfers_overlapped);
+    EXPECT_EQ(r1.rep.fleet.transfer_bytes_sent,
+              r3.rep.fleet.transfer_bytes_sent);
+    EXPECT_EQ(r1.rep.fleet.peak_inflight_kv_blocks,
+              r3.rep.fleet.peak_inflight_kv_blocks);
+    EXPECT_DOUBLE_EQ(r1.rep.fleet.prefill_busy_s,
+                     r3.rep.fleet.prefill_busy_s);
+    EXPECT_DOUBLE_EQ(r1.rep.fleet.transfer_busy_s,
+                     r3.rep.fleet.transfer_busy_s);
     EXPECT_EQ(r1.delivered, r3.delivered);
     ASSERT_EQ(r1.rep.outcomes.size(), r3.rep.outcomes.size());
     for (size_t i = 0; i < r1.rep.outcomes.size(); ++i) {
@@ -611,4 +701,6 @@ TEST(ServeFuzz, RandomizedSchedulerInvariants)
     EXPECT_GT(cov.cache_evictions, 0);
     EXPECT_GT(cov.backfill_tokens, 0);
     EXPECT_GT(cov.backpressure, 0);
+    EXPECT_GT(cov.handoffs, 0);
+    EXPECT_GT(cov.overlapped, 0);
 }
