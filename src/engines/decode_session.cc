@@ -268,6 +268,8 @@ DecodeSession::captureCost(
             tot.time_s - before[static_cast<size_t>(c)].first;
         const double de =
             tot.energy_j - before[static_cast<size_t>(c)].second;
+        if (dt != 0.0)
+            last_.class_s.emplace_back(c, dt);
         if (!hw::isBatchAmortized(cls)) {
             last_.private_s += dt;
             last_.private_j += de;

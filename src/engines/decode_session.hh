@@ -27,6 +27,7 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/features.hh"
@@ -80,6 +81,14 @@ struct StepCost
      */
     std::vector<double> stage_shared_s;
     std::vector<double> stage_shared_j;
+
+    /**
+     * Modeled seconds per op class this step charged, as
+     * (hw::OpClass value, seconds) for every class with nonzero
+     * time — the step-span breakdown the fleet trace records. Sums
+     * to shared_s + private_s; pricing never reads it.
+     */
+    std::vector<std::pair<int, double>> class_s;
 };
 
 /** Stepwise decode of one workload instance on one Engine. */

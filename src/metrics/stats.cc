@@ -58,15 +58,58 @@ maxOf(const std::vector<double> &v)
 double
 percentile(std::vector<double> v, double p)
 {
-    specee_assert(p >= 0.0 && p <= 100.0, "percentile %f out of range", p);
-    if (v.empty())
-        return 0.0;
     std::sort(v.begin(), v.end());
-    const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, v.size() - 1);
+    return percentileSorted(v, p);
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    specee_assert(p >= 0.0 && p <= 100.0, "percentile %f out of range", p);
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    // Clamp against floating rank overshoot so p = 100 indexes the
+    // last element exactly instead of one past it.
+    const size_t lo =
+        std::min(static_cast<size_t>(rank), sorted.size() - 1);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return v[lo] + (v[hi] - v[lo]) * frac;
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Stats::Stats(std::vector<double> samples) : sorted_(std::move(samples))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+    for (double x : sorted_)
+        sum_ += x;
+}
+
+double
+Stats::mean() const
+{
+    return sorted_.empty()
+               ? 0.0
+               : sum_ / static_cast<double>(sorted_.size());
+}
+
+double
+Stats::min() const
+{
+    return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double
+Stats::max() const
+{
+    return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double
+Stats::percentile(double p) const
+{
+    return percentileSorted(sorted_, p);
 }
 
 std::vector<double>

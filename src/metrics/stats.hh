@@ -7,6 +7,7 @@
 #ifndef SPECEE_METRICS_STATS_HH
 #define SPECEE_METRICS_STATS_HH
 
+#include <cstddef>
 #include <vector>
 
 namespace specee::metrics {
@@ -29,6 +30,47 @@ double maxOf(const std::vector<double> &v);
  * 0 on empty input. @pre 0 <= p <= 100
  */
 double percentile(std::vector<double> v, double p);
+
+/**
+ * percentile() over a vector that is ALREADY sorted ascending — the
+ * repeated-query primitive (no copy, no re-sort). p = 0 returns the
+ * minimum and p = 100 the maximum exactly; a single-element sample
+ * returns that element for every p; 0 on empty input.
+ * @pre 0 <= p <= 100, `sorted` ascending
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/**
+ * Sorted-sample summary: sorts once at construction, then serves
+ * any number of percentile / extremum queries without re-sorting.
+ * Callers reducing the same sample vector repeatedly (fleet
+ * reductions, per-window timeline stats) should build one Stats
+ * instead of calling percentile() per quantile — each of those
+ * copies and sorts the whole vector again.
+ */
+class Stats
+{
+  public:
+    /** Empty summary: every query returns 0. */
+    Stats() = default;
+
+    explicit Stats(std::vector<double> samples);
+
+    size_t count() const { return sorted_.size(); }
+    bool empty() const { return sorted_.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+    /** Minimum / maximum; 0 when empty. */
+    double min() const;
+    double max() const;
+    /** p-th percentile without re-sorting. @pre 0 <= p <= 100 */
+    double percentile(double p) const;
+
+  private:
+    std::vector<double> sorted_;
+    double sum_ = 0.0;
+};
 
 /** Normalize a histogram of counts to probabilities. */
 std::vector<double> normalize(const std::vector<long> &hist);

@@ -1,0 +1,22 @@
+#include "obs/slo.hh"
+
+namespace specee::obs {
+
+SloVerdict
+judge(const SloSpec &spec, bool completed, double ttft_s,
+      double max_itl_s, double latency_s)
+{
+    SloVerdict v;
+    if (!spec.any())
+        return v; // unevaluated: attains vacuously
+    v.evaluated = true;
+    if (spec.ttft_s > 0.0)
+        v.ttft_ok = completed && ttft_s <= spec.ttft_s;
+    if (spec.itl_s > 0.0)
+        v.itl_ok = completed && max_itl_s <= spec.itl_s;
+    if (spec.deadline_s > 0.0)
+        v.deadline_ok = completed && latency_s <= spec.deadline_s;
+    return v;
+}
+
+} // namespace specee::obs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Declarative service-level objectives and per-request attainment.
+ *
+ * A SloSpec names the latency objectives one request tier promises:
+ * time to first token, worst inter-token gap, and end-to-end
+ * completion deadline (each <= 0 = no objective). The scheduler
+ * judges every retired request against its tier's spec and stores
+ * the verdict in the RequestOutcome; the fleet reduction and the
+ * metrics timeline then report goodput UNDER SLO — tokens delivered
+ * by requests that kept every promise, per second — which is the
+ * production-fleet objective a future adaptive control plane will
+ * optimize (raw tok/s rewards throughput that blows the latency
+ * budget).
+ *
+ * Judging is pure arithmetic over the outcome's modeled timeline, so
+ * attaching a spec never changes emissions or modeled costs: the
+ * default (no objectives) is bit-inert on the scheduler.
+ */
+
+#ifndef SPECEE_OBS_SLO_HH
+#define SPECEE_OBS_SLO_HH
+
+namespace specee::obs {
+
+/** Latency objectives of one request tier; <= 0 disables each. */
+struct SloSpec
+{
+    double ttft_s = 0.0;     ///< max time to first token (arrival-relative)
+    double itl_s = 0.0;      ///< max inter-token gap (worst, not mean)
+    double deadline_s = 0.0; ///< max end-to-end latency (arrival-relative)
+
+    /** True when at least one objective is set. */
+    bool any() const
+    {
+        return ttft_s > 0.0 || itl_s > 0.0 || deadline_s > 0.0;
+    }
+};
+
+/**
+ * Per-tier objectives, indexed by the scheduler's latency tier
+ * (0 = interactive, 1 = batch — serve::Priority's values). Kept
+ * tier-indexed rather than serve-typed so obs stays below serve in
+ * the layering.
+ */
+struct TierSlo
+{
+    SloSpec interactive;
+    SloSpec batch;
+
+    bool any() const { return interactive.any() || batch.any(); }
+
+    const SloSpec &tier(int t) const
+    {
+        return t == 0 ? interactive : batch;
+    }
+};
+
+/**
+ * One request's attainment verdict. Unevaluated verdicts (no
+ * objective configured for the tier, or the consumer cancelled the
+ * stream) attain vacuously, so goodput_under_slo degenerates to
+ * completed-request goodput when SLO accounting is off.
+ */
+struct SloVerdict
+{
+    bool evaluated = false; ///< some objective applied to this request
+    bool ttft_ok = true;
+    bool itl_ok = true;
+    bool deadline_ok = true;
+
+    bool attained() const { return ttft_ok && itl_ok && deadline_ok; }
+};
+
+/**
+ * Judge one retired request. `completed` is false for deadline
+ * drops: an unfinished request fails every configured objective (it
+ * never delivered what it promised). All times are modeled seconds;
+ * ttft/latency are arrival-relative, max_itl is the worst delivered
+ * inter-token gap.
+ */
+SloVerdict judge(const SloSpec &spec, bool completed, double ttft_s,
+                 double max_itl_s, double latency_s);
+
+} // namespace specee::obs
+
+#endif // SPECEE_OBS_SLO_HH

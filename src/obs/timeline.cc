@@ -1,0 +1,176 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/stats.hh"
+#include "util/logging.hh"
+
+namespace specee::obs {
+
+Timeline::Timeline(const TimelineOptions &opts, double t0, int n_layers,
+                   int n_stages)
+    : opts_(opts), t0_(t0), n_layers_(n_layers),
+      n_stages_(std::max(n_stages, 1))
+{
+    if (opts_.enabled()) {
+        specee_assert(n_layers >= 1,
+                      "timeline needs >= 1 model layer, got %d",
+                      n_layers);
+    }
+}
+
+Timeline::Bucket &
+Timeline::bucket(double t)
+{
+    // A window owns [t0 + i*w, t0 + (i+1)*w): a sample exactly on a
+    // boundary belongs to the UPPER window. Samples at (or, through
+    // rounding, slightly before) the stream start land in window 0.
+    const double off = (t - t0_) / opts_.window_s;
+    const size_t idx =
+        off <= 0.0 ? 0 : static_cast<size_t>(std::floor(off));
+    specee_assert(idx < (1u << 22),
+                  "timeline window index %zu is implausible "
+                  "(window_s too small for this run?)",
+                  idx);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1);
+    return buckets_[idx];
+}
+
+void
+Timeline::recordIteration(double t, int batch, int busy_stages,
+                          long kv_blocks, long host_blocks,
+                          long cached_blocks)
+{
+    if (!enabled())
+        return;
+    Bucket &b = bucket(t);
+    ++b.iterations;
+    b.occupancy_sum += batch;
+    b.stage_busy += busy_stages;
+    b.peak_kv = std::max(b.peak_kv, kv_blocks);
+    b.peak_host = std::max(b.peak_host, host_blocks);
+    b.peak_cached = std::max(b.peak_cached, cached_blocks);
+}
+
+void
+Timeline::recordExit(double t, int deepest_layer)
+{
+    if (!enabled())
+        return;
+    Bucket &b = bucket(t);
+    if (b.exit_hist.empty())
+        b.exit_hist.assign(static_cast<size_t>(n_layers_) + 1, 0);
+    const size_t d = static_cast<size_t>(
+        std::clamp(deepest_layer, 0, n_layers_));
+    ++b.exit_hist[d];
+}
+
+void
+Timeline::recordTtft(double t, double ttft_s)
+{
+    if (enabled())
+        bucket(t).ttft.push_back(ttft_s);
+}
+
+void
+Timeline::recordItl(double t, double gap_s)
+{
+    if (enabled())
+        bucket(t).itl.push_back(gap_s);
+}
+
+void
+Timeline::recordTokens(double t, uint64_t request, long n)
+{
+    if (!enabled() || n <= 0)
+        return;
+    auto &tok = bucket(t).tokens;
+    if (!tok.empty() && tok.back().first == request) {
+        tok.back().second += n;
+    } else {
+        tok.emplace_back(request, n);
+    }
+}
+
+void
+Timeline::recordTransfer(double a, double b)
+{
+    if (!enabled() || b <= a)
+        return;
+    // Attribute the busy span to each window it crosses.
+    const double w = opts_.window_s;
+    double t = a;
+    while (t < b) {
+        Bucket &bk = bucket(t);
+        const double off = std::max(0.0, (t - t0_) / w);
+        const double win_end =
+            t0_ + (std::floor(off) + 1.0) * w;
+        const double seg = std::min(b, win_end) - t;
+        bk.transfer_busy_s += seg;
+        t = std::max(win_end, t + seg);
+    }
+}
+
+std::vector<TimelineWindow>
+Timeline::finalize(double end_t,
+                   const std::function<bool(uint64_t)> &attained) const
+{
+    std::vector<TimelineWindow> out;
+    if (!enabled())
+        return out;
+    const double w = opts_.window_s;
+    // Cover the whole run: every window up to end_t exists even if
+    // nothing landed in it (an idle gap is data, not absence).
+    size_t n = buckets_.size();
+    if (end_t > t0_) {
+        const double span = (end_t - t0_) / w;
+        const size_t need = static_cast<size_t>(std::ceil(span));
+        n = std::max(n, std::max<size_t>(need, 1));
+    }
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        TimelineWindow &win = out[i];
+        win.t0 = t0_ + static_cast<double>(i) * w;
+        win.t1 = win.t0 + w;
+        if (i >= buckets_.size())
+            continue;
+        const Bucket &b = buckets_[i];
+        win.iterations = b.iterations;
+        win.stage_occupancy =
+            b.iterations > 0
+                ? static_cast<double>(b.stage_busy) /
+                      (static_cast<double>(b.iterations) * n_stages_)
+                : 0.0;
+        win.mean_batch_occupancy =
+            b.iterations > 0
+                ? static_cast<double>(b.occupancy_sum) /
+                      static_cast<double>(b.iterations)
+                : 0.0;
+        win.peak_kv_blocks = b.peak_kv;
+        win.peak_host_kv_blocks = b.peak_host;
+        win.peak_cached_blocks = b.peak_cached;
+        win.transfer_busy_s = b.transfer_busy_s;
+        win.exit_hist = b.exit_hist;
+        for (const auto &[req, count] : b.tokens) {
+            win.tokens += count;
+            if (!attained || attained(req))
+                win.slo_tokens += count;
+        }
+        win.goodput_tps = static_cast<double>(win.tokens) / w;
+        win.goodput_under_slo =
+            static_cast<double>(win.slo_tokens) / w;
+        const metrics::Stats ttft(b.ttft);
+        win.ttft_count = static_cast<long>(ttft.count());
+        win.p50_ttft_s = ttft.percentile(50.0);
+        win.p99_ttft_s = ttft.percentile(99.0);
+        const metrics::Stats itl(b.itl);
+        win.itl_count = static_cast<long>(itl.count());
+        win.p50_itl_s = itl.percentile(50.0);
+        win.p99_itl_s = itl.percentile(99.0);
+    }
+    return out;
+}
+
+} // namespace specee::obs

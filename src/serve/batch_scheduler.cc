@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 
 #include "hw/memory_tracker.hh"
 #include "metrics/stats.hh"
@@ -37,6 +38,9 @@ BatchScheduler::BatchScheduler(const SchedulerOptions &opts) : opts_(opts)
     specee_assert(opts.max_inflight_per_consumer >= 0,
                   "max_inflight_per_consumer must be >= 0, got %d",
                   opts.max_inflight_per_consumer);
+    specee_assert(opts.timeline.window_s >= 0.0,
+                  "timeline.window_s must be >= 0, got %f",
+                  opts.timeline.window_s);
     specee_assert(opts.topology.devices >= 1,
                   "topology.devices must be >= 1, got %d",
                   opts.topology.devices);
@@ -79,6 +83,7 @@ struct Entry
     double first_token_s = -1.0;
     double last_token_s = 0.0;
     double itl_sum_s = 0.0;
+    double itl_max_s = 0.0; ///< worst delivered gap (SLO judging)
     long itl_gaps = 0;
     size_t streamed = 0; ///< tokens already delivered downstream
     int preemptions = 0;
@@ -310,6 +315,58 @@ BatchScheduler::run(const engines::Pipeline &pipe,
     // engines; inert at one device.
     uint64_t dev_seq = 0;
 
+    // --- observability: event trace + metrics timeline -------------
+    // Both record against the MODELED clock and never advance it or
+    // touch any scheduling state, so emissions and modeled costs are
+    // bit-identical whether they are on or off. Worker threads write
+    // step spans into their own recorder shard (lock-free by
+    // exclusivity); everything decided on this thread goes to the
+    // control shard with a monotonic seq stamp, and the merge is
+    // deterministic across worker counts.
+    const bool tracing = opts_.trace.enabled;
+    obs::TraceRecorder rec(engines.size(), tracing);
+    uint64_t trace_seq = 0;
+    obs::Timeline timeline(opts_.timeline, t0, mcfg.n_layers, n_stages);
+    long slo_tokens = 0; ///< tokens delivered by attaining requests
+    const auto decision = [&](obs::TraceDecision d, uint64_t req_id,
+                              int d_tokens = 0) {
+        if (!tracing)
+            return;
+        obs::TraceEvent ev;
+        ev.kind = obs::TraceKind::Decision;
+        ev.t0 = ev.t1 = clock;
+        ev.decision = d;
+        ev.request = req_id;
+        ev.tokens = d_tokens;
+        ev.seq = trace_seq++;
+        rec.control().emit(std::move(ev));
+    };
+    // One DMA busy span [a, b) on `device`'s channel — fed to both
+    // the trace and the timeline's channel-utilization accumulator.
+    const auto transferSpan = [&](double a, double b, size_t device,
+                                  hw::DmaChannel ch, uint64_t req_id) {
+        timeline.recordTransfer(a, b);
+        if (!tracing)
+            return;
+        obs::TraceEvent ev;
+        ev.kind = obs::TraceKind::Transfer;
+        ev.t0 = a;
+        ev.t1 = b;
+        ev.device = static_cast<int>(device);
+        ev.channel = static_cast<int>(ch);
+        ev.request = req_id;
+        ev.seq = trace_seq++;
+        rec.control().emit(std::move(ev));
+    };
+    // Judge the retiring request against its tier's objectives.
+    const auto judgeSlo = [&](const Entry &e, RequestOutcome &o,
+                              bool completed) {
+        const obs::SloSpec &spec =
+            opts_.slo.tier(static_cast<int>(e.req.priority));
+        o.slo = obs::judge(spec, completed, o.ttft_s, o.max_itl_s,
+                           o.latency_s);
+    };
+
     const auto expired = [&](const Request &r) {
         return r.deadline_s > 0.0 && clock > r.deadline_s;
     };
@@ -325,6 +382,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         o.preemptions = e.preemptions;
         o.swaps = e.swaps;
         o.cached_tokens = e.cached;
+        o.max_itl_s = e.itl_max_s;
     };
     const auto drop = [&](Entry &e) {
         if (e.sess && e.sess->awaitingTransfer()) {
@@ -337,6 +395,9 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         RequestOutcome &o = outcomes[e.outcome];
         o.dropped = true;
         finishTimeline(e, o);
+        // An unfinished request fails every configured objective.
+        judgeSlo(e, o, false);
+        decision(obs::TraceDecision::Drop, e.req.id);
         ++fleet.dropped;
         // Gaps already delivered count toward fleet ITL (they are in
         // itl_samples too, keeping mean and percentiles consistent).
@@ -556,6 +617,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 const double h = e.sess->chargeHandoff();
                 e.xfer_bytes = mem.kvBytes(e.sess->modeledPositions());
                 ++fleet.handoffs;
+                decision(obs::TraceDecision::Handoff, e.req.id);
                 fleet.handoff_gb +=
                     hw::MemoryTracker::toGiB(e.xfer_bytes);
                 fleet.transfer_bytes_sent += e.xfer_bytes;
@@ -563,9 +625,15 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     // Stream over the prefill device's peer channel,
                     // concurrent with its next prompt's chunks and
                     // with the decode batch.
+                    const double busy_from =
+                        std::max(clock,
+                                 xfer.freeAt(static_cast<int>(e.device),
+                                             hw::DmaChannel::Peer));
                     e.xfer_ready_s =
                         xfer.submit(static_cast<int>(e.device),
                                     hw::DmaChannel::Peer, clock, h);
+                    transferSpan(busy_from, e.xfer_ready_s, e.device,
+                                 hw::DmaChannel::Peer, e.req.id);
                     e.sess->beginTransfer();
                     ++fleet.transfers_overlapped;
                 } else {
@@ -586,15 +654,24 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         const auto swapInAdmit = [&](Entry &&e) {
             const double h = e.sess->swapIn();
             ++fleet.swaps_in;
+            decision(obs::TraceDecision::Resume, e.req.id);
             e.xfer_bytes = mem.kvBytes(e.sess->modeledPositions());
             fleet.transfer_bytes_sent += e.xfer_bytes;
             if (overlap) {
+                const double busy_from =
+                    std::max(clock,
+                             xfer.freeAt(static_cast<int>(e.device),
+                                         hw::DmaChannel::Host));
                 e.xfer_ready_s =
                     xfer.submit(static_cast<int>(e.device),
                                 hw::DmaChannel::Host, clock, h);
+                transferSpan(busy_from, e.xfer_ready_s, e.device,
+                             hw::DmaChannel::Host, e.req.id);
                 e.sess->beginTransfer();
                 ++fleet.transfers_overlapped;
             } else {
+                transferSpan(clock, clock + h, e.device,
+                             hw::DmaChannel::Host, e.req.id);
                 clock += h;
                 fleet.transfer_bytes_received += e.xfer_bytes;
             }
@@ -685,6 +762,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                             static_cast<long>(active.size() + 1)) >
                     opts_.kv_watermark * opts_.kv_budget_blocks) {
                     ++fleet.watermark_rejections;
+                    decision(obs::TraceDecision::WatermarkReject,
+                             head.req.id);
                     break;
                 }
             }
@@ -719,6 +798,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     e.cached = m.true_matched;
                     ++fleet.prefix_hits;
                     fleet.cached_tokens += m.true_matched;
+                    decision(obs::TraceDecision::CacheHit, e.req.id,
+                             m.true_matched);
                 }
             }
             if (!chunked) {
@@ -731,6 +812,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             }
             if (e.first_admit_s < 0.0)
                 e.first_admit_s = clock;
+            ++fleet.admissions;
+            decision(obs::TraceDecision::Admit, e.req.id);
             active.push_back(std::move(e));
         }
 
@@ -815,6 +898,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 // Serialized handoff: the peer-link stream pays on
                 // the fleet clock at the decode boundary, like the
                 // serialized swap DMAs.
+                transferSpan(clock, clock + e.handoff_s, e.device,
+                             hw::DmaChannel::Peer, e.req.id);
                 clock += e.handoff_s;
                 fleet.transfer_bytes_received += e.xfer_bytes;
             }
@@ -872,6 +957,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                         committed + iter_growth * (n_sessions + 1)) >
                     opts_.kv_watermark * opts_.kv_budget_blocks) {
                     ++fleet.watermark_rejections;
+                    decision(obs::TraceDecision::WatermarkReject,
+                             head.req.id);
                     break;
                 }
             }
@@ -911,10 +998,14 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     e.cached = m.true_matched;
                     ++fleet.prefix_hits;
                     fleet.cached_tokens += m.true_matched;
+                    decision(obs::TraceDecision::CacheHit, e.req.id,
+                             m.true_matched);
                 }
             }
             if (e.first_admit_s < 0.0)
                 e.first_admit_s = clock;
+            ++fleet.admissions;
+            decision(obs::TraceDecision::Admit, e.req.id);
             e.pf_done = false;
             // A full-prompt cache hit skips the device entirely: the
             // prompt is ready now and only the handoff remains.
@@ -924,8 +1015,12 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             }
             prefilling.push_back(std::move(e));
         }
-        if (deferred)
+        if (deferred) {
             ++fleet.backpressure_deferrals;
+            // One instant per boundary, like the counter (several
+            // candidates may have been passed over).
+            decision(obs::TraceDecision::Defer, 0);
+        }
 
         // --- disaggregated prefill devices run their own timelines -
         if (disagg) {
@@ -952,6 +1047,22 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     ++p.chunks;
                     ++fleet.prefill_chunks;
                     fleet.prefill_tokens += consumed;
+                    if (tracing) {
+                        // Chunk span on the prefill device's own
+                        // decoupled timeline.
+                        obs::TraceEvent ev;
+                        ev.kind = obs::TraceKind::PrefillChunk;
+                        ev.t0 = clock;
+                        ev.t1 = pf_free_at[d];
+                        ev.device = static_cast<int>(p.device);
+                        ev.request = p.req.id;
+                        ev.tokens = consumed;
+                        ev.deepest_layer = c.deepest_layer;
+                        ev.stages_used = c.stages_used;
+                        ev.op_s = c.class_s;
+                        ev.seq = trace_seq++;
+                        rec.control().emit(std::move(ev));
+                    }
                 }
                 if (p.sess->prefillDone()) {
                     p.pf_done = true;
@@ -1025,6 +1136,9 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                  has_swap_link &&
                  victim.sess->swapRoundTripSeconds() <
                      victim.sess->modeledCostSoFar());
+            decision(swap ? obs::TraceDecision::PreemptSwap
+                          : obs::TraceDecision::PreemptRecompute,
+                     victim.req.id);
             if (swap) {
                 // Swap preemption: KV moves to the host pool (device
                 // blocks free), the session freezes with its rng
@@ -1040,12 +1154,21 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     mem.kvBytes(victim.sess->modeledPositions());
                 fleet.transfer_bytes_sent += victim.xfer_bytes;
                 if (overlap) {
+                    const double busy_from = std::max(
+                        clock,
+                        xfer.freeAt(static_cast<int>(victim.device),
+                                    hw::DmaChannel::Host));
                     victim.xfer_ready_s = xfer.submit(
                         static_cast<int>(victim.device),
                         hw::DmaChannel::Host, clock, h);
+                    transferSpan(busy_from, victim.xfer_ready_s,
+                                 victim.device, hw::DmaChannel::Host,
+                                 victim.req.id);
                     victim.sess->beginTransfer();
                     ++fleet.transfers_overlapped;
                 } else {
+                    transferSpan(clock, clock + h, victim.device,
+                                 hw::DmaChannel::Host, victim.req.id);
                     clock += h;
                     fleet.transfer_bytes_received += victim.xfer_bytes;
                 }
@@ -1110,6 +1233,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     if (grant[i] > base[i]) {
                         ++fleet.backfill_grants;
                         fleet.backfill_tokens += grant[i] - base[i];
+                        decision(obs::TraceDecision::BackfillGrant,
+                                 active[i].req.id, grant[i] - base[i]);
                     }
                 }
             } else {
@@ -1118,6 +1243,16 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         }
 
         // --- step every active session, in parallel by engine ------
+        const double step_t0 = clock;
+        // Shard high-water marks: everything a worker emits past its
+        // mark belongs to THIS iteration and gets its end clamped to
+        // the iteration's actual clock advance below.
+        std::vector<size_t> shard_mark;
+        if (tracing) {
+            shard_mark.resize(engines.size());
+            for (size_t e = 0; e < engines.size(); ++e)
+                shard_mark[e] = rec.worker(e).size();
+        }
         size_t engines_used = 0;
         {
             std::vector<bool> has(engines.size(), false);
@@ -1128,6 +1263,39 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 }
             }
             auto stepEngine = [&](size_t eng) {
+                // This thread's private shard. Events carry the
+                // session's admission-order slot `i` as lane AND seq
+                // (never the physical engine index, which depends on
+                // the worker count), so merged() replays identically
+                // for any engine fan-out.
+                obs::TraceShard &shard = rec.worker(eng);
+                const auto emitStep = [&](size_t i, const Entry &a) {
+                    if (!tracing ||
+                        (a.granted <= 0 && a.cost.tokens <= 0))
+                        return; // idle: no span
+                    obs::TraceEvent ev;
+                    ev.kind = a.granted > 0
+                                  ? obs::TraceKind::PrefillChunk
+                                  : obs::TraceKind::Step;
+                    ev.t0 = step_t0;
+                    // Parenthesized to match the iteration pricing's
+                    // association; any remaining ulp overhang versus
+                    // the priced dt (stage pricing re-associates the
+                    // sums) is clamped to the new clock after the
+                    // join, so per-lane spans are exactly disjoint.
+                    ev.t1 = step_t0 +
+                            (a.cost.shared_s + a.cost.private_s);
+                    ev.device = static_cast<int>(a.device);
+                    ev.lane = static_cast<int>(i);
+                    ev.request = a.req.id;
+                    ev.tokens =
+                        a.granted > 0 ? a.granted : a.cost.tokens;
+                    ev.deepest_layer = a.cost.deepest_layer;
+                    ev.stages_used = a.cost.stages_used;
+                    ev.op_s = a.cost.class_s;
+                    ev.seq = i;
+                    shard.emit(std::move(ev));
+                };
                 for (size_t i = 0; i < active.size(); ++i) {
                     Entry &a = active[i];
                     if (a.engine != eng)
@@ -1143,6 +1311,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                         if (grant[i] > 0) {
                             a.granted = a.sess->prefillChunk(grant[i]);
                             a.cost = a.sess->lastStep();
+                            emitStep(i, a);
                         } else {
                             // Budget exhausted by decode peers: the
                             // session idles this iteration.
@@ -1154,6 +1323,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                     a.granted = 0;
                     a.sess->step();
                     a.cost = a.sess->lastStep();
+                    emitStep(i, a);
                 }
             };
             if (engines_used <= 1) {
@@ -1245,6 +1415,15 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             fleet.energy_j += shared_e + private_e;
         }
         clock += dt;
+        if (tracing) {
+            // Workers computed each span end as step_t0 + (shared +
+            // private); dt reduces the same costs per device (or per
+            // stage), so a span can overhang the new clock by an ulp
+            // of fp re-association. Clamp: a span never outlives its
+            // iteration, and per-lane spans stay exactly disjoint.
+            for (size_t e = 0; e < engines.size(); ++e)
+                rec.worker(e).clampEnds(shard_mark[e], clock);
+        }
         if (overlap && dt == 0.0) {
             // Every active session is pinned mid-DMA and nothing
             // stepped: jump to the next modeled event (a transfer
@@ -1258,6 +1437,25 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         }
         occupancy += static_cast<double>(active.size());
         ++fleet.iterations;
+        if (tracing) {
+            obs::TraceEvent ev;
+            ev.kind = obs::TraceKind::Iteration;
+            ev.t0 = step_t0;
+            ev.t1 = clock;
+            int mid_prefill = 0;
+            int iter_tokens = 0;
+            for (const auto &a : active) {
+                if (!a.sess->prefillDone())
+                    ++mid_prefill;
+                iter_tokens += a.cost.tokens;
+            }
+            ev.batch = static_cast<int>(active.size());
+            ev.prefilling =
+                mid_prefill + static_cast<int>(prefilling.size());
+            ev.tokens = iter_tokens;
+            ev.seq = trace_seq++;
+            rec.control().emit(std::move(ev));
+        }
 
         // Stage occupancy: every session's weight stream covers the
         // contiguous stage prefix [0, stages_used), so the union is
@@ -1274,6 +1472,8 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 ++a.chunks;
                 ++fleet.prefill_chunks;
                 fleet.prefill_tokens += a.granted;
+            } else if (a.cost.tokens > 0) {
+                timeline.recordExit(clock, a.cost.deepest_layer);
             }
             if (a.sess->prefillDone() && a.prefill_ready_s < 0.0) {
                 a.prefill_ready_s = clock;
@@ -1300,13 +1500,18 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             const auto &em = a.sess->emission();
             for (size_t i = a.streamed; i < em.tokens.size(); ++i) {
                 ++fleet.tokens;
+                timeline.recordTokens(clock, a.req.id, 1);
                 if (a.first_token_s < 0.0) {
                     a.first_token_s = clock;
+                    timeline.recordTtft(clock,
+                                        clock - a.req.arrival_s);
                 } else {
                     const double gap = clock - a.last_token_s;
                     a.itl_sum_s += gap;
                     ++a.itl_gaps;
                     itl_samples.push_back(gap);
+                    a.itl_max_s = std::max(a.itl_max_s, gap);
+                    timeline.recordItl(clock, gap);
                 }
                 a.last_token_s = clock;
                 if (on_token &&
@@ -1369,8 +1574,9 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                          hw::MemoryTracker::toGiB(
                              mem.inflightKvBytes(infl_pos)));
         }
+        long host_blocks = 0;
         if (!swappedQ.empty()) {
-            long host_blocks = 0, host_positions = 0;
+            long host_positions = 0;
             for (const auto &s : swappedQ) {
                 host_blocks += s.sess->hostBlocks();
                 host_positions += s.sess->modeledPositions();
@@ -1382,6 +1588,10 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                 hw::MemoryTracker::toGiB(
                     mem.hostKvBytes(host_positions)));
         }
+        timeline.recordIteration(
+            clock, static_cast<int>(active.size()), busy_stages,
+            blocks, host_blocks,
+            cache_on ? cache->heldBlocks() : 0);
 
         // --- retire finished and cancelled sessions ----------------
         size_t keep = 0;
@@ -1399,6 +1609,7 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                                ? a.first_token_s - a.req.arrival_s
                                : 0.0;
                 ++fleet.cancelled;
+                decision(obs::TraceDecision::Cancel, a.req.id);
                 itl_sum += a.itl_sum_s;
                 itl_gaps += a.itl_gaps;
                 continue; // KV frees with the entry
@@ -1417,6 +1628,20 @@ BatchScheduler::run(const engines::Pipeline &pipe,
                                ? a.itl_sum_s /
                                      static_cast<double>(a.itl_gaps)
                                : 0.0;
+            judgeSlo(a, o, true);
+            if (o.slo.attained())
+                slo_tokens += static_cast<long>(a.streamed);
+            if (tracing) {
+                // Lifetime flow arrow: first admission -> completion.
+                obs::TraceEvent ev;
+                ev.kind = obs::TraceKind::RequestFlow;
+                ev.t0 = o.admit_s;
+                ev.t1 = clock;
+                ev.device = static_cast<int>(a.device);
+                ev.request = a.req.id;
+                ev.seq = trace_seq++;
+                rec.control().emit(std::move(ev));
+            }
             itl_sum += a.itl_sum_s;
             itl_gaps += a.itl_gaps;
         }
@@ -1473,18 +1698,24 @@ BatchScheduler::run(const engines::Pipeline &pipe,
         prefills.push_back(o.prefill_s);
         fleet.oplog.merge(o.result.stats.oplog);
     }
+    // Means accumulate in insertion order (bit-compat with the
+    // pre-Stats reduction); each Stats sorts its samples once and
+    // serves both percentile queries.
+    const metrics::Stats lat_stats(latencies);
+    const metrics::Stats ttft_stats(ttfts);
+    const metrics::Stats itl_stats(itl_samples);
     fleet.mean_latency_s = metrics::mean(latencies);
-    fleet.p50_latency_s = metrics::percentile(latencies, 50.0);
-    fleet.p99_latency_s = metrics::percentile(latencies, 99.0);
+    fleet.p50_latency_s = lat_stats.percentile(50.0);
+    fleet.p99_latency_s = lat_stats.percentile(99.0);
     fleet.mean_queue_s = metrics::mean(queues);
     fleet.mean_ttft_s = metrics::mean(ttfts);
-    fleet.p50_ttft_s = metrics::percentile(ttfts, 50.0);
-    fleet.p99_ttft_s = metrics::percentile(ttfts, 99.0);
+    fleet.p50_ttft_s = ttft_stats.percentile(50.0);
+    fleet.p99_ttft_s = ttft_stats.percentile(99.0);
     fleet.mean_prefill_s = metrics::mean(prefills);
     fleet.mean_itl_s =
         itl_gaps > 0 ? itl_sum / static_cast<double>(itl_gaps) : 0.0;
-    fleet.p50_itl_s = metrics::percentile(itl_samples, 50.0);
-    fleet.p99_itl_s = metrics::percentile(itl_samples, 99.0);
+    fleet.p50_itl_s = itl_stats.percentile(50.0);
+    fleet.p99_itl_s = itl_stats.percentile(99.0);
     fleet.energy_per_token_j =
         fleet.tokens > 0
             ? fleet.energy_j / static_cast<double>(fleet.tokens)
@@ -1501,6 +1732,29 @@ BatchScheduler::run(const engines::Pipeline &pipe,
             ? static_cast<double>(fleet.stage_busy) /
                   (static_cast<double>(fleet.iterations) * n_stages)
             : 0.0;
+
+    // --- SLO attainment + observability artifacts ------------------
+    for (const auto &o : outcomes) {
+        if (!o.slo.evaluated)
+            continue;
+        ++fleet.slo_evaluated;
+        if (o.slo.attained())
+            ++fleet.slo_attained;
+    }
+    fleet.goodput_under_slo =
+        fleet.makespan_s > 0.0
+            ? static_cast<double>(slo_tokens) / fleet.makespan_s
+            : 0.0;
+    if (tracing)
+        fleet.trace = rec.merged();
+    if (timeline.enabled()) {
+        std::unordered_set<uint64_t> attained;
+        for (const auto &o : outcomes)
+            if (!o.dropped && !o.cancelled && o.slo.attained())
+                attained.insert(o.request.id);
+        fleet.timeline = timeline.finalize(
+            clock, [&](uint64_t id) { return attained.count(id) > 0; });
+    }
     return fleet;
 }
 

@@ -65,6 +65,9 @@
 #include "engines/decode_session.hh"
 #include "engines/pipeline.hh"
 #include "hw/cost_model.hh"
+#include "obs/slo.hh"
+#include "obs/timeline.hh"
+#include "obs/trace.hh"
 #include "serve/prefill_planner.hh"
 #include "serve/prefix_cache.hh"
 #include "serve/request.hh"
@@ -247,6 +250,39 @@ struct SchedulerOptions
      * identical to the uncapped scheduler.
      */
     int max_inflight_per_consumer = 0;
+
+    /**
+     * Per-tier service-level objectives (TTFT / worst ITL / e2e
+     * deadline). Every retired request is judged against its tier's
+     * spec (verdict in RequestOutcome::slo) and the fleet reduction
+     * reports goodput_under_slo — tokens delivered by attaining
+     * requests per second. Judging is pure post-hoc arithmetic on
+     * the modeled timeline: specs never change scheduling, emissions
+     * or modeled costs. Default (no objectives) leaves verdicts
+     * unevaluated and goodput_under_slo counting every completed
+     * request.
+     */
+    obs::TierSlo slo;
+
+    /**
+     * Windowed metrics timeline over the modeled clock (rolling
+     * goodput, TTFT/ITL percentiles, KV / stage / channel occupancy,
+     * exit-depth histograms) reduced into FleetStats::timeline.
+     * window_s = 0 (default) disables; recording is bit-inert on
+     * emissions and modeled costs either way.
+     */
+    obs::TimelineOptions timeline;
+
+    /**
+     * Fleet event trace (see obs/trace.hh): typed iteration / step /
+     * decision / DMA events merged into FleetStats::trace, ready for
+     * Chrome trace-event export. Off (default) records nothing; on
+     * or off, emissions and modeled costs are bit-identical — the
+     * trace only observes the modeled clock, never advances it — and
+     * the merged trace is itself bit-deterministic across worker
+     * counts.
+     */
+    obs::TraceOptions trace;
 };
 
 /** One streamed token, delivered at an iteration boundary. */
@@ -313,6 +349,16 @@ struct FleetStats
 
     /** Mean decode-batch occupancy over iterations. */
     double mean_batch_occupancy = 0.0;
+
+    /**
+     * Decode-fleet session admissions: a waiting request entering
+     * execution (fresh or re-admitted after a recompute preemption;
+     * disaggregated prefill-device admissions count here too).
+     * Swap-in restores are counted by swaps_in, not here. This is
+     * the counter the trace's `admit` decision events reconcile
+     * against.
+     */
+    long admissions = 0;
 
     /** KV-pressure / backpressure accounting. */
     long preemptions = 0;     ///< sessions evicted for KV pressure
@@ -407,6 +453,35 @@ struct FleetStats
     double peak_inflight_mem_gb = 0.0;
     double prefill_busy_s = 0.0;
     double transfer_busy_s = 0.0;
+
+    /**
+     * SLO attainment (SchedulerOptions::slo). slo_evaluated counts
+     * retired requests some objective applied to (completed or
+     * dropped; cancelled streams are the consumer's choice and stay
+     * unevaluated); slo_attained counts those that kept every
+     * promise. goodput_under_slo is tokens delivered by non-dropped,
+     * non-cancelled requests whose verdict attained (vacuously so
+     * when no spec is set), per makespan second — the headline
+     * metric an SLO-driven control plane optimizes, degenerating to
+     * completed-request goodput while SLO accounting is off.
+     */
+    long slo_evaluated = 0;
+    long slo_attained = 0;
+    double goodput_under_slo = 0.0;
+
+    /**
+     * Windowed metrics timeline (SchedulerOptions::timeline); empty
+     * while the window width is 0.
+     */
+    std::vector<obs::TimelineWindow> timeline;
+
+    /**
+     * Merged fleet trace (SchedulerOptions::trace); empty while
+     * tracing is off. Deterministically ordered — bit-identical
+     * across worker counts — and exportable via
+     * obs::chromeTraceJson / obs::writeChromeTrace.
+     */
+    std::vector<obs::TraceEvent> trace;
 
     /**
      * Merged per-request operator census of COMPLETED requests

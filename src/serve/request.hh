@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "engines/engine.hh"
+#include "obs/slo.hh"
 #include "serve/prompt_spec.hh"
 #include "workload/datasets.hh"
 
@@ -94,6 +95,7 @@ struct RequestOutcome
 
     double ttft_s = 0.0;     ///< time to first token (from arrival)
     double mean_itl_s = 0.0; ///< mean inter-token latency
+    double max_itl_s = 0.0;  ///< worst delivered inter-token gap
 
     /**
      * Time from first admission to prompt fully ingested. 0 when
@@ -115,6 +117,14 @@ struct RequestOutcome
      * is disabled.
      */
     int cached_tokens = 0;
+
+    /**
+     * Attainment against the tier's SchedulerOptions::slo spec,
+     * judged when the request retires (completed or dropped;
+     * cancelled streams stay unevaluated). Unevaluated while no
+     * objective is configured for the tier.
+     */
+    obs::SloVerdict slo;
 };
 
 /** Options for synthesizing a request stream. */

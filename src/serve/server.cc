@@ -1,7 +1,9 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace specee::serve {
@@ -56,11 +58,30 @@ Server::drain()
     for (auto &e : engines_)
         engines.push_back(e.get());
 
+    // Resolve the trace destination: the env var wins over the
+    // option so any run can be traced without touching its caller.
+    std::string trace_path = opts_.trace_path;
+    if (const char *env = std::getenv("SPECEE_TRACE");
+        env != nullptr && env[0] != '\0')
+        trace_path = env;
+
     ServeReport report;
-    BatchScheduler sched(opts_.sched);
+    SchedulerOptions sopts = opts_.sched;
+    if (!trace_path.empty())
+        sopts.trace.enabled = true;
+    BatchScheduler sched(sopts);
     report.fleet = sched.run(pipe_, engines, std::move(requests),
                              report.outcomes, opts_.on_token);
     report.fleet.rejected = static_cast<long>(queue_.rejected());
+
+    if (!trace_path.empty()) {
+        const bool ok = obs::writeChromeTrace(
+            trace_path, report.fleet.trace, sopts.topology.devices,
+            sopts.topology.prefill_devices);
+        if (!ok)
+            specee_warn("could not write trace to %s",
+                        trace_path.c_str());
+    }
     return report;
 }
 

@@ -34,6 +34,7 @@
 #define SPECEE_SERVE_SERVER_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engines/pipeline.hh"
@@ -82,6 +83,17 @@ struct ServerOptions
      * FleetStats::rejected — the backpressure knob.
      */
     size_t queue_capacity = 0;
+
+    /**
+     * Write the fleet event trace of the next drain() here as Chrome
+     * trace-event JSON (load at https://ui.perfetto.dev). Non-empty
+     * forces sched.trace.enabled for the run; the environment
+     * variable SPECEE_TRACE overrides this path (set either to
+     * trace without recompiling callers). Empty (default) + no env
+     * var leaves tracing off. Tracing never changes emissions or
+     * modeled costs.
+     */
+    std::string trace_path;
 
     /**
      * Streaming per-token callback, invoked on the drain()ing thread

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "metrics/stats.hh"
 #include "metrics/table.hh"
@@ -68,6 +69,68 @@ TEST(Stats, HistogramMean)
     // Mass at indices 1 and 3 with weights 1:1 -> mean 2.
     EXPECT_DOUBLE_EQ(histogramMean({0, 5, 0, 5}), 2.0);
     EXPECT_DOUBLE_EQ(histogramMean({0, 0}), 0.0);
+}
+
+TEST(Stats, PercentileEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    // A single sample is every percentile.
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+    // p0 = min, p100 = max, exactly.
+    std::vector<double> v = {5.0, 1.0, 3.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+    // Linear interpolation between order statistics.
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileSortedMatchesPercentile)
+{
+    std::vector<double> v = {4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+    std::vector<double> sorted = v; // already ascending
+    for (double p : {0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(percentileSorted(sorted, p), percentile(v, p))
+            << "p = " << p;
+    }
+    EXPECT_DOUBLE_EQ(percentileSorted({}, 50.0), 0.0);
+}
+
+TEST(Stats, SummaryClassSortsOnce)
+{
+    Stats s({3.0, 1.0, 2.0});
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_FALSE(s.empty());
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 3.0);
+
+    const Stats empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(99.0), 0.0);
+}
+
+TEST(Stats, SummaryMatchesFreePercentileOnRandomSamples)
+{
+    // The class must be a pure re-sort hoist: every query agrees
+    // bitwise with the copy-and-sort free function.
+    std::vector<double> v;
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 257; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v.push_back(static_cast<double>(x % 10007) / 7.0);
+    }
+    const Stats s(v);
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), percentile(v, p));
 }
 
 TEST(Table, CsvRendering)

@@ -41,7 +41,16 @@
  *     is on, handoff accounting only on disaggregated draws, every
  *     completed request on a disaggregated fleet crossed the peer
  *     link at least once, and worker-count bit-determinism holds
- *     with all knobs on.
+ *     with all knobs on;
+ *  9. observability (random trace / timeline / SLO draws): all three
+ *     knobs are bit-inert on emissions and modeled costs; the trace's
+ *     decision-event counts reconcile EXACTLY with the fleet counters
+ *     (admits, preempts by mechanism, resumes, handoffs, backfill
+ *     grants, cache hits, drops, cancels, watermark rejections,
+ *     deferrals) and its iteration spans with the iteration count;
+ *     step / chunk spans never overlap within one (device, lane)
+ *     track; and the merged trace, the timeline windows and the SLO
+ *     verdicts are bit-identical across worker counts.
  *
  * The default seed set is fixed (CI runs it in Release and under
  * TSan); SPECEE_FUZZ_SEEDS=<n> widens the sweep locally.
@@ -183,6 +192,16 @@ drawScenario(uint64_t seed)
                 0, static_cast<int>(sc.stream.size()) - 1))];
         sc.cancel_id = victim.id;
         sc.cancel_after = rng.uniformInt(1, 4);
+    }
+
+    // --- observability (every knob must be bit-inert) --------------
+    sc.opts.sched.trace.enabled = rng.bernoulli(0.5);
+    if (rng.bernoulli(0.5))
+        sc.opts.sched.timeline.window_s = rng.uniform(0.05, 1.0);
+    if (rng.bernoulli(0.5)) {
+        sc.opts.sched.slo.interactive.ttft_s = rng.uniform(0.05, 4.0);
+        sc.opts.sched.slo.interactive.itl_s = rng.uniform(0.01, 1.0);
+        sc.opts.sched.slo.batch.deadline_s = rng.uniform(0.5, 20.0);
     }
     return sc;
 }
@@ -360,6 +379,90 @@ checkInvariants(const Scenario &sc, const RunCapture &cap,
         EXPECT_LE(hit_outcomes, fleet.prefix_hits);
     }
 
+    // (9) observability: off = empty artifacts; on = exact
+    // reconciliation with the fleet counters and ordered spans.
+    if (!sc.opts.sched.trace.enabled) {
+        EXPECT_TRUE(fleet.trace.empty());
+    } else {
+        std::map<obs::TraceDecision, long> dec;
+        long iterations = 0;
+        for (const auto &ev : fleet.trace) {
+            EXPECT_LE(ev.t0, ev.t1);
+            if (ev.kind == obs::TraceKind::Decision)
+                ++dec[ev.decision];
+            else if (ev.kind == obs::TraceKind::Iteration)
+                ++iterations;
+        }
+        EXPECT_EQ(iterations, fleet.iterations);
+        EXPECT_EQ(dec[obs::TraceDecision::Admit], fleet.admissions);
+        EXPECT_EQ(dec[obs::TraceDecision::Drop], fleet.dropped);
+        EXPECT_EQ(dec[obs::TraceDecision::Cancel], fleet.cancelled);
+        EXPECT_EQ(dec[obs::TraceDecision::PreemptSwap] +
+                      dec[obs::TraceDecision::PreemptRecompute],
+                  fleet.preemptions);
+        EXPECT_EQ(dec[obs::TraceDecision::PreemptSwap],
+                  fleet.swaps_out);
+        EXPECT_EQ(dec[obs::TraceDecision::Resume], fleet.swaps_in);
+        EXPECT_EQ(dec[obs::TraceDecision::Handoff], fleet.handoffs);
+        EXPECT_EQ(dec[obs::TraceDecision::BackfillGrant],
+                  fleet.backfill_grants);
+        EXPECT_EQ(dec[obs::TraceDecision::CacheHit],
+                  fleet.prefix_hits);
+        EXPECT_EQ(dec[obs::TraceDecision::WatermarkReject],
+                  fleet.watermark_rejections);
+        EXPECT_EQ(dec[obs::TraceDecision::Defer],
+                  fleet.backpressure_deferrals);
+        // Execution spans never overlap within one (device, lane)
+        // track: a session's span is bounded by its device's
+        // iteration time, which is bounded by the clock advance (the
+        // merge is t0-ordered, so a single forward sweep suffices).
+        std::map<std::pair<int, int>, double> track_end;
+        for (const auto &ev : fleet.trace) {
+            if (ev.kind != obs::TraceKind::Step &&
+                ev.kind != obs::TraceKind::PrefillChunk)
+                continue;
+            double &end = track_end[{ev.device, ev.lane}];
+            EXPECT_GE(ev.t0, end)
+                << "span overlap on device " << ev.device << " lane "
+                << ev.lane << " at t=" << ev.t0;
+            end = std::max(end, ev.t1);
+        }
+    }
+    if (sc.opts.sched.timeline.window_s <= 0.0) {
+        EXPECT_TRUE(fleet.timeline.empty());
+    } else {
+        long tl_iterations = 0;
+        for (const auto &w : fleet.timeline) {
+            EXPECT_LT(w.t0, w.t1);
+            tl_iterations += w.iterations;
+            EXPECT_GE(w.tokens, w.slo_tokens);
+        }
+        EXPECT_EQ(tl_iterations, fleet.iterations);
+    }
+    if (!sc.opts.sched.slo.any()) {
+        EXPECT_EQ(fleet.slo_evaluated, 0);
+        for (const auto &o : rep.outcomes)
+            EXPECT_FALSE(o.slo.evaluated);
+    } else {
+        // Every non-cancelled retirement whose tier carries a spec is
+        // judged; attainment never exceeds evaluation; a dropped
+        // request never attains a configured objective.
+        long expect_eval = 0;
+        for (const auto &o : rep.outcomes) {
+            const bool spec_on =
+                sc.opts.sched.slo
+                    .tier(static_cast<int>(o.request.priority))
+                    .any();
+            EXPECT_EQ(o.slo.evaluated, !o.cancelled && spec_on);
+            if (o.slo.evaluated)
+                ++expect_eval;
+            if (o.dropped && spec_on)
+                EXPECT_FALSE(o.slo.attained());
+        }
+        EXPECT_EQ(fleet.slo_evaluated, expect_eval);
+        EXPECT_LE(fleet.slo_attained, fleet.slo_evaluated);
+    }
+
     // (2) delivered streams are exact prefixes of the isolated
     // decode; completed requests deliver it in full.
     long delivered_total = 0;
@@ -398,7 +501,37 @@ struct Coverage
     long backpressure = 0;
     long handoffs = 0;
     long overlapped = 0;
+    long trace_events = 0;
+    long timeline_windows = 0;
+    long slo_evaluated = 0;
 };
+
+/** Bitwise equality of two merged traces (worker-count invariance). */
+void
+expectTraceEqual(const std::vector<obs::TraceEvent> &a,
+                 const std::vector<obs::TraceEvent> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const auto &x = a[i];
+        const auto &y = b[i];
+        EXPECT_EQ(x.kind, y.kind) << "event " << i;
+        EXPECT_DOUBLE_EQ(x.t0, y.t0) << "event " << i;
+        EXPECT_DOUBLE_EQ(x.t1, y.t1) << "event " << i;
+        EXPECT_EQ(x.device, y.device) << "event " << i;
+        EXPECT_EQ(x.channel, y.channel) << "event " << i;
+        EXPECT_EQ(x.lane, y.lane) << "event " << i;
+        EXPECT_EQ(x.request, y.request) << "event " << i;
+        EXPECT_EQ(x.decision, y.decision) << "event " << i;
+        EXPECT_EQ(x.tokens, y.tokens) << "event " << i;
+        EXPECT_EQ(x.deepest_layer, y.deepest_layer) << "event " << i;
+        EXPECT_EQ(x.stages_used, y.stages_used) << "event " << i;
+        EXPECT_EQ(x.batch, y.batch) << "event " << i;
+        EXPECT_EQ(x.prefilling, y.prefilling) << "event " << i;
+        EXPECT_EQ(x.seq, y.seq) << "event " << i;
+        EXPECT_EQ(x.op_s, y.op_s) << "event " << i;
+    }
+}
 
 /**
  * Directed high-pressure scenarios run ahead of the random sweep:
@@ -530,6 +663,14 @@ directedScenarios()
         sc.opts.sched.kv_budget_blocks = 220;
         sc.opts.sched.preempt_mode = serve::PreemptMode::Swap;
         sc.opts.disaggregate(1, 2);
+        // Observability coverage: trace + timeline + both tiers'
+        // SLOs on the richest topology, so the reconciliation and
+        // determinism checks can never be starved by random draws.
+        sc.opts.sched.trace.enabled = true;
+        sc.opts.sched.timeline.window_s = 0.25;
+        sc.opts.sched.slo.interactive.ttft_s = 1.0;
+        sc.opts.sched.slo.interactive.itl_s = 0.25;
+        sc.opts.sched.slo.batch.deadline_s = 30.0;
         out.push_back(std::move(sc));
     }
     {
@@ -573,6 +714,10 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
     cov.backpressure += r1.rep.fleet.backpressure_deferrals;
     cov.handoffs += r1.rep.fleet.handoffs;
     cov.overlapped += r1.rep.fleet.transfers_overlapped;
+    cov.trace_events += static_cast<long>(r1.rep.fleet.trace.size());
+    cov.timeline_windows +=
+        static_cast<long>(r1.rep.fleet.timeline.size());
+    cov.slo_evaluated += r1.rep.fleet.slo_evaluated;
     EXPECT_DOUBLE_EQ(r1.rep.fleet.makespan_s, r3.rep.fleet.makespan_s);
     EXPECT_DOUBLE_EQ(r1.rep.fleet.energy_j, r3.rep.fleet.energy_j);
     EXPECT_EQ(r1.rep.fleet.tokens, r3.rep.fleet.tokens);
@@ -621,6 +766,56 @@ fuzzScenario(const Scenario &sc, Coverage &cov)
         EXPECT_EQ(a.preemptions, b.preemptions);
         EXPECT_EQ(a.swaps, b.swaps);
         EXPECT_EQ(a.cached_tokens, b.cached_tokens);
+        EXPECT_EQ(a.slo.evaluated, b.slo.evaluated);
+        EXPECT_EQ(a.slo.attained(), b.slo.attained());
+        EXPECT_DOUBLE_EQ(a.max_itl_s, b.max_itl_s);
+    }
+
+    // (9) the observability artifacts themselves are bit-identical
+    // across worker counts: shards merge back into one sequence.
+    expectTraceEqual(r1.rep.fleet.trace, r3.rep.fleet.trace);
+    ASSERT_EQ(r1.rep.fleet.timeline.size(), r3.rep.fleet.timeline.size());
+    for (size_t i = 0; i < r1.rep.fleet.timeline.size(); ++i) {
+        const auto &a = r1.rep.fleet.timeline[i];
+        const auto &b = r3.rep.fleet.timeline[i];
+        EXPECT_DOUBLE_EQ(a.t0, b.t0);
+        EXPECT_EQ(a.iterations, b.iterations);
+        EXPECT_EQ(a.tokens, b.tokens);
+        EXPECT_EQ(a.slo_tokens, b.slo_tokens);
+        EXPECT_DOUBLE_EQ(a.p99_ttft_s, b.p99_ttft_s);
+        EXPECT_DOUBLE_EQ(a.p99_itl_s, b.p99_itl_s);
+        EXPECT_EQ(a.peak_kv_blocks, b.peak_kv_blocks);
+        EXPECT_DOUBLE_EQ(a.transfer_busy_s, b.transfer_busy_s);
+        EXPECT_EQ(a.exit_hist, b.exit_hist);
+    }
+    EXPECT_EQ(r1.rep.fleet.slo_evaluated, r3.rep.fleet.slo_evaluated);
+    EXPECT_EQ(r1.rep.fleet.slo_attained, r3.rep.fleet.slo_attained);
+    EXPECT_DOUBLE_EQ(r1.rep.fleet.goodput_under_slo,
+                     r3.rep.fleet.goodput_under_slo);
+
+    // (9) all three observability knobs together are bit-inert: the
+    // same scenario with every knob off reproduces the modeled run
+    // exactly and produces no artifacts.
+    if (sc.opts.sched.trace.enabled ||
+        sc.opts.sched.timeline.window_s > 0.0 ||
+        sc.opts.sched.slo.any()) {
+        Scenario plain = sc;
+        plain.opts.sched.trace.enabled = false;
+        plain.opts.sched.timeline.window_s = 0.0;
+        plain.opts.sched.slo = obs::TierSlo{};
+        const RunCapture rp = runScenario(plain, 1);
+        EXPECT_DOUBLE_EQ(r1.rep.fleet.makespan_s,
+                         rp.rep.fleet.makespan_s);
+        EXPECT_DOUBLE_EQ(r1.rep.fleet.energy_j, rp.rep.fleet.energy_j);
+        EXPECT_EQ(r1.rep.fleet.tokens, rp.rep.fleet.tokens);
+        EXPECT_EQ(r1.rep.fleet.iterations, rp.rep.fleet.iterations);
+        EXPECT_EQ(r1.rep.fleet.preemptions, rp.rep.fleet.preemptions);
+        EXPECT_DOUBLE_EQ(r1.rep.fleet.p99_latency_s,
+                         rp.rep.fleet.p99_latency_s);
+        EXPECT_EQ(r1.delivered, rp.delivered);
+        EXPECT_TRUE(rp.rep.fleet.trace.empty());
+        EXPECT_TRUE(rp.rep.fleet.timeline.empty());
+        EXPECT_EQ(rp.rep.fleet.slo_evaluated, 0);
     }
 
     // (5) auto is never worse than the dearer fixed mechanism on the
@@ -703,4 +898,7 @@ TEST(ServeFuzz, RandomizedSchedulerInvariants)
     EXPECT_GT(cov.backpressure, 0);
     EXPECT_GT(cov.handoffs, 0);
     EXPECT_GT(cov.overlapped, 0);
+    EXPECT_GT(cov.trace_events, 0);
+    EXPECT_GT(cov.timeline_windows, 0);
+    EXPECT_GT(cov.slo_evaluated, 0);
 }
