@@ -47,6 +47,7 @@ DecodeSession::DecodeSession(Engine &eng, const workload::Workload &w,
     specee_assert(instance_ < w_->instances.size(),
                   "session instance out of range");
     kvView_ = dynamic_cast<model::SequenceKv *>(seq_.kv.get());
+    exitThreshold_ = eng_.ecfg_.exit_threshold;
 }
 
 DecodeSession::DecodeSession(Engine &eng, workload::Workload w,
@@ -87,6 +88,7 @@ DecodeSession::DecodeSession(Engine &eng, workload::Workload w,
     rng_ = &*ownedRng_;
 
     kvView_ = dynamic_cast<model::SequenceKv *>(seq_.kv.get());
+    exitThreshold_ = eng_.ecfg_.exit_threshold;
 }
 
 void
@@ -427,7 +429,7 @@ DecodeSession::stepAutoregressive()
                               eng_.ecfg_.online_sched ? &online_
                                                       : nullptr,
                               &out_->stats.oplog, logical_pos, *rng_,
-                              out_->stats);
+                              out_->stats, exitThreshold_);
     em_.tokens.push_back(o.token);
     em_.exit_layers.push_back(o.layers_used);
     out_->stats.avg_forward_layers += o.layers_used;
@@ -455,7 +457,8 @@ DecodeSession::stepSpeculative()
     if (stepIdx_ == 0) {
         auto o = eng_.decodeToken(inst.prompt.back(), inst.steps[0],
                                   *dlm_, fx_, onl, &out.stats.oplog,
-                                  w_->true_prompt_len, *rng_, out.stats);
+                                  w_->true_prompt_len, *rng_, out.stats,
+                                  exitThreshold_);
         em_.tokens.push_back(o.token);
         em_.exit_layers.push_back(o.layers_used);
         out.stats.avg_forward_layers += o.layers_used;
@@ -502,7 +505,7 @@ DecodeSession::stepSpeculative()
             w_->true_prompt_len + static_cast<int>(step);
         auto o = eng_.decodeToken(input, inst.steps[step], *dlm_, fx_,
                                   onl, nullptr, logical_pos, *rng_,
-                                  out.stats);
+                                  out.stats, exitThreshold_);
         if (o.exited) {
             ++fill_nodes;
             min_exit_layers = std::min(min_exit_layers, o.layers_used);

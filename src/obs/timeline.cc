@@ -113,6 +113,60 @@ Timeline::recordTransfer(double a, double b)
     }
 }
 
+TimelineWindow
+Timeline::reduce(size_t idx, double end_t,
+                 const std::function<bool(uint64_t)> &attained) const
+{
+    const double w = opts_.window_s;
+    TimelineWindow win;
+    win.t0 = t0_ + static_cast<double>(idx) * w;
+    win.t1 = win.t0 + w;
+    // Rates divide by the COVERED span: a window the run ends (or
+    // the caller samples) partway through reports its true rate, not
+    // one deflated by the uncovered remainder. A window entirely in
+    // the future (or a degenerate end_t) falls back to full width so
+    // the division is always well-defined.
+    double covered = std::min(win.t1, end_t) - win.t0;
+    if (covered <= 0.0)
+        covered = w;
+    if (idx >= buckets_.size())
+        return win;
+    const Bucket &b = buckets_[idx];
+    win.iterations = b.iterations;
+    win.stage_occupancy =
+        b.iterations > 0
+            ? static_cast<double>(b.stage_busy) /
+                  (static_cast<double>(b.iterations) * n_stages_)
+            : 0.0;
+    win.mean_batch_occupancy =
+        b.iterations > 0
+            ? static_cast<double>(b.occupancy_sum) /
+                  static_cast<double>(b.iterations)
+            : 0.0;
+    win.peak_kv_blocks = b.peak_kv;
+    win.peak_host_kv_blocks = b.peak_host;
+    win.peak_cached_blocks = b.peak_cached;
+    win.transfer_busy_s = b.transfer_busy_s;
+    win.exit_hist = b.exit_hist;
+    for (const auto &[req, count] : b.tokens) {
+        win.tokens += count;
+        if (!attained || attained(req))
+            win.slo_tokens += count;
+    }
+    win.goodput_tps = static_cast<double>(win.tokens) / covered;
+    win.goodput_under_slo =
+        static_cast<double>(win.slo_tokens) / covered;
+    const metrics::Stats ttft(b.ttft);
+    win.ttft_count = static_cast<long>(ttft.count());
+    win.p50_ttft_s = ttft.percentile(50.0);
+    win.p99_ttft_s = ttft.percentile(99.0);
+    const metrics::Stats itl(b.itl);
+    win.itl_count = static_cast<long>(itl.count());
+    win.p50_itl_s = itl.percentile(50.0);
+    win.p99_itl_s = itl.percentile(99.0);
+    return win;
+}
+
 std::vector<TimelineWindow>
 Timeline::finalize(double end_t,
                    const std::function<bool(uint64_t)> &attained) const
@@ -129,47 +183,9 @@ Timeline::finalize(double end_t,
         const size_t need = static_cast<size_t>(std::ceil(span));
         n = std::max(n, std::max<size_t>(need, 1));
     }
-    out.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-        TimelineWindow &win = out[i];
-        win.t0 = t0_ + static_cast<double>(i) * w;
-        win.t1 = win.t0 + w;
-        if (i >= buckets_.size())
-            continue;
-        const Bucket &b = buckets_[i];
-        win.iterations = b.iterations;
-        win.stage_occupancy =
-            b.iterations > 0
-                ? static_cast<double>(b.stage_busy) /
-                      (static_cast<double>(b.iterations) * n_stages_)
-                : 0.0;
-        win.mean_batch_occupancy =
-            b.iterations > 0
-                ? static_cast<double>(b.occupancy_sum) /
-                      static_cast<double>(b.iterations)
-                : 0.0;
-        win.peak_kv_blocks = b.peak_kv;
-        win.peak_host_kv_blocks = b.peak_host;
-        win.peak_cached_blocks = b.peak_cached;
-        win.transfer_busy_s = b.transfer_busy_s;
-        win.exit_hist = b.exit_hist;
-        for (const auto &[req, count] : b.tokens) {
-            win.tokens += count;
-            if (!attained || attained(req))
-                win.slo_tokens += count;
-        }
-        win.goodput_tps = static_cast<double>(win.tokens) / w;
-        win.goodput_under_slo =
-            static_cast<double>(win.slo_tokens) / w;
-        const metrics::Stats ttft(b.ttft);
-        win.ttft_count = static_cast<long>(ttft.count());
-        win.p50_ttft_s = ttft.percentile(50.0);
-        win.p99_ttft_s = ttft.percentile(99.0);
-        const metrics::Stats itl(b.itl);
-        win.itl_count = static_cast<long>(itl.count());
-        win.p50_itl_s = itl.percentile(50.0);
-        win.p99_itl_s = itl.percentile(99.0);
-    }
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(reduce(i, end_t, attained));
     return out;
 }
 

@@ -56,6 +56,8 @@ traceDecisionName(TraceDecision d)
         return "backfill_grant";
     case TraceDecision::Handoff:
         return "handoff";
+    case TraceDecision::KnobChange:
+        return "knob_change";
     }
     return "?";
 }

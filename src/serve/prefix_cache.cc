@@ -146,6 +146,34 @@ PrefixCache::match(const std::vector<int> &tokens, size_t engine,
     return m;
 }
 
+int
+PrefixCache::peekSimMatched(const std::vector<int> &tokens,
+                            size_t engine) const
+{
+    specee_assert(engine < roots_.size(), "engine %zu out of range",
+                  engine);
+    // The same walk match() runs, minus the stamp refreshes and the
+    // table assembly — so the returned row count is exactly what an
+    // immediate match() would report as sim_matched.
+    const Node *node = roots_[engine].get();
+    size_t pos = 0;
+    while (pos < tokens.size()) {
+        auto it = node->children.find(tokens[pos]);
+        if (it == node->children.end())
+            break;
+        const Node *child = it->second.get();
+        size_t k = 0;
+        while (k < child->edge.size() && pos + k < tokens.size() &&
+               child->edge[k] == tokens[pos + k])
+            ++k;
+        pos += k;
+        if (k < child->edge.size())
+            break; // diverged (or ran out) mid-edge
+        node = child;
+    }
+    return simRowsForSpan(static_cast<int>(pos));
+}
+
 PrefixCache::Node *
 PrefixCache::splitEdge(size_t engine, Node *child, int k)
 {

@@ -97,6 +97,17 @@ class PrefixCache
                 uint64_t stamp);
 
     /**
+     * Sim KV rows a match() of `tokens` on `engine` would adopt,
+     * WITHOUT refreshing any LRU stamp or assembling a block table —
+     * the admission watermark's what-if probe (cached rows are
+     * already resident, so the candidate's committed working set
+     * must not charge them again). Pure read; calling it any number
+     * of times changes nothing.
+     */
+    int peekSimMatched(const std::vector<int> &tokens,
+                       size_t engine) const;
+
+    /**
      * Insert the prefilled prompt of pool sequence `seq` (its sim
      * rows must exactly cover simRowsForSpan(tokens.size()) — i.e.
      * prefill just completed): the unmatched tail becomes a new

@@ -350,6 +350,51 @@ TEST(Timeline, SloAttributionIsPerRequest)
     EXPECT_DOUBLE_EQ(w[0].goodput_under_slo, 5.0);
 }
 
+TEST(Timeline, TruncatedFinalWindowRatesUseCoveredSpan)
+{
+    obs::TimelineOptions opts;
+    opts.window_s = 1.0;
+    obs::Timeline tl(opts, 0.0, 1, 1);
+    tl.recordTokens(0.1, /*request=*/1, 4); // window 0, fully covered
+    tl.recordTokens(1.1, /*request=*/1, 5); // window 1, run ends 1.25
+    const auto w = tl.finalize(1.25, nullptr);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_DOUBLE_EQ(w[0].goodput_tps, 4.0);
+    // The run covers only [1.0, 1.25) of the last window: 5 tokens
+    // over 0.25 s is 20 tok/s. The old full-width division deflated
+    // this to 5 tok/s — a 4x underreport of the closing rate.
+    EXPECT_DOUBLE_EQ(w[1].goodput_tps, 20.0);
+    EXPECT_DOUBLE_EQ(w[1].goodput_under_slo, 20.0);
+    // Window bounds stay the nominal grid; only the rates rescale.
+    EXPECT_DOUBLE_EQ(w[1].t0, 1.0);
+    EXPECT_DOUBLE_EQ(w[1].t1, 2.0);
+}
+
+TEST(Timeline, ReduceIsTheOnlineSamplingKernel)
+{
+    obs::TimelineOptions opts;
+    opts.window_s = 0.5;
+    obs::Timeline tl(opts, 0.0, 1, 1);
+    tl.recordTokens(0.6, /*request=*/1, 3);
+    tl.recordTokens(0.7, /*request=*/2, 1);
+    tl.recordIteration(0.6, 2, 1, 8, 0, 0);
+    // Sampling window 1 mid-window (covered span 0.25 s) — what the
+    // adaptive controller reads at a decision epoch.
+    const auto win =
+        tl.reduce(1, 0.75, [](uint64_t id) { return id == 1; });
+    EXPECT_EQ(win.tokens, 4);
+    EXPECT_EQ(win.slo_tokens, 3);
+    EXPECT_DOUBLE_EQ(win.goodput_tps, 16.0);
+    EXPECT_DOUBLE_EQ(win.goodput_under_slo, 12.0);
+    EXPECT_EQ(win.iterations, 1);
+    // An index past every recorded bucket is an empty window (full-
+    // width fallback keeps the division defined), not an error.
+    const auto empty = tl.reduce(7, 0.75, nullptr);
+    EXPECT_EQ(empty.tokens, 0);
+    EXPECT_DOUBLE_EQ(empty.goodput_tps, 0.0);
+    EXPECT_DOUBLE_EQ(empty.t0, 3.5);
+}
+
 // -------------------------------------------- end-to-end server pins
 
 namespace {

@@ -562,3 +562,115 @@ TEST(Server, StreamsTokensWithTtftBelowLatency)
     EXPECT_GT(rep.fleet.peak_kv_blocks, 0);
     EXPECT_GT(rep.fleet.peak_fleet_mem_gb, 0.0);
 }
+
+TEST(Server, PreemptionVictimsAvoidNearDeadlineSessions)
+{
+    // Victim selection tie-breaks AWAY from near-deadline sessions
+    // within the batch-tier-first rule: evicting a session with
+    // seconds of slack just to re-admit it past its deadline turns a
+    // recoverable preemption into a drop.
+    const auto &pipe = testutil::tinyPipeline();
+    auto stream = makeStream(3, 0.0, 16);
+
+    // Baselines: unconstrained finish of the youngest request, and
+    // its finish under KV pressure while NO deadlines exist (where
+    // the scan reduces to the legacy youngest-victim rule and evicts
+    // exactly it).
+    auto opts = serverOpts(2, 3);
+    serve::Server unb(pipe, opts);
+    unb.submit(stream);
+    const auto ru = unb.drain();
+
+    // 48 blocks force exactly ONE eviction on this stream — the
+    // interesting case, where the scan has a real choice (a tighter
+    // budget needs two victims per boundary and must take the
+    // near-deadline session anyway).
+    opts.sched.kv_budget_blocks = 48;
+    serve::Server pressed(pipe, opts);
+    pressed.submit(stream);
+    const auto rp = pressed.drain();
+    ASSERT_GT(rp.fleet.preemptions, 0);
+    ASSERT_GT(rp.outcomes[2].preemptions, 0); // legacy victim
+    const double f_unb = ru.outcomes[2].finish_s;
+    const double f_legacy = rp.outcomes[2].finish_s;
+    ASSERT_LT(f_unb, f_legacy);
+
+    // A deadline the youngest request can only meet if it is NOT the
+    // victim: past its unconstrained finish, before its evicted one.
+    auto urgent = stream;
+    urgent[2].deadline_s = f_unb + 0.9 * (f_legacy - f_unb);
+    serve::Server aware(pipe, opts);
+    aware.submit(urgent);
+    const auto ra = aware.drain();
+
+    // The finite-slack session is spared: an elder no-deadline peer
+    // (never the protected oldest) is evicted instead, and the urgent
+    // request completes in time where the legacy rule dropped it.
+    EXPECT_GT(ra.fleet.preemptions, 0);
+    EXPECT_EQ(ra.fleet.dropped, 0);
+    EXPECT_FALSE(ra.outcomes[2].dropped);
+    EXPECT_EQ(ra.outcomes[2].preemptions, 0);
+    EXPECT_GT(ra.outcomes[1].preemptions, 0);
+    EXPECT_LE(ra.outcomes[2].finish_s, urgent[2].deadline_s);
+    ASSERT_EQ(ra.outcomes[2].result.emissions.size(), 1u);
+    EXPECT_EQ(ra.outcomes[2].result.emissions[0].tokens,
+              ru.outcomes[2].result.emissions[0].tokens);
+}
+
+TEST(Server, WatermarkDiscountsCachedPrefixBlocks)
+{
+    // The prefill-aware watermark charges every admission its FULL
+    // prompt + decode KV. Blocks adopted from the prefix cache are
+    // shared, not allocated — charging them again double-counts every
+    // cache hit and starves admission under tight watermarks.
+    const auto &pipe = testutil::tinyPipeline();
+    serve::StreamOptions so;
+    so.datasets = {"SUM"};
+    so.n_requests = 3;
+    so.gen_len = 4;
+    so.prompt_len = 4096;
+    so.prefix_reuse = 1.0; // one shared template across the stream
+    so.seed = 0x3a7;
+    auto stream = serve::synthesizeStream(so);
+    // Request 0 seeds the cache; the two repeats arrive together
+    // long after it retired.
+    stream[1].arrival_s = stream[2].arrival_s = 10.0;
+
+    auto opts = serverOpts(2, 4);
+    opts.sched.preempt_mode = serve::PreemptMode::Swap;
+    opts.sched.kv_budget_blocks = 400;
+    // High-water mark (80 blocks) that fits one full prompt + one
+    // discounted repeat, but not two prompts at full charge: the
+    // template discounts 3 whole blocks per layer, comfortably more
+    // than the cache's one-block-per-layer copy-on-write growth
+    // reserve.
+    opts.sched.kv_watermark = 0.2;
+
+    serve::Server uncached(pipe, opts);
+    uncached.submit(stream);
+    const auto r_off = uncached.drain();
+    // The first repeat bypasses the watermark (empty fleet); the
+    // second is held back until it drains: the gate demonstrably
+    // bites on this stream.
+    ASSERT_GT(r_off.fleet.watermark_rejections, 0);
+    EXPECT_EQ(r_off.fleet.dropped, 0);
+
+    auto cached = opts;
+    cached.sched.prefix_cache.enabled = true;
+    cached.sched.prefix_cache.capacity_blocks = 200;
+    serve::Server hit(pipe, cached);
+    hit.submit(stream);
+    const auto r_on = hit.drain();
+
+    // Both repeats adopt the cached template, and the discounted
+    // committed set now fits: no watermark rejections at all. (The
+    // double-counting bug charged full blocks regardless and kept
+    // every rejection of the uncached run.)
+    EXPECT_GE(r_on.fleet.prefix_hits, 2);
+    EXPECT_GT(r_on.fleet.cached_tokens, 0);
+    EXPECT_EQ(r_on.fleet.watermark_rejections, 0);
+    EXPECT_LT(r_on.fleet.watermark_rejections,
+              r_off.fleet.watermark_rejections);
+    EXPECT_EQ(r_on.fleet.tokens, r_off.fleet.tokens);
+    EXPECT_EQ(r_on.fleet.dropped, 0);
+}
